@@ -1,0 +1,320 @@
+//! Cumulative-misprediction coverage curves — the paper's central figure
+//! format (Figs. 2, 5–11).
+//!
+//! Buckets are sorted by misprediction rate, worst first, and accumulated:
+//! each point says "the worst buckets covering X% of dynamic branches
+//! contain Y% of all mispredictions". Every point simultaneously defines a
+//! candidate low-confidence set (the buckets at or above it in the sorted
+//! order), which is how the *ideal reduction function* of §4 is obtained.
+
+use crate::buckets::BucketStats;
+
+/// One point of a coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Cumulative percentage of dynamic branches (0–100).
+    pub pct_branches: f64,
+    /// Cumulative percentage of mispredictions (0–100).
+    pub pct_mispredicts: f64,
+    /// The bucket key whose inclusion produced this point.
+    pub key: u64,
+    /// Misprediction rate of this bucket alone.
+    pub bucket_miss_rate: f64,
+}
+
+/// A monotone coverage curve over sorted buckets.
+///
+/// # Examples
+///
+/// ```
+/// use cira_analysis::{BucketStats, CoverageCurve};
+///
+/// let mut stats = BucketStats::new();
+/// for _ in 0..80 {
+///     stats.observe(0, false); // easy bucket: no misses
+/// }
+/// for i in 0..20 {
+///     stats.observe(1, i % 2 == 0); // hard bucket: 50% miss
+/// }
+/// let curve = CoverageCurve::from_buckets(&stats);
+/// // The hard bucket is 20% of branches and 100% of mispredictions.
+/// assert!((curve.coverage_at(20.0) - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    points: Vec<CurvePoint>,
+    total_refs: f64,
+    total_miss: f64,
+}
+
+impl CoverageCurve {
+    /// Builds the curve by sorting buckets worst-first.
+    ///
+    /// Ties in misprediction rate are broken by key (descending) so the
+    /// construction is deterministic.
+    pub fn from_buckets(stats: &BucketStats) -> Self {
+        let mut buckets: Vec<(u64, f64, f64)> = stats
+            .iter()
+            .map(|(k, c)| (k, c.refs, c.mispredicts))
+            .collect();
+        buckets.sort_by(|a, b| {
+            let ra = if a.1 > 0.0 { a.2 / a.1 } else { 0.0 };
+            let rb = if b.1 > 0.0 { b.2 / b.1 } else { 0.0 };
+            rb.partial_cmp(&ra)
+                .expect("miss rates are finite")
+                .then_with(|| b.0.cmp(&a.0))
+        });
+        let total_refs = stats.total_refs();
+        let total_miss = stats.total_mispredicts();
+        let mut points = Vec::with_capacity(buckets.len());
+        let mut cum_refs = 0.0;
+        let mut cum_miss = 0.0;
+        for (key, refs, miss) in buckets {
+            cum_refs += refs;
+            cum_miss += miss;
+            points.push(CurvePoint {
+                pct_branches: if total_refs > 0.0 {
+                    100.0 * cum_refs / total_refs
+                } else {
+                    0.0
+                },
+                pct_mispredicts: if total_miss > 0.0 {
+                    100.0 * cum_miss / total_miss
+                } else {
+                    0.0
+                },
+                key,
+                bucket_miss_rate: if refs > 0.0 { miss / refs } else { 0.0 },
+            });
+        }
+        Self {
+            points,
+            total_refs,
+            total_miss,
+        }
+    }
+
+    /// All points, worst bucket first.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Total weighted dynamic branches behind the curve.
+    pub fn total_refs(&self) -> f64 {
+        self.total_refs
+    }
+
+    /// Total weighted mispredictions behind the curve.
+    pub fn total_mispredicts(&self) -> f64 {
+        self.total_miss
+    }
+
+    /// Overall misprediction rate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_refs > 0.0 {
+            self.total_miss / self.total_refs
+        } else {
+            0.0
+        }
+    }
+
+    /// The percentage of mispredictions captured by a low-confidence set
+    /// containing `pct_branches` percent of dynamic branches, linearly
+    /// interpolating between bucket boundaries (matching how the paper
+    /// reads values like "89% at 20%" off its plots).
+    ///
+    /// Clamped: 0 below the first point's reach, 100 above the last.
+    pub fn coverage_at(&self, pct_branches: f64) -> f64 {
+        if self.points.is_empty() || self.total_miss == 0.0 {
+            return 0.0;
+        }
+        let mut prev = (0.0f64, 0.0f64);
+        for p in &self.points {
+            if p.pct_branches >= pct_branches {
+                let (x0, y0) = prev;
+                let (x1, y1) = (p.pct_branches, p.pct_mispredicts);
+                if (x1 - x0).abs() < 1e-12 {
+                    return y1;
+                }
+                let t = ((pct_branches - x0) / (x1 - x0)).clamp(0.0, 1.0);
+                return y0 + t * (y1 - y0);
+            }
+            prev = (p.pct_branches, p.pct_mispredicts);
+        }
+        100.0
+    }
+
+    /// The set of bucket keys forming the smallest low-confidence set that
+    /// captures at least `pct_mispredicts` percent of mispredictions,
+    /// together with the achieved point.
+    ///
+    /// Returns `None` if the curve is empty.
+    pub fn low_set_for_mispredict_target(
+        &self,
+        pct_mispredicts: f64,
+    ) -> Option<(Vec<u64>, CurvePoint)> {
+        let idx = self
+            .points
+            .iter()
+            .position(|p| p.pct_mispredicts >= pct_mispredicts)?;
+        let keys = self.points[..=idx].iter().map(|p| p.key).collect();
+        Some((keys, self.points[idx]))
+    }
+
+    /// The set of bucket keys forming the largest low-confidence set whose
+    /// dynamic-branch share does not exceed `pct_branches` percent,
+    /// together with the achieved point. Returns `None` if even the first
+    /// bucket exceeds the budget (or the curve is empty).
+    pub fn low_set_for_branch_budget(&self, pct_branches: f64) -> Option<(Vec<u64>, CurvePoint)> {
+        let mut last = None;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.pct_branches <= pct_branches + 1e-9 {
+                last = Some(i);
+            } else {
+                break;
+            }
+        }
+        let idx = last?;
+        let keys = self.points[..=idx].iter().map(|p| p.key).collect();
+        Some((keys, self.points[idx]))
+    }
+
+    /// Thins the curve for plotting: keeps points whose x or y advanced by
+    /// at least `min_delta` percentage points since the last kept point
+    /// (the paper plots Fig. 5 onward with a 2.5-point filter), always
+    /// keeping the final point.
+    pub fn thinned(&self, min_delta: f64) -> Vec<CurvePoint> {
+        let mut out: Vec<CurvePoint> = Vec::new();
+        for p in &self.points {
+            match out.last() {
+                None => out.push(*p),
+                Some(last) => {
+                    if p.pct_branches - last.pct_branches >= min_delta
+                        || p.pct_mispredicts - last.pct_mispredicts >= min_delta
+                    {
+                        out.push(*p);
+                    }
+                }
+            }
+        }
+        if let (Some(last_kept), Some(last)) = (out.last().copied(), self.points.last()) {
+            if last_kept != *last {
+                out.push(*last);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bucket_stats() -> BucketStats {
+        let mut s = BucketStats::new();
+        for _ in 0..80 {
+            s.observe(0, false);
+        }
+        for i in 0..20 {
+            s.observe(1, i % 2 == 0);
+        }
+        s
+    }
+
+    #[test]
+    fn sorts_worst_first() {
+        let c = CoverageCurve::from_buckets(&two_bucket_stats());
+        assert_eq!(c.points()[0].key, 1);
+        assert!((c.points()[0].bucket_miss_rate - 0.5).abs() < 1e-12);
+        assert_eq!(c.points()[1].key, 0);
+    }
+
+    #[test]
+    fn cumulative_percentages_are_monotone_and_complete() {
+        let mut s = BucketStats::new();
+        for i in 0..100u64 {
+            s.observe(i % 7, i % 3 == 0);
+        }
+        let c = CoverageCurve::from_buckets(&s);
+        let pts = c.points();
+        for w in pts.windows(2) {
+            assert!(w[1].pct_branches >= w[0].pct_branches);
+            assert!(w[1].pct_mispredicts >= w[0].pct_mispredicts - 1e-12);
+        }
+        let last = pts.last().unwrap();
+        assert!((last.pct_branches - 100.0).abs() < 1e-9);
+        assert!((last.pct_mispredicts - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_interpolates() {
+        let c = CoverageCurve::from_buckets(&two_bucket_stats());
+        // Bucket 1: (20, 100). Bucket 0: (100, 100).
+        assert!((c.coverage_at(20.0) - 100.0).abs() < 1e-9);
+        // Halfway into the first bucket.
+        assert!((c.coverage_at(10.0) - 50.0).abs() < 1e-9);
+        assert_eq!(c.coverage_at(0.0), 0.0);
+        assert!((c.coverage_at(100.0) - 100.0).abs() < 1e-9);
+        assert!((c.coverage_at(150.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_curve_is_safe() {
+        let c = CoverageCurve::from_buckets(&BucketStats::new());
+        assert!(c.points().is_empty());
+        assert_eq!(c.coverage_at(50.0), 0.0);
+        assert!(c.low_set_for_mispredict_target(50.0).is_none());
+        assert!(c.low_set_for_branch_budget(50.0).is_none());
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn low_set_for_target() {
+        let c = CoverageCurve::from_buckets(&two_bucket_stats());
+        let (keys, pt) = c.low_set_for_mispredict_target(90.0).unwrap();
+        assert_eq!(keys, vec![1]);
+        assert!((pt.pct_mispredicts - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_set_for_budget() {
+        let c = CoverageCurve::from_buckets(&two_bucket_stats());
+        let (keys, pt) = c.low_set_for_branch_budget(25.0).unwrap();
+        assert_eq!(keys, vec![1]);
+        assert!((pt.pct_branches - 20.0).abs() < 1e-9);
+        // A budget smaller than the first bucket yields nothing.
+        assert!(c.low_set_for_branch_budget(5.0).is_none());
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints() {
+        let mut s = BucketStats::new();
+        for i in 0..1000u64 {
+            s.observe(i, i % 11 == 0); // many tiny buckets
+        }
+        let c = CoverageCurve::from_buckets(&s);
+        let thin = c.thinned(2.5);
+        assert!(thin.len() < c.points().len());
+        assert_eq!(thin.last().unwrap(), c.points().last().unwrap());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut s = BucketStats::new();
+        s.observe(10, true);
+        s.observe(20, true); // same rate
+        let a = CoverageCurve::from_buckets(&s);
+        let b = CoverageCurve::from_buckets(&s);
+        assert_eq!(a.points()[0].key, b.points()[0].key);
+        assert_eq!(a.points()[0].key, 20, "ties break by descending key");
+    }
+
+    #[test]
+    fn zero_mispredictions_curve() {
+        let mut s = BucketStats::new();
+        s.observe(0, false);
+        let c = CoverageCurve::from_buckets(&s);
+        assert_eq!(c.coverage_at(50.0), 0.0);
+        assert_eq!(c.points()[0].pct_mispredicts, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Result export: CSV files and quick ASCII plots.
+//!
+//! Every figure binary in `cira-bench` writes a long-format CSV (one row
+//! per curve point, tagged with its series name) into `results/` and also
+//! prints an ASCII rendition so the curve shapes are visible directly in a
+//! terminal.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::curve::{CoverageCurve, CurvePoint};
+
+/// Writes curves in long CSV format:
+/// `series,pct_branches,pct_mispredicts,key,bucket_miss_rate`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_curves_csv<W: Write>(
+    mut writer: W,
+    curves: &[(&str, &CoverageCurve)],
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "series,pct_branches,pct_mispredicts,key,bucket_miss_rate"
+    )?;
+    for (name, curve) in curves {
+        for p in curve.points() {
+            writeln!(
+                writer,
+                "{},{:.4},{:.4},{},{:.6}",
+                name, p.pct_branches, p.pct_mispredicts, p.key, p.bucket_miss_rate
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes curves to a CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_curves_csv<P: AsRef<Path>>(
+    path: P,
+    curves: &[(&str, &CoverageCurve)],
+) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_curves_csv(io::BufWriter::new(file), curves)
+}
+
+/// Renders one or more coverage curves as an ASCII chart
+/// (x: % dynamic branches, y: % mispredictions; both 0–100).
+///
+/// Each series is drawn with its own symbol, assigned in order from
+/// `SYMBOLS`; later series overwrite earlier ones where they collide.
+#[allow(clippy::needless_range_loop)] // `col` addresses a computed row per step
+pub fn ascii_chart(curves: &[(&str, &CoverageCurve)], width: usize, height: usize) -> String {
+    const SYMBOLS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(20);
+    let height = height.max(8);
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (si, (_, curve)) in curves.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        // Sample the interpolated curve at every column for a continuous
+        // line, then overlay actual points.
+        for col in 0..width {
+            let x = 100.0 * col as f64 / (width - 1) as f64;
+            let y = curve.coverage_at(x);
+            let row = ((100.0 - y) / 100.0 * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = sym;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let ylabel = if i == 0 {
+            "100 "
+        } else if i == height - 1 {
+            "  0 "
+        } else if i == height / 2 {
+            " 50 "
+        } else {
+            "    "
+        };
+        out.push_str(ylabel);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("     0%");
+    let pad = width.saturating_sub(14);
+    out.push_str(&" ".repeat(pad / 2));
+    out.push_str("% dynamic branches");
+    out.push_str(&" ".repeat(pad.saturating_sub(pad / 2).saturating_sub(11)));
+    out.push_str("100%\n");
+    let mut legend = String::from("    ");
+    for (si, (name, _)) in curves.iter().enumerate() {
+        legend.push_str(&format!(" {}={}", SYMBOLS[si % SYMBOLS.len()], name));
+    }
+    out.push_str(&legend);
+    out.push('\n');
+    out
+}
+
+/// Formats the paper-style summary line for a curve: coverage at a given
+/// branch budget.
+pub fn coverage_summary(name: &str, curve: &CoverageCurve, budget_pct: f64) -> String {
+    format!(
+        "{name}: {:.1}% of mispredictions in the lowest-confidence {budget_pct:.0}% of branches (miss rate {:.2}%)",
+        curve.coverage_at(budget_pct),
+        100.0 * curve.miss_rate()
+    )
+}
+
+/// Convenience for printing thinned point lists (the paper's "points that
+/// differ by 2.5%" plotting rule).
+pub fn format_points(points: &[CurvePoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&format!(
+            "  ({:6.2}, {:6.2})  key={:<8} rate={:.4}\n",
+            p.pct_branches, p.pct_mispredicts, p.key, p.bucket_miss_rate
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets::BucketStats;
+
+    fn curve() -> CoverageCurve {
+        let mut s = BucketStats::new();
+        for i in 0..100u64 {
+            s.observe(i % 5, i % 7 == 0);
+        }
+        CoverageCurve::from_buckets(&s)
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let c = curve();
+        let mut buf = Vec::new();
+        write_curves_csv(&mut buf, &[("a", &c), ("b", &c)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * c.points().len());
+        assert!(lines[0].starts_with("series,"));
+        assert!(lines[1].starts_with("a,"));
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("cira_export_test");
+        let path = dir.join("nested").join("x.csv");
+        let c = curve();
+        save_curves_csv(&path, &[("s", &c)]).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_chart_has_requested_dimensions() {
+        let c = curve();
+        let chart = ascii_chart(&[("s", &c)], 40, 12);
+        let lines: Vec<&str> = chart.lines().collect();
+        // height rows + axis + label + legend
+        assert_eq!(lines.len(), 12 + 3);
+        assert!(lines[0].starts_with("100 |"));
+        assert!(chart.contains("*=s"));
+    }
+
+    #[test]
+    fn ascii_chart_clamps_tiny_dimensions() {
+        let c = curve();
+        let chart = ascii_chart(&[("s", &c)], 1, 1);
+        assert!(chart.lines().count() >= 8);
+    }
+
+    #[test]
+    fn summary_mentions_name_and_coverage() {
+        let c = curve();
+        let s = coverage_summary("test", &c, 20.0);
+        assert!(s.starts_with("test:"));
+        assert!(s.contains("20%"));
+    }
+
+    #[test]
+    fn format_points_lists_all() {
+        let c = curve();
+        let text = format_points(c.points());
+        assert_eq!(text.lines().count(), c.points().len());
+    }
+}

@@ -1,0 +1,59 @@
+//! # cira-analysis
+//!
+//! Experiment machinery for the `cira` reproduction of Jacobsen, Rotenberg
+//! & Smith (MICRO-29, 1996): trace-driven simulation drivers, bucketed
+//! prediction statistics, the paper's cumulative-misprediction coverage
+//! curves, confusion-matrix metrics, Table-1-style counter tables, and
+//! CSV/ASCII export.
+//!
+//! The analysis pipeline:
+//!
+//! 1. [`runner`] drives a trace through a predictor and confidence
+//!    mechanism(s), producing [`BucketStats`] keyed by whatever the
+//!    mechanism reads (CIR pattern, counter value, or static PC).
+//! 2. [`suite_run`] repeats that per benchmark and combines with the
+//!    paper's equal-dynamic-branch weighting.
+//! 3. [`CoverageCurve`] sorts buckets worst-first into the cumulative
+//!    curves of Figs. 2 & 5–11; [`CounterTable`] renders Table 1.
+//! 4. [`export`] writes CSVs and ASCII charts.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_analysis::{runner, CoverageCurve};
+//! use cira_core::one_level::ResettingConfidence;
+//! use cira_core::{IndexSpec, InitPolicy};
+//! use cira_predictor::Gshare;
+//! use cira_trace::suite::ibs_like_suite;
+//!
+//! let bench = &ibs_like_suite()[3]; // jpeg
+//! let mut predictor = Gshare::new(12, 12);
+//! let mut mech = ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes);
+//! let stats = runner::collect_mechanism_buckets(
+//!     bench.walker().take(20_000),
+//!     &mut predictor,
+//!     &mut mech,
+//! );
+//! let curve = CoverageCurve::from_buckets(&stats);
+//! assert!(curve.coverage_at(100.0) > 99.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buckets;
+pub mod curve;
+pub mod export;
+pub mod metrics;
+pub mod runner;
+pub mod suite_run;
+pub mod sweep;
+pub mod table;
+
+pub use buckets::{BucketCell, BucketStats};
+pub use curve::{CoverageCurve, CurvePoint};
+pub use metrics::ConfusionCounts;
+pub use runner::PredictorRun;
+pub use suite_run::SuiteBuckets;
+pub use sweep::{sweep_to_csv, threshold_sweep, ThresholdPoint};
+pub use table::{CounterRow, CounterTable};

@@ -1,0 +1,402 @@
+//! Trace-driven simulation drivers.
+//!
+//! One loop shape underlies every experiment (§1.2): for each trace record,
+//! read the predictor's prediction and the confidence structures *before*
+//! update, score correctness against the recorded outcome, then update the
+//! predictor, the confidence structures, and the shared global history
+//! register — in that order, with every component seeing the same
+//! pre-branch BHR value.
+
+use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
+use cira_predictor::{BranchPredictor, HistoryRegister};
+use cira_trace::BranchRecord;
+
+use crate::buckets::BucketStats;
+use crate::metrics::ConfusionCounts;
+
+/// Width of the driver's global history register. Components mask out the
+/// bits they use, so this just needs to be at least the widest consumer.
+pub const DRIVER_BHR_WIDTH: u32 = 64;
+
+/// Aggregate result of running a predictor over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorRun {
+    /// Dynamic branches simulated.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+impl PredictorRun {
+    /// Misprediction rate (0 for an empty run).
+    pub fn miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Runs `predictor` over `trace`, returning its accuracy.
+///
+/// # Examples
+///
+/// ```
+/// use cira_analysis::runner::run_predictor;
+/// use cira_predictor::Gshare;
+/// use cira_trace::BranchRecord;
+///
+/// let trace = (0..100u64).map(|i| BranchRecord::new(0x40, i % 2 == 0));
+/// let run = run_predictor(trace, &mut Gshare::new(10, 10));
+/// assert!(run.miss_rate() < 0.3); // gshare learns alternation
+/// ```
+pub fn run_predictor<P, T>(trace: T, predictor: &mut P) -> PredictorRun
+where
+    P: BranchPredictor,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut run = PredictorRun::default();
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        run.branches += 1;
+        if predicted != r.taken {
+            run.mispredicts += 1;
+        }
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    run
+}
+
+/// Runs a predictor and one confidence mechanism together, bucketing each
+/// dynamic branch by the key the mechanism read for it.
+pub fn collect_mechanism_buckets<P, M, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanism: &mut M,
+) -> BucketStats
+where
+    P: BranchPredictor,
+    M: ConfidenceMechanism,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut stats = vec![BucketStats::new()];
+    let mut mechs: Vec<&mut dyn ConfidenceMechanism> = vec![mechanism];
+    collect_many_into(trace, predictor, &mut mechs, &mut stats);
+    stats.pop().expect("one mechanism, one stats")
+}
+
+/// Runs a predictor once while feeding several mechanisms, returning one
+/// [`BucketStats`] per mechanism (in order). This is how multi-series
+/// figures (Figs. 5, 6, 8, 11) are produced without re-simulating the
+/// predictor per series.
+pub fn collect_many_buckets<P, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanisms: &mut [&mut dyn ConfidenceMechanism],
+) -> Vec<BucketStats>
+where
+    P: BranchPredictor,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut stats = vec![BucketStats::new(); mechanisms.len()];
+    collect_many_into(trace, predictor, mechanisms, &mut stats);
+    stats
+}
+
+fn collect_many_into<P, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanisms: &mut [&mut dyn ConfidenceMechanism],
+    stats: &mut [BucketStats],
+) where
+    P: BranchPredictor,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let correct = predicted == r.taken;
+        for (m, s) in mechanisms.iter_mut().zip(stats.iter_mut()) {
+            let key = m.read_key(r.pc, h);
+            s.observe(key, !correct);
+            m.update(r.pc, h, correct);
+        }
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+}
+
+/// Like [`collect_mechanism_buckets`], but flushes the mechanism's tables
+/// every `flush_interval` branches — the context-switch model of §5.4
+/// (the predictor itself is left intact so only the confidence effect is
+/// measured).
+///
+/// # Panics
+///
+/// Panics if `flush_interval` is zero.
+pub fn collect_mechanism_buckets_with_flush<P, M, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanism: &mut M,
+    flush_interval: u64,
+) -> BucketStats
+where
+    P: BranchPredictor,
+    M: ConfidenceMechanism,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    assert!(flush_interval > 0, "flush interval must be positive");
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut stats = BucketStats::new();
+    let mut since_flush = 0u64;
+    for r in trace {
+        if since_flush == flush_interval {
+            mechanism.flush();
+            since_flush = 0;
+        }
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let correct = predicted == r.taken;
+        let key = mechanism.read_key(r.pc, h);
+        stats.observe(key, !correct);
+        mechanism.update(r.pc, h, correct);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+        since_flush += 1;
+    }
+    stats
+}
+
+/// Runs a predictor with a multi-level estimator, producing per-class
+/// statistics (the §1 "multiple confidence sets" generalization).
+pub fn run_multi_level<P, M, T>(
+    trace: T,
+    predictor: &mut P,
+    estimator: &mut cira_core::MultiLevelEstimator<M>,
+) -> cira_core::ClassStats
+where
+    P: BranchPredictor,
+    M: ConfidenceMechanism,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut stats = cira_core::ClassStats::new(estimator.classes());
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let correct = predicted == r.taken;
+        stats.observe(estimator.classify(r.pc, h), correct);
+        estimator.update(r.pc, h, correct);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    stats
+}
+
+/// Runs a predictor while bucketing branches by their **static PC** — the
+/// input to the §2 static-profile analysis (perfect profiling: the profile
+/// and evaluation runs are the same data, as in the paper).
+pub fn collect_static_buckets<P, T>(trace: T, predictor: &mut P) -> BucketStats
+where
+    P: BranchPredictor,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut stats = BucketStats::new();
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        stats.observe(r.pc, predicted != r.taken);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    stats
+}
+
+/// Runs a predictor with an online estimator, producing the confusion
+/// counts of the binary confidence signal.
+pub fn run_estimator<P, E, T>(trace: T, predictor: &mut P, estimator: &mut E) -> ConfusionCounts
+where
+    P: BranchPredictor,
+    E: ConfidenceEstimator,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut counts = ConfusionCounts::new();
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let correct = predicted == r.taken;
+        let confidence = estimator.estimate(r.pc, h);
+        counts.observe(confidence, correct);
+        estimator.update(r.pc, h, correct);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_core::one_level::{OneLevelCir, ResettingConfidence};
+    use cira_core::{IndexSpec, InitPolicy, LowRule, ThresholdEstimator};
+    use cira_predictor::{Bimodal, Gshare, StaticDirection};
+
+    fn alternating(n: u64) -> impl Iterator<Item = BranchRecord> {
+        (0..n).map(|i| BranchRecord::new(0x40, i % 2 == 0))
+    }
+
+    fn biased(n: u64, pc: u64) -> impl Iterator<Item = BranchRecord> {
+        // taken except every 10th
+        (0..n).map(move |i| BranchRecord::new(pc, i % 10 != 0))
+    }
+
+    #[test]
+    fn run_predictor_counts() {
+        let run = run_predictor(alternating(1000), &mut StaticDirection::always_taken());
+        assert_eq!(run.branches, 1000);
+        assert_eq!(run.mispredicts, 500);
+        assert!((run.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_run() {
+        let run = run_predictor(std::iter::empty(), &mut Bimodal::new(4));
+        assert_eq!(run.branches, 0);
+        assert_eq!(run.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn gshare_beats_bimodal_on_alternation() {
+        let g = run_predictor(alternating(4000), &mut Gshare::new(10, 10));
+        let b = run_predictor(alternating(4000), &mut Bimodal::new(10));
+        assert!(g.miss_rate() < 0.05, "gshare {}", g.miss_rate());
+        assert!(b.miss_rate() > 0.3, "bimodal {}", b.miss_rate());
+    }
+
+    #[test]
+    fn mechanism_buckets_capture_mispredictions() {
+        let mut predictor = Gshare::new(10, 10);
+        let mut mech = ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes);
+        let stats = collect_mechanism_buckets(biased(5000, 0x80), &mut predictor, &mut mech);
+        assert_eq!(stats.total_refs(), 5000.0);
+        assert!(stats.total_mispredicts() > 0.0);
+        // Bucket 0 (just after a misprediction) should be worse than the
+        // saturated bucket 16.
+        let low = stats.cell(0).map(|c| c.miss_rate()).unwrap_or(0.0);
+        let high = stats.cell(16).map(|c| c.miss_rate()).unwrap_or(0.0);
+        assert!(
+            low > high,
+            "counter-0 bucket ({low}) should mispredict more than the zero bucket ({high})"
+        );
+    }
+
+    #[test]
+    fn many_buckets_matches_single_runs() {
+        // Driving two mechanisms together must give each the same stats as
+        // driving it alone (mechanisms are independent observers).
+        let mk_pred = || Gshare::new(8, 8);
+        let mk_a = || OneLevelCir::new(IndexSpec::pc(8), 8, InitPolicy::AllOnes);
+        let mk_b = || ResettingConfidence::new(IndexSpec::bhr(8), 8, InitPolicy::AllOnes);
+
+        let mut a_alone = mk_a();
+        let solo_a = collect_mechanism_buckets(biased(3000, 0x40), &mut mk_pred(), &mut a_alone);
+        let mut b_alone = mk_b();
+        let solo_b = collect_mechanism_buckets(biased(3000, 0x40), &mut mk_pred(), &mut b_alone);
+
+        let mut a = mk_a();
+        let mut b = mk_b();
+        let mut mechs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut a, &mut b];
+        let both = collect_many_buckets(biased(3000, 0x40), &mut mk_pred(), &mut mechs);
+        assert_eq!(both[0], solo_a);
+        assert_eq!(both[1], solo_b);
+    }
+
+    #[test]
+    fn static_buckets_key_by_pc() {
+        let trace = biased(100, 0x10).chain(biased(100, 0x20));
+        let stats = collect_static_buckets(trace, &mut StaticDirection::always_taken());
+        assert_eq!(stats.distinct_keys(), 2);
+        assert!(stats.cell(0x10).is_some() && stats.cell(0x20).is_some());
+    }
+
+    #[test]
+    fn estimator_confusion_counts_total() {
+        let mut predictor = Gshare::new(10, 10);
+        let mech = ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes);
+        let mut est = ThresholdEstimator::new(mech, LowRule::KeyBelow(16));
+        let counts = run_estimator(biased(5000, 0x80), &mut predictor, &mut est);
+        assert_eq!(counts.total(), 5000);
+        // The low set should capture most mispredictions for this easy case.
+        assert!(counts.mispredict_coverage() > 0.5, "{counts}");
+    }
+
+    #[test]
+    fn flush_interval_disrupts_saturation() {
+        // With constant flushing, resetting counters can never stay
+        // saturated, so the saturated bucket shrinks versus no flushing.
+        let mk = || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes);
+        let mut a = mk();
+        let no_flush =
+            collect_mechanism_buckets(biased(8000, 0x40), &mut Gshare::new(10, 10), &mut a);
+        let mut b = mk();
+        let flushed = collect_mechanism_buckets_with_flush(
+            biased(8000, 0x40),
+            &mut Gshare::new(10, 10),
+            &mut b,
+            8,
+        );
+        let sat_no_flush = no_flush.cell(16).map(|c| c.refs).unwrap_or(0.0);
+        let sat_flushed = flushed.cell(16).map(|c| c.refs).unwrap_or(0.0);
+        assert!(
+            sat_flushed < sat_no_flush,
+            "flushing every 8 branches must shrink the saturated bucket              ({sat_flushed} vs {sat_no_flush})"
+        );
+        assert_eq!(flushed.total_refs(), 8000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_flush_interval_panics() {
+        let mut mech = ResettingConfidence::new(IndexSpec::pc(4), 16, InitPolicy::AllOnes);
+        collect_mechanism_buckets_with_flush(
+            std::iter::empty(),
+            &mut Bimodal::new(4),
+            &mut mech,
+            0,
+        );
+    }
+
+    #[test]
+    fn multi_level_classes_partition_the_stream() {
+        use cira_core::MultiLevelEstimator;
+        let mech = ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes);
+        let mut est = MultiLevelEstimator::new(mech, vec![2, 8, 16]).unwrap();
+        let stats = run_multi_level(biased(10_000, 0x80), &mut Gshare::new(10, 10), &mut est);
+        assert_eq!(stats.total_refs(), 10_000);
+        assert_eq!(stats.classes(), 4);
+        assert!(
+            stats.rates_are_monotone(),
+            "higher classes should mispredict less:
+{stats}"
+        );
+    }
+
+    #[test]
+    fn estimator_and_bucket_paths_agree_on_miss_rate() {
+        let mut p1 = Gshare::new(10, 10);
+        let mut p2 = Gshare::new(10, 10);
+        let mut mech = ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes);
+        let mech2 = ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes);
+        let stats = collect_mechanism_buckets(biased(2000, 0x44), &mut p1, &mut mech);
+        let mut est = ThresholdEstimator::new(mech2, LowRule::KeyBelow(1));
+        let counts = run_estimator(biased(2000, 0x44), &mut p2, &mut est);
+        assert!((stats.miss_rate() - counts.miss_rate()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,285 @@
+//! Suite-level experiment drivers.
+//!
+//! The paper reports composite results over the IBS suite, weighting each
+//! benchmark to contribute the same number of dynamic branches (§1.2).
+//! These helpers run a factory-constructed predictor + mechanism pair per
+//! benchmark (fresh tables per benchmark, exactly like simulating each
+//! trace separately), in parallel across benchmarks, then combine with
+//! [`BucketStats::combine_equal_weight`].
+
+use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
+use cira_predictor::BranchPredictor;
+use cira_trace::suite::Benchmark;
+
+use crate::buckets::BucketStats;
+use crate::curve::CoverageCurve;
+use crate::metrics::ConfusionCounts;
+use crate::runner;
+
+/// Per-benchmark and combined bucket statistics for one mechanism
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteBuckets {
+    /// `(benchmark name, stats)` in suite order.
+    pub per_benchmark: Vec<(String, BucketStats)>,
+    /// Equal-dynamic-branch-weighted combination.
+    pub combined: BucketStats,
+}
+
+impl SuiteBuckets {
+    /// The coverage curve of the combined statistics.
+    pub fn curve(&self) -> CoverageCurve {
+        CoverageCurve::from_buckets(&self.combined)
+    }
+
+    /// The coverage curve of one benchmark by name.
+    pub fn benchmark_curve(&self, name: &str) -> Option<CoverageCurve> {
+        self.per_benchmark
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| CoverageCurve::from_buckets(s))
+    }
+}
+
+/// Runs `make_predictor()` + `make_mechanism()` over every benchmark
+/// (`trace_len` dynamic branches each), in parallel across benchmarks.
+pub fn run_suite_mechanism<P, M>(
+    suite: &[Benchmark],
+    trace_len: u64,
+    make_predictor: impl Fn() -> P + Sync,
+    make_mechanism: impl Fn() -> M + Sync,
+) -> SuiteBuckets
+where
+    P: BranchPredictor + Send,
+    M: ConfidenceMechanism + Send,
+{
+    let per_benchmark = parallel_map(suite, |bench| {
+        let mut predictor = make_predictor();
+        let mut mechanism = make_mechanism();
+        let stats = runner::collect_mechanism_buckets(
+            bench.walker().take(trace_len as usize),
+            &mut predictor,
+            &mut mechanism,
+        );
+        (bench.name().to_owned(), stats)
+    });
+    let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
+    SuiteBuckets {
+        per_benchmark,
+        combined,
+    }
+}
+
+/// Runs several mechanism configurations over the suite, driving the
+/// predictor once per benchmark (not once per mechanism). Returns one
+/// [`SuiteBuckets`] per factory, in order.
+pub fn run_suite_mechanisms<P>(
+    suite: &[Benchmark],
+    trace_len: u64,
+    make_predictor: impl Fn() -> P + Sync,
+    make_mechanisms: impl Fn() -> Vec<Box<dyn ConfidenceMechanism>> + Sync,
+) -> Vec<SuiteBuckets>
+where
+    P: BranchPredictor + Send,
+{
+    let per_bench: Vec<(String, Vec<BucketStats>)> = parallel_map(suite, |bench| {
+        let mut predictor = make_predictor();
+        let mut mechanisms = make_mechanisms();
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = mechanisms
+            .iter_mut()
+            .map(|m| m.as_mut() as &mut dyn ConfidenceMechanism)
+            .collect();
+        let stats = runner::collect_many_buckets(
+            bench.walker().take(trace_len as usize),
+            &mut predictor,
+            &mut refs,
+        );
+        (bench.name().to_owned(), stats)
+    });
+    let n_mechs = per_bench.first().map(|(_, v)| v.len()).unwrap_or(0);
+    (0..n_mechs)
+        .map(|i| {
+            let per_benchmark: Vec<(String, BucketStats)> = per_bench
+                .iter()
+                .map(|(name, v)| (name.clone(), v[i].clone()))
+                .collect();
+            let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
+            SuiteBuckets {
+                per_benchmark,
+                combined,
+            }
+        })
+        .collect()
+}
+
+/// Runs the §2 static analysis (bucket = static PC) over the suite.
+pub fn run_suite_static<P>(
+    suite: &[Benchmark],
+    trace_len: u64,
+    make_predictor: impl Fn() -> P + Sync,
+) -> SuiteBuckets
+where
+    P: BranchPredictor + Send,
+{
+    let per_benchmark = parallel_map(suite, |bench| {
+        let mut predictor = make_predictor();
+        let stats =
+            runner::collect_static_buckets(bench.walker().take(trace_len as usize), &mut predictor);
+        (bench.name().to_owned(), stats)
+    });
+    let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
+    SuiteBuckets {
+        per_benchmark,
+        combined,
+    }
+}
+
+/// Runs an online estimator over the suite, returning per-benchmark counts
+/// and their sum (benchmarks use equal trace lengths, so summing preserves
+/// the equal-weight convention).
+pub fn run_suite_estimator<P, E>(
+    suite: &[Benchmark],
+    trace_len: u64,
+    make_predictor: impl Fn() -> P + Sync,
+    make_estimator: impl Fn() -> E + Sync,
+) -> (Vec<(String, ConfusionCounts)>, ConfusionCounts)
+where
+    P: BranchPredictor + Send,
+    E: ConfidenceEstimator + Send,
+{
+    let per = parallel_map(suite, |bench| {
+        let mut predictor = make_predictor();
+        let mut estimator = make_estimator();
+        let counts = runner::run_estimator(
+            bench.walker().take(trace_len as usize),
+            &mut predictor,
+            &mut estimator,
+        );
+        (bench.name().to_owned(), counts)
+    });
+    let mut total = ConfusionCounts::new();
+    for (_, c) in &per {
+        total.merge(c);
+    }
+    (per, total)
+}
+
+/// Per-benchmark predictor accuracy (no confidence structures) — used by
+/// the calibration harness to report the §1.2 / §5.3 operating points.
+pub fn run_suite_predictor<P>(
+    suite: &[Benchmark],
+    trace_len: u64,
+    make_predictor: impl Fn() -> P + Sync,
+) -> Vec<(String, runner::PredictorRun)>
+where
+    P: BranchPredictor + Send,
+{
+    parallel_map(suite, |bench| {
+        let mut predictor = make_predictor();
+        let run = runner::run_predictor(bench.walker().take(trace_len as usize), &mut predictor);
+        (bench.name().to_owned(), run)
+    })
+}
+
+/// Maps `f` over the benchmarks on scoped threads, preserving order.
+fn parallel_map<R: Send>(suite: &[Benchmark], f: impl Fn(&Benchmark) -> R + Sync) -> Vec<R> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = suite.iter().map(|bench| scope.spawn(|| f(bench))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("suite worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_core::one_level::ResettingConfidence;
+    use cira_core::{IndexSpec, InitPolicy, LowRule, ThresholdEstimator};
+    use cira_predictor::Gshare;
+    use cira_trace::suite::ibs_like_suite;
+
+    fn mini_suite() -> Vec<Benchmark> {
+        ibs_like_suite().into_iter().take(3).collect()
+    }
+
+    #[test]
+    fn suite_mechanism_combines_benchmarks() {
+        let suite = mini_suite();
+        let out = run_suite_mechanism(
+            &suite,
+            20_000,
+            || Gshare::new(12, 12),
+            || ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes),
+        );
+        assert_eq!(out.per_benchmark.len(), 3);
+        // Equal weighting: combined refs = number of benchmarks.
+        assert!((out.combined.total_refs() - 3.0).abs() < 1e-9);
+        let curve = out.curve();
+        assert!(curve.coverage_at(100.0) > 99.9);
+        assert!(out.benchmark_curve(suite[0].name()).is_some());
+        assert!(out.benchmark_curve("nope").is_none());
+    }
+
+    #[test]
+    fn multi_mechanism_run_matches_single_runs() {
+        let suite = mini_suite();
+        let single = run_suite_mechanism(
+            &suite,
+            10_000,
+            || Gshare::new(10, 10),
+            || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes),
+        );
+        let multi = run_suite_mechanisms(
+            &suite,
+            10_000,
+            || Gshare::new(10, 10),
+            || {
+                vec![Box::new(ResettingConfidence::new(
+                    IndexSpec::pc(10),
+                    16,
+                    InitPolicy::AllOnes,
+                )) as Box<dyn ConfidenceMechanism>]
+            },
+        );
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].combined, single.combined);
+    }
+
+    #[test]
+    fn static_run_produces_pc_buckets() {
+        let suite = mini_suite();
+        let out = run_suite_static(&suite, 10_000, || Gshare::new(10, 10));
+        assert!(out.combined.distinct_keys() > 50);
+    }
+
+    #[test]
+    fn estimator_run_totals() {
+        let suite = mini_suite();
+        let (per, total) = run_suite_estimator(
+            &suite,
+            5_000,
+            || Gshare::new(10, 10),
+            || {
+                ThresholdEstimator::new(
+                    ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes),
+                    LowRule::KeyBelow(16),
+                )
+            },
+        );
+        assert_eq!(per.len(), 3);
+        assert_eq!(total.total(), 15_000);
+    }
+
+    #[test]
+    fn predictor_run_reports_each_benchmark() {
+        let suite = mini_suite();
+        let runs = run_suite_predictor(&suite, 5_000, || Gshare::new(10, 10));
+        assert_eq!(runs.len(), 3);
+        for (name, run) in &runs {
+            assert_eq!(run.branches, 5_000, "{name}");
+            assert!(run.miss_rate() < 0.5, "{name}: {}", run.miss_rate());
+        }
+    }
+}

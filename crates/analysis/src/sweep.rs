@@ -1,0 +1,183 @@
+//! Threshold sweeps: the full operating-point space of a counter-keyed
+//! estimator, derived from bucket statistics.
+//!
+//! A `key < t` reduction has one operating point per threshold `t`; the
+//! paper reads these off Table 1 (§5.2 "threshold granularity"). This
+//! module computes all of them at once — an ROC-style view pairing the
+//! low-set size against misprediction coverage and the Grunwald-style
+//! predictive values.
+
+use crate::buckets::BucketStats;
+
+/// One operating point of a `key < threshold` estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// The threshold (keys strictly below it are low confidence).
+    pub threshold: u64,
+    /// Fraction of predictions flagged low.
+    pub low_fraction: f64,
+    /// Fraction of mispredictions captured by the low set (SENS).
+    pub coverage: f64,
+    /// Probability a low-confidence prediction is wrong (PVN).
+    pub pvn: f64,
+    /// Probability a high-confidence prediction is right (PVP).
+    pub pvp: f64,
+    /// Fraction of correct predictions flagged high (SPEC).
+    pub specificity: f64,
+}
+
+/// Computes the operating point for every threshold `0..=max_key + 1`
+/// over counter-keyed bucket statistics.
+///
+/// Keys above `max_key` are treated as part of the high-confidence set at
+/// every threshold. The first point (threshold 0) flags nothing; the last
+/// (threshold `max_key + 1`) flags every in-range key.
+///
+/// # Examples
+///
+/// ```
+/// use cira_analysis::{threshold_sweep, BucketStats};
+///
+/// let mut stats = BucketStats::new();
+/// stats.observe(0, true);
+/// stats.observe(1, false);
+/// stats.observe(2, false);
+/// let sweep = threshold_sweep(&stats, 2);
+/// assert_eq!(sweep.len(), 4);
+/// assert_eq!(sweep[0].low_fraction, 0.0);
+/// assert_eq!(sweep[1].coverage, 1.0); // key 0 holds the only miss
+/// ```
+pub fn threshold_sweep(stats: &BucketStats, max_key: u64) -> Vec<ThresholdPoint> {
+    let total_refs = stats.total_refs();
+    let total_miss = stats.total_mispredicts();
+    let total_correct = total_refs - total_miss;
+
+    let mut points = Vec::with_capacity(max_key as usize + 2);
+    let mut low_refs = 0.0;
+    let mut low_miss = 0.0;
+    for threshold in 0..=(max_key + 1) {
+        if threshold > 0 {
+            if let Some(cell) = stats.cell(threshold - 1) {
+                low_refs += cell.refs;
+                low_miss += cell.mispredicts;
+            }
+        }
+        let low_correct = low_refs - low_miss;
+        let high_refs = total_refs - low_refs;
+        let high_miss = total_miss - low_miss;
+        points.push(ThresholdPoint {
+            threshold,
+            low_fraction: ratio(low_refs, total_refs),
+            coverage: ratio(low_miss, total_miss),
+            pvn: ratio(low_miss, low_refs),
+            pvp: ratio(high_refs - high_miss, high_refs),
+            specificity: ratio(total_correct - low_correct, total_correct),
+        });
+    }
+    points
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+/// Serializes a sweep as CSV.
+pub fn sweep_to_csv(points: &[ThresholdPoint]) -> String {
+    let mut out = String::from("threshold,low_fraction,coverage,pvn,pvp,specificity\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            p.threshold, p.low_fraction, p.coverage, p.pvn, p.pvp, p.specificity
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> BucketStats {
+        let mut s = BucketStats::new();
+        // key 0: 10 refs, 6 miss; key 1: 30 refs, 3 miss; key 2: 60, 1.
+        for i in 0..10 {
+            s.observe(0, i < 6);
+        }
+        for i in 0..30 {
+            s.observe(1, i < 3);
+        }
+        for i in 0..60 {
+            s.observe(2, i < 1);
+        }
+        s
+    }
+
+    #[test]
+    fn endpoints() {
+        let sweep = threshold_sweep(&stats(), 2);
+        assert_eq!(sweep.len(), 4);
+        let first = &sweep[0];
+        assert_eq!(first.low_fraction, 0.0);
+        assert_eq!(first.coverage, 0.0);
+        let last = &sweep[3];
+        assert!((last.low_fraction - 1.0).abs() < 1e-12);
+        assert!((last.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let sweep = threshold_sweep(&stats(), 2);
+        for w in sweep.windows(2) {
+            assert!(w[1].low_fraction >= w[0].low_fraction);
+            assert!(w[1].coverage >= w[0].coverage);
+        }
+    }
+
+    #[test]
+    fn values_match_hand_computation() {
+        let sweep = threshold_sweep(&stats(), 2);
+        let t1 = &sweep[1]; // low set = key 0
+        assert!((t1.low_fraction - 0.1).abs() < 1e-12);
+        assert!((t1.coverage - 0.6).abs() < 1e-12);
+        assert!((t1.pvn - 0.6).abs() < 1e-12);
+        // high set: 90 refs, 4 miss -> pvp = 86/90
+        assert!((t1.pvp - 86.0 / 90.0).abs() < 1e-12);
+        // correct total = 90; low_correct = 4 -> spec = 86/90
+        assert!((t1.specificity - 86.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keys_above_max_stay_high() {
+        let mut s = stats();
+        for _ in 0..100 {
+            s.observe(50, false);
+        }
+        let sweep = threshold_sweep(&s, 2);
+        let last = sweep.last().unwrap();
+        assert!(
+            last.low_fraction < 1.0,
+            "key 50 must remain high-confidence"
+        );
+        assert!((last.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_sweep() {
+        let sweep = threshold_sweep(&BucketStats::new(), 4);
+        assert_eq!(sweep.len(), 6);
+        assert!(sweep
+            .iter()
+            .all(|p| p.low_fraction == 0.0 && p.coverage == 0.0));
+    }
+
+    #[test]
+    fn csv_format() {
+        let csv = sweep_to_csv(&threshold_sweep(&stats(), 2));
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("threshold,"));
+    }
+}

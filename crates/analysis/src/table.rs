@@ -1,0 +1,222 @@
+//! Counter-value statistics tables — the format of the paper's Table 1.
+//!
+//! For a counter-compressed confidence mechanism (resetting or saturating)
+//! the bucket keys are the counter values `0..=max`; sorting by key
+//! ascending is sorting by "time since last misprediction", which is also
+//! (to excellent approximation) worst-bucket-first. The table reports, per
+//! counter value, its misprediction rate, its share of references, and the
+//! cumulative shares — exactly Table 1's columns.
+
+use std::fmt;
+
+use crate::buckets::BucketStats;
+
+/// One row of a counter statistics table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterRow {
+    /// Counter value.
+    pub count: u32,
+    /// Misprediction rate of branches seen at this counter value.
+    pub miss_rate: f64,
+    /// Percent of all references at this counter value.
+    pub pct_refs: f64,
+    /// Cumulative percent of mispredictions for counts `0..=count`.
+    pub cum_pct_mispredicts: f64,
+    /// Cumulative percent of references for counts `0..=count`.
+    pub cum_pct_refs: f64,
+}
+
+/// Table 1: per-counter-value statistics, counts ascending.
+///
+/// # Examples
+///
+/// ```
+/// use cira_analysis::{BucketStats, CounterTable};
+///
+/// let mut s = BucketStats::new();
+/// s.observe(0, true);
+/// s.observe(2, false);
+/// let t = CounterTable::from_buckets(&s, 2);
+/// assert_eq!(t.rows().len(), 3);
+/// assert_eq!(t.rows()[0].miss_rate, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTable {
+    rows: Vec<CounterRow>,
+    total_refs: f64,
+    total_miss: f64,
+}
+
+impl CounterTable {
+    /// Builds the table from bucket statistics whose keys are counter
+    /// values `0..=max` (keys above `max` are ignored; missing keys yield
+    /// all-zero rows).
+    pub fn from_buckets(stats: &BucketStats, max: u32) -> Self {
+        let total_refs = stats.total_refs();
+        let total_miss = stats.total_mispredicts();
+        let mut rows = Vec::with_capacity(max as usize + 1);
+        let mut cum_refs = 0.0;
+        let mut cum_miss = 0.0;
+        for count in 0..=max {
+            let (refs, miss) = stats
+                .cell(count as u64)
+                .map(|c| (c.refs, c.mispredicts))
+                .unwrap_or((0.0, 0.0));
+            cum_refs += refs;
+            cum_miss += miss;
+            rows.push(CounterRow {
+                count,
+                miss_rate: if refs > 0.0 { miss / refs } else { 0.0 },
+                pct_refs: pct(refs, total_refs),
+                cum_pct_mispredicts: pct(cum_miss, total_miss),
+                cum_pct_refs: pct(cum_refs, total_refs),
+            });
+        }
+        Self {
+            rows,
+            total_refs,
+            total_miss,
+        }
+    }
+
+    /// The rows, counter value ascending.
+    pub fn rows(&self) -> &[CounterRow] {
+        &self.rows
+    }
+
+    /// The row for a specific counter value, if within range.
+    pub fn row(&self, count: u32) -> Option<&CounterRow> {
+        self.rows.get(count as usize)
+    }
+
+    /// Overall misprediction rate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_refs > 0.0 {
+            self.total_miss / self.total_refs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes as CSV (`count,miss_rate,pct_refs,cum_pct_mispredicts,
+    /// cum_pct_refs`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("count,miss_rate,pct_refs,cum_pct_mispredicts,cum_pct_refs\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.4},{:.2},{:.2}\n",
+                r.count, r.miss_rate, r.pct_refs, r.cum_pct_mispredicts, r.cum_pct_refs
+            ));
+        }
+        out
+    }
+}
+
+fn pct(x: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        100.0 * x / total
+    } else {
+        0.0
+    }
+}
+
+impl fmt::Display for CounterTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>5}  {:>8}  {:>7}  {:>9}  {:>9}",
+            "Count", "Mispred.", "% Refs.", "Cum.%Mis.", "Cum.%Refs"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>5}  {:>8.4}  {:>7.3}  {:>9.1}  {:>9.1}",
+                r.count, r.miss_rate, r.pct_refs, r.cum_pct_mispredicts, r.cum_pct_refs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> BucketStats {
+        let mut s = BucketStats::new();
+        // count 0: 10 refs, 5 miss; count 1: 20 refs, 2 miss;
+        // count 2: 70 refs, 1 miss.
+        for i in 0..10 {
+            s.observe(0, i < 5);
+        }
+        for i in 0..20 {
+            s.observe(1, i < 2);
+        }
+        for i in 0..70 {
+            s.observe(2, i < 1);
+        }
+        s
+    }
+
+    #[test]
+    fn rows_cover_all_counts() {
+        let t = CounterTable::from_buckets(&stats(), 2);
+        assert_eq!(t.rows().len(), 3);
+        let r0 = t.row(0).unwrap();
+        assert!((r0.miss_rate - 0.5).abs() < 1e-12);
+        assert!((r0.pct_refs - 10.0).abs() < 1e-9);
+        assert!((r0.cum_pct_mispredicts - 62.5).abs() < 1e-9);
+        assert!((r0.cum_pct_refs - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_row_reaches_100() {
+        let t = CounterTable::from_buckets(&stats(), 2);
+        let last = t.rows().last().unwrap();
+        assert!((last.cum_pct_mispredicts - 100.0).abs() < 1e-9);
+        assert!((last.cum_pct_refs - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_counts_yield_zero_rows() {
+        let mut s = BucketStats::new();
+        s.observe(3, true);
+        let t = CounterTable::from_buckets(&s, 4);
+        assert_eq!(t.row(1).unwrap().pct_refs, 0.0);
+        assert_eq!(t.row(1).unwrap().miss_rate, 0.0);
+        assert_eq!(t.row(3).unwrap().pct_refs, 100.0);
+    }
+
+    #[test]
+    fn keys_above_max_ignored() {
+        let mut s = BucketStats::new();
+        s.observe(0, false);
+        s.observe(99, true);
+        let t = CounterTable::from_buckets(&s, 1);
+        // cum refs only reaches 50% because key 99 is outside the table.
+        assert!((t.rows().last().unwrap().cum_pct_refs - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = CounterTable::from_buckets(&stats(), 2).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("count,"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = CounterTable::from_buckets(&stats(), 2).to_string();
+        assert!(text.contains("Count"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_stats_table() {
+        let t = CounterTable::from_buckets(&BucketStats::new(), 16);
+        assert_eq!(t.rows().len(), 17);
+        assert_eq!(t.miss_rate(), 0.0);
+    }
+}

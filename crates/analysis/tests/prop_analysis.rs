@@ -1,0 +1,110 @@
+//! Property tests for the analysis machinery.
+
+use cira_analysis::{BucketStats, CounterTable, CoverageCurve};
+use proptest::prelude::*;
+
+fn arb_observations() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..24, any::<bool>()), 1..500)
+}
+
+proptest! {
+    #[test]
+    fn totals_match_observations(obs in arb_observations()) {
+        let mut stats = BucketStats::new();
+        for (k, m) in &obs {
+            stats.observe(*k, *m);
+        }
+        prop_assert_eq!(stats.total_refs(), obs.len() as f64);
+        prop_assert_eq!(
+            stats.total_mispredicts(),
+            obs.iter().filter(|(_, m)| *m).count() as f64
+        );
+        let cell_sum: f64 = stats.iter().map(|(_, c)| c.refs).sum();
+        prop_assert!((cell_sum - stats.total_refs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_weighted_is_linear(obs in arb_observations(), w in 0.0f64..10.0) {
+        let mut a = BucketStats::new();
+        for (k, m) in &obs {
+            a.observe(*k, *m);
+        }
+        let mut merged = BucketStats::new();
+        merged.merge_weighted(&a, w);
+        prop_assert!((merged.total_refs() - a.total_refs() * w).abs() < 1e-6);
+        prop_assert!(
+            (merged.total_mispredicts() - a.total_mispredicts() * w).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn equal_weight_combination_is_average_of_rates(
+        obs1 in arb_observations(),
+        obs2 in arb_observations()
+    ) {
+        let mut a = BucketStats::new();
+        for (k, m) in &obs1 {
+            a.observe(*k, *m);
+        }
+        let mut b = BucketStats::new();
+        for (k, m) in &obs2 {
+            b.observe(*k, *m);
+        }
+        let c = BucketStats::combine_equal_weight([&a, &b]);
+        let expected = (a.miss_rate() + b.miss_rate()) / 2.0;
+        prop_assert!((c.miss_rate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_table_cumulative_columns_are_consistent(obs in arb_observations()) {
+        let mut stats = BucketStats::new();
+        for (k, m) in &obs {
+            stats.observe(*k, *m);
+        }
+        let table = CounterTable::from_buckets(&stats, 23);
+        let rows = table.rows();
+        prop_assert_eq!(rows.len(), 24);
+        let mut cum_refs = 0.0;
+        for r in rows {
+            cum_refs += r.pct_refs;
+            prop_assert!((r.cum_pct_refs - cum_refs).abs() < 1e-6);
+            prop_assert!(r.cum_pct_mispredicts <= 100.0 + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.miss_rate));
+        }
+        // All keys are within 0..24, so the last row reaches 100%.
+        let last = rows.last().unwrap();
+        prop_assert!((last.cum_pct_refs - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_set_budget_is_respected(obs in arb_observations(), budget in 0.0f64..100.0) {
+        let mut stats = BucketStats::new();
+        for (k, m) in &obs {
+            stats.observe(*k, *m);
+        }
+        let curve = CoverageCurve::from_buckets(&stats);
+        if let Some((keys, point)) = curve.low_set_for_branch_budget(budget) {
+            prop_assert!(point.pct_branches <= budget + 1e-6);
+            prop_assert!(!keys.is_empty());
+            // The returned keys are exactly the curve prefix.
+            let prefix: Vec<u64> =
+                curve.points()[..keys.len()].iter().map(|p| p.key).collect();
+            prop_assert_eq!(keys, prefix);
+        }
+    }
+
+    #[test]
+    fn thinned_curves_are_subsets_ending_at_100(obs in arb_observations(), delta in 0.1f64..20.0) {
+        let mut stats = BucketStats::new();
+        for (k, m) in &obs {
+            stats.observe(*k, *m);
+        }
+        let curve = CoverageCurve::from_buckets(&stats);
+        let thin = curve.thinned(delta);
+        prop_assert!(thin.len() <= curve.points().len());
+        prop_assert_eq!(thin.last(), curve.points().last());
+        for p in &thin {
+            prop_assert!(curve.points().contains(p));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Application 1 (§1): **selective dual-path execution**.
+//!
+//! After a low-confidence branch prediction, fork a second execution thread
+//! down the non-predicted path; if the prediction turns out wrong, the
+//! machine switches to the alternate thread instead of paying the full
+//! misprediction penalty. Resources allow only a limited number of live
+//! forks, so forking after *every* branch is impossible — the confidence
+//! signal decides where the scarce fork slots go.
+//!
+//! The model is a cost model, not a cycle-accurate pipeline: each dynamic
+//! branch contributes its fetch work, each uncovered misprediction a flush
+//! penalty, each fork a fixed dual-fetch overhead. That is the level at
+//! which the paper argues the application ("if we fork a dual thread
+//! following 20 percent of the conditional branch predictions, we can
+//! capture over 80 percent of the mispredictions").
+
+use cira_core::ConfidenceEstimator;
+use cira_predictor::{BranchPredictor, HistoryRegister};
+use cira_trace::BranchRecord;
+
+/// Cost parameters of the dual-path machine model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualPathConfig {
+    /// Cycles of useful work per dynamic branch (inter-branch run length).
+    pub cycles_per_branch: f64,
+    /// Flush penalty of an uncovered misprediction, in cycles.
+    pub mispredict_penalty: f64,
+    /// Extra cycles of fetch/execute bandwidth consumed per fork.
+    pub fork_overhead: f64,
+    /// Maximum simultaneous alternate-path threads (the paper limits the
+    /// machine to two threads total, i.e. one fork).
+    pub max_live_forks: u32,
+    /// Branches until a fork resolves and its slot frees.
+    pub fork_resolve_branches: u32,
+}
+
+impl Default for DualPathConfig {
+    fn default() -> Self {
+        Self {
+            cycles_per_branch: 5.0,
+            mispredict_penalty: 12.0,
+            fork_overhead: 1.5,
+            max_live_forks: 1,
+            fork_resolve_branches: 2,
+        }
+    }
+}
+
+/// Outcome of a dual-path simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DualPathReport {
+    /// Dynamic branches simulated.
+    pub branches: u64,
+    /// Total mispredictions of the underlying predictor.
+    pub mispredicts: u64,
+    /// Forks issued (low-confidence predictions with a free slot).
+    pub forks: u64,
+    /// Mispredictions covered by a live fork (penalty avoided).
+    pub covered_mispredicts: u64,
+    /// Forks whose slot was busy when requested (lost opportunities).
+    pub fork_slot_misses: u64,
+    /// Cycles of the baseline machine (no forking).
+    pub baseline_cycles: f64,
+    /// Cycles of the dual-path machine.
+    pub dual_path_cycles: f64,
+}
+
+impl DualPathReport {
+    /// Fraction of all predictions that triggered a fork.
+    pub fn fork_rate(&self) -> f64 {
+        ratio(self.forks, self.branches)
+    }
+
+    /// Fraction of mispredictions covered by a fork.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.covered_mispredicts, self.mispredicts)
+    }
+
+    /// Baseline cycles / dual-path cycles (> 1 means forking won).
+    pub fn speedup(&self) -> f64 {
+        if self.dual_path_cycles > 0.0 {
+            self.baseline_cycles / self.dual_path_cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Runs the dual-path model over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use cira_apps::dual_path::{simulate_dual_path, DualPathConfig};
+/// use cira_core::one_level::ResettingConfidence;
+/// use cira_core::{IndexSpec, LowRule, ThresholdEstimator};
+/// use cira_predictor::Gshare;
+/// use cira_trace::suite::ibs_like_suite;
+///
+/// let bench = &ibs_like_suite()[0];
+/// let mut predictor = Gshare::new(12, 12);
+/// let mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+/// let mut est = ThresholdEstimator::new(mech, LowRule::KeyBelow(16));
+/// let report = simulate_dual_path(
+///     bench.walker().take(50_000),
+///     &mut predictor,
+///     &mut est,
+///     DualPathConfig::default(),
+/// );
+/// assert!(report.speedup() > 1.0); // forking on low confidence pays off
+/// ```
+pub fn simulate_dual_path<P, E, T>(
+    trace: T,
+    predictor: &mut P,
+    estimator: &mut E,
+    config: DualPathConfig,
+) -> DualPathReport
+where
+    P: BranchPredictor,
+    E: ConfidenceEstimator,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(64);
+    let mut report = DualPathReport::default();
+    // Live forks, as branches-remaining-until-resolution.
+    let mut live: Vec<u32> = Vec::new();
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let correct = predicted == r.taken;
+        let confidence = estimator.estimate(r.pc, h);
+
+        report.branches += 1;
+        report.baseline_cycles += config.cycles_per_branch;
+        report.dual_path_cycles += config.cycles_per_branch;
+
+        // Age out resolved forks.
+        live.retain_mut(|left| {
+            *left -= 1;
+            *left > 0
+        });
+
+        let mut forked = false;
+        if confidence.is_low() {
+            if (live.len() as u32) < config.max_live_forks {
+                live.push(config.fork_resolve_branches);
+                report.forks += 1;
+                report.dual_path_cycles += config.fork_overhead;
+                forked = true;
+            } else {
+                report.fork_slot_misses += 1;
+            }
+        }
+
+        if !correct {
+            report.mispredicts += 1;
+            report.baseline_cycles += config.mispredict_penalty;
+            if forked {
+                // The alternate path is already fetching: the flush penalty
+                // is avoided (the fork's overhead was already charged).
+                report.covered_mispredicts += 1;
+            } else {
+                report.dual_path_cycles += config.mispredict_penalty;
+            }
+        }
+
+        estimator.update(r.pc, h, correct);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_core::one_level::ResettingConfidence;
+    use cira_core::{IndexSpec, LowRule, ThresholdEstimator};
+    use cira_predictor::Gshare;
+    use cira_trace::suite::ibs_like_suite;
+
+    fn run(threshold: u64, max_forks: u32) -> DualPathReport {
+        let bench = &ibs_like_suite()[0];
+        let mut predictor = Gshare::new(12, 12);
+        let mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+        let mut est = ThresholdEstimator::new(mech, LowRule::KeyBelow(threshold));
+        simulate_dual_path(
+            bench.walker().take(60_000),
+            &mut predictor,
+            &mut est,
+            DualPathConfig {
+                max_live_forks: max_forks,
+                ..DualPathConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn forking_on_low_confidence_beats_baseline() {
+        // A selective threshold: fork only right after recent mispredictions.
+        let report = run(4, 1);
+        assert!(report.mispredicts > 0);
+        assert!(report.forks > 0);
+        assert!(report.coverage() > 0.25, "coverage {}", report.coverage());
+        assert!(report.speedup() > 1.0, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn zero_threshold_never_forks() {
+        let report = run(0, 1);
+        assert_eq!(report.forks, 0);
+        assert_eq!(report.covered_mispredicts, 0);
+        assert!((report.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_fork_slots_cover_more() {
+        let one = run(16, 1);
+        let four = run(16, 4);
+        assert!(four.coverage() >= one.coverage());
+        assert!(four.forks >= one.forks);
+    }
+
+    #[test]
+    fn aggressive_threshold_forks_more_but_wastes() {
+        let tight = run(1, 1);
+        let loose = run(16, 1);
+        assert!(loose.fork_rate() > tight.fork_rate());
+        // The tight threshold forks rarely but each fork is more likely
+        // to cover a misprediction (higher precision).
+        let tight_precision = ratio(tight.covered_mispredicts, tight.forks.max(1));
+        let loose_precision = ratio(loose.covered_mispredicts, loose.forks.max(1));
+        assert!(
+            tight_precision > loose_precision,
+            "tight {tight_precision} vs loose {loose_precision}"
+        );
+    }
+
+    #[test]
+    fn report_ratios_handle_empty() {
+        let r = DualPathReport::default();
+        assert_eq!(r.fork_rate(), 0.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # cira-apps
+//!
+//! The four applications of branch confidence that motivate the paper
+//! (§1), each built as a simulation model on the `cira` stack:
+//!
+//! 1. [`dual_path`] — selective dual-path execution: fork an alternate
+//!    thread after low-confidence predictions only.
+//! 2. [`smt_fetch`] — SMT fetch gating: give fetch priority to threads
+//!    whose outstanding predictions are high-confidence.
+//! 3. [`hybrid_selector`] — a hybrid-predictor selector driven by explicit
+//!    per-component confidence instead of an ad-hoc chooser.
+//! 4. [`reverser`] — invert predictions whose estimated accuracy is below
+//!    50%.
+//!
+//! Plus the canonical follow-on that §6's "we are currently investigating"
+//! grew into:
+//!
+//! 5. [`pipeline`] — pipeline gating (Manne/Klauser/Grunwald, ISCA 1998):
+//!    stall fetch behind too many unresolved low-confidence branches,
+//!    trading a little IPC for a large cut in wasted wrong-path work.
+//!
+//! These are *models* in the sense the paper uses them: cost accounting
+//! over a branch trace, precise enough to compare policies, not
+//! cycle-accurate pipelines. The paper explicitly defers detailed
+//! application studies to follow-on work ("a performance/simulation model
+//! of the application … would have to be used to determine actual
+//! performance impact", §5.3); these modules are that starting point.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dual_path;
+pub mod hybrid_selector;
+pub mod pipeline;
+pub mod reverser;
+pub mod smt_fetch;
+
+pub use dual_path::{simulate_dual_path, DualPathConfig, DualPathReport};
+pub use hybrid_selector::ConfidenceSelector;
+pub use pipeline::{simulate_pipeline, GatePolicy, PipelineConfig, PipelineReport};
+pub use reverser::{calibrate_reversal_keys, simulate_reverser, ReverserReport};
+pub use smt_fetch::{simulate_smt_fetch, FetchPolicy, SmtConfig, SmtReport, ThreadSpec};

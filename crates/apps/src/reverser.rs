@@ -1,0 +1,224 @@
+//! Application 4 (§1): the **branch prediction reverser**.
+//!
+//! If a confidence mechanism can identify predictions whose accuracy is
+//! below 50%, inverting those predictions raises overall accuracy. The
+//! paper is cautious about this application: the threshold must sit at
+//! ≈50% *accuracy*, and the open question is whether predictor + reverser
+//! beats simply building a better predictor.
+//!
+//! [`calibrate_reversal_keys`] performs the profiling step (find the keys
+//! whose measured misprediction rate exceeds 50%), and
+//! [`simulate_reverser`] measures the accuracy effect of reversing them.
+
+use std::collections::HashSet;
+
+use cira_analysis::runner::collect_mechanism_buckets;
+use cira_analysis::BucketStats;
+use cira_core::ConfidenceMechanism;
+use cira_predictor::{BranchPredictor, HistoryRegister};
+use cira_trace::BranchRecord;
+
+/// Result of a reverser run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReverserReport {
+    /// Dynamic branches simulated.
+    pub branches: u64,
+    /// Mispredictions of the plain predictor.
+    pub base_mispredicts: u64,
+    /// Mispredictions after reversal.
+    pub reversed_mispredicts: u64,
+    /// Predictions that were reversed.
+    pub reversals: u64,
+    /// Reversals that fixed a would-be misprediction.
+    pub good_reversals: u64,
+    /// Reversals that broke a would-be correct prediction.
+    pub bad_reversals: u64,
+}
+
+impl ReverserReport {
+    /// Misprediction rate without reversal.
+    pub fn base_rate(&self) -> f64 {
+        ratio(self.base_mispredicts, self.branches)
+    }
+
+    /// Misprediction rate with reversal.
+    pub fn reversed_rate(&self) -> f64 {
+        ratio(self.reversed_mispredicts, self.branches)
+    }
+
+    /// Net mispredictions removed (negative if reversal hurt).
+    pub fn net_gain(&self) -> i64 {
+        self.base_mispredicts as i64 - self.reversed_mispredicts as i64
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Profiling pass: runs the mechanism over a trace and returns the keys
+/// whose misprediction rate exceeds `threshold` (0.5 for the reverser),
+/// together with the bucket statistics.
+pub fn calibrate_reversal_keys<P, M, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanism: &mut M,
+    threshold: f64,
+) -> (HashSet<u64>, BucketStats)
+where
+    P: BranchPredictor,
+    M: ConfidenceMechanism,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let stats = collect_mechanism_buckets(trace, predictor, mechanism);
+    let keys = stats
+        .iter()
+        .filter(|(_, cell)| cell.miss_rate() > threshold)
+        .map(|(k, _)| k)
+        .collect();
+    (keys, stats)
+}
+
+/// Measurement pass: re-runs a (fresh) predictor and mechanism, inverting
+/// every prediction whose current key is in `reverse_keys`.
+pub fn simulate_reverser<P, M, T>(
+    trace: T,
+    predictor: &mut P,
+    mechanism: &mut M,
+    reverse_keys: &HashSet<u64>,
+) -> ReverserReport
+where
+    P: BranchPredictor,
+    M: ConfidenceMechanism,
+    T: IntoIterator<Item = BranchRecord>,
+{
+    let mut bhr = HistoryRegister::new(64);
+    let mut report = ReverserReport::default();
+    for r in trace {
+        let h = bhr.value();
+        let predicted = predictor.predict(r.pc, h);
+        let key = mechanism.read_key(r.pc, h);
+        let reverse = reverse_keys.contains(&key);
+        let emitted = predicted != reverse;
+        let base_correct = predicted == r.taken;
+        let emitted_correct = emitted == r.taken;
+
+        report.branches += 1;
+        report.base_mispredicts += !base_correct as u64;
+        report.reversed_mispredicts += !emitted_correct as u64;
+        if reverse {
+            report.reversals += 1;
+            if !base_correct {
+                report.good_reversals += 1;
+            } else {
+                report.bad_reversals += 1;
+            }
+        }
+
+        // The confidence structures track the *predictor's* correctness,
+        // exactly as in the non-reversing configuration.
+        mechanism.update(r.pc, h, base_correct);
+        predictor.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_core::one_level::{OneLevelCir, ResettingConfidence};
+    use cira_core::{IndexSpec, InitPolicy};
+    use cira_predictor::{Gshare, StaticDirection};
+    use cira_trace::suite::ibs_like_suite;
+
+    #[test]
+    fn calibration_finds_high_miss_keys() {
+        // An always-taken predictor on an alternating branch: every other
+        // prediction wrong; a per-entry CIR mechanism splits the stream
+        // into keys with very different rates.
+        let trace: Vec<_> = (0..4000u64)
+            .map(|i| BranchRecord::new(0x40, i % 2 == 0))
+            .collect();
+        let mut mech = OneLevelCir::new(IndexSpec::bhr(8), 8, InitPolicy::AllZeros);
+        let (keys, stats) = calibrate_reversal_keys(
+            trace.iter().copied(),
+            &mut StaticDirection::always_taken(),
+            &mut mech,
+            0.5,
+        );
+        assert!((stats.miss_rate() - 0.5).abs() < 0.01);
+        assert!(!keys.is_empty(), "some contexts must be >50% mispredicted");
+    }
+
+    #[test]
+    fn reversal_helps_when_keys_are_reliable() {
+        let trace: Vec<_> = (0..4000u64)
+            .map(|i| BranchRecord::new(0x40, i % 2 == 0))
+            .collect();
+        let (keys, _) = calibrate_reversal_keys(
+            trace.iter().copied(),
+            &mut StaticDirection::always_taken(),
+            &mut OneLevelCir::new(IndexSpec::bhr(8), 8, InitPolicy::AllZeros),
+            0.5,
+        );
+        let report = simulate_reverser(
+            trace.iter().copied(),
+            &mut StaticDirection::always_taken(),
+            &mut OneLevelCir::new(IndexSpec::bhr(8), 8, InitPolicy::AllZeros),
+            &keys,
+        );
+        assert!(report.net_gain() > 0, "net gain {}", report.net_gain());
+        assert!(report.reversed_rate() < report.base_rate());
+        assert!(report.good_reversals > report.bad_reversals);
+    }
+
+    #[test]
+    fn empty_key_set_changes_nothing() {
+        let bench = &ibs_like_suite()[3];
+        let mut predictor = Gshare::new(10, 10);
+        let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(10));
+        let report = simulate_reverser(
+            bench.walker().take(20_000),
+            &mut predictor,
+            &mut mech,
+            &HashSet::new(),
+        );
+        assert_eq!(report.reversals, 0);
+        assert_eq!(report.base_mispredicts, report.reversed_mispredicts);
+    }
+
+    #[test]
+    fn gshare_resetting_counters_rarely_cross_fifty_percent() {
+        // The paper's caution: with a good predictor, even the lowest
+        // counter bucket usually sits below 50% misprediction, so the
+        // reverser finds little to reverse.
+        let bench = &ibs_like_suite()[0];
+        let mut predictor = Gshare::paper_small();
+        let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+        let (keys, stats) =
+            calibrate_reversal_keys(bench.walker().take(100_000), &mut predictor, &mut mech, 0.5);
+        let reversible: f64 = keys
+            .iter()
+            .filter_map(|k| stats.cell(*k))
+            .map(|c| c.refs)
+            .sum();
+        assert!(
+            reversible / stats.total_refs() < 0.05,
+            "counter buckets above 50% should be rare: {}",
+            reversible / stats.total_refs()
+        );
+    }
+
+    #[test]
+    fn report_ratios_handle_empty() {
+        let r = ReverserReport::default();
+        assert_eq!(r.base_rate(), 0.0);
+        assert_eq!(r.reversed_rate(), 0.0);
+        assert_eq!(r.net_gain(), 0);
+    }
+}

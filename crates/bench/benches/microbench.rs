@@ -1,0 +1,178 @@
+//! Criterion microbenchmarks quantifying the §5 cost arguments:
+//! throughput of the predictors, of the confidence-table organizations
+//! (full CIR vs counter-compressed), the two-level overhead, trace
+//! generation, and the trace codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cira_analysis::runner::collect_mechanism_buckets;
+use cira_core::one_level::{OneLevelCir, ResettingConfidence, SaturatingConfidence};
+use cira_core::two_level::TwoLevelCir;
+use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+use cira_predictor::{Bimodal, BranchPredictor, Gshare, HistoryRegister, Hybrid};
+use cira_trace::suite::ibs_like_suite;
+use cira_trace::{codec, BranchRecord};
+
+fn bench_trace(n: usize) -> Vec<BranchRecord> {
+    ibs_like_suite()[0].walker().take(n).collect()
+}
+
+fn drive_predictor<P: BranchPredictor>(trace: &[BranchRecord], p: &mut P) -> u64 {
+    let mut bhr = HistoryRegister::new(64);
+    let mut miss = 0u64;
+    for r in trace {
+        let h = bhr.value();
+        if p.predict(r.pc, h) != r.taken {
+            miss += 1;
+        }
+        p.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    miss
+}
+
+fn predictors(c: &mut Criterion) {
+    let trace = bench_trace(100_000);
+    let mut group = c.benchmark_group("predictor");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("gshare_64k", |b| {
+        b.iter(|| drive_predictor(&trace, &mut Gshare::paper_large()))
+    });
+    group.bench_function("gshare_4k", |b| {
+        b.iter(|| drive_predictor(&trace, &mut Gshare::paper_small()))
+    });
+    group.bench_function("bimodal_4k", |b| {
+        b.iter(|| drive_predictor(&trace, &mut Bimodal::new(12)))
+    });
+    group.bench_function("hybrid_gshare_bimodal", |b| {
+        b.iter(|| {
+            drive_predictor(
+                &trace,
+                &mut Hybrid::new(Gshare::new(12, 12), Bimodal::new(12), 12),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn drive_mechanism<M: ConfidenceMechanism>(trace: &[BranchRecord], m: &mut M) -> u64 {
+    // Confidence structures see (pc, bhr, correct); take correctness from
+    // the record's direction so only the mechanism's own cost is measured.
+    let mut bhr = HistoryRegister::new(64);
+    let mut acc = 0u64;
+    for r in trace {
+        let h = bhr.value();
+        acc = acc.wrapping_add(m.read_key(r.pc, h));
+        m.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    acc
+}
+
+fn mechanisms(c: &mut Criterion) {
+    let trace = bench_trace(100_000);
+    let mut group = c.benchmark_group("confidence_mechanism");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("one_level_cir_16b", |b| {
+        b.iter(|| {
+            drive_mechanism(
+                &trace,
+                &mut OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16)),
+            )
+        })
+    });
+    group.bench_function("resetting_counters", |b| {
+        b.iter(|| {
+            drive_mechanism(
+                &trace,
+                &mut ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16)),
+            )
+        })
+    });
+    group.bench_function("saturating_counters", |b| {
+        b.iter(|| {
+            drive_mechanism(
+                &trace,
+                &mut SaturatingConfidence::paper_default(IndexSpec::pc_xor_bhr(16)),
+            )
+        })
+    });
+    group.bench_function("two_level", |b| {
+        b.iter(|| drive_mechanism(&trace, &mut TwoLevelCir::variant_pcxorbhr_cir()))
+    });
+    group.finish();
+}
+
+fn table_sizes(c: &mut Criterion) {
+    let trace = bench_trace(50_000);
+    let mut group = c.benchmark_group("ct_size_sweep");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for bits in [7u32, 10, 12, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1u32 << bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| {
+                    drive_mechanism(
+                        &trace,
+                        &mut ResettingConfidence::new(
+                            IndexSpec::pc_xor_bhr(bits),
+                            16,
+                            InitPolicy::AllOnes,
+                        ),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn generation_and_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(50_000));
+    let bench = ibs_like_suite().remove(0);
+    group.bench_function("generate_50k", |b| {
+        b.iter(|| bench.walker().take(50_000).count())
+    });
+    let records = bench_trace(50_000);
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(records.len() * 2);
+            codec::write_trace(&mut buf, records.iter().copied()).unwrap();
+            buf.len()
+        })
+    });
+    let mut encoded = Vec::new();
+    codec::write_trace(&mut encoded, records.iter().copied()).unwrap();
+    group.bench_function("decode_50k", |b| {
+        b.iter(|| codec::read_trace(&encoded[..]).unwrap().len())
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    let bench = ibs_like_suite().remove(0);
+    group.bench_function("predictor_plus_confidence_100k", |b| {
+        b.iter(|| {
+            let mut predictor = Gshare::paper_large();
+            let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16));
+            collect_mechanism_buckets(bench.walker().take(100_000), &mut predictor, &mut mech)
+                .total_mispredicts()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    predictors,
+    mechanisms,
+    table_sizes,
+    generation_and_codec,
+    end_to_end
+);
+criterion_main!(benches);

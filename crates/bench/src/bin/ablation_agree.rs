@@ -1,0 +1,85 @@
+//! Ablation: does anti-aliasing prediction (the agree predictor, ISCA
+//! 1997) recover the small-table losses of §5.3?
+//!
+//! The paper attributes the 4K predictor's 8.6% misprediction rate — and
+//! the weaker confidence performance on top of it — to aliasing. The agree
+//! predictor converts destructive aliasing into (mostly) constructive
+//! aliasing via per-branch bias bits. This ablation compares the two at
+//! both table sizes, with jackknife error bars across the suite, and then
+//! checks how much of the confidence-table performance returns.
+
+use cira_analysis::metrics::jackknife;
+use cira_analysis::suite_run::{run_suite_mechanism, run_suite_predictor};
+use cira_bench::{banner, trace_len};
+use cira_core::one_level::ResettingConfidence;
+use cira_core::{IndexSpec, InitPolicy};
+use cira_predictor::{Agree, Gshare};
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Ablation: agree predictor vs aliasing",
+        "gshare vs agree at 64K and 4K; does fixing aliasing fix small-table confidence?",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    println!("{:<24} {:>16}", "predictor", "miss rate ± se");
+    for (name, runs) in [
+        (
+            "gshare 64K",
+            run_suite_predictor(&suite, len, Gshare::paper_large),
+        ),
+        (
+            "agree 64K",
+            run_suite_predictor(&suite, len, || Agree::new(16, 16, 16)),
+        ),
+        (
+            "gshare 4K",
+            run_suite_predictor(&suite, len, Gshare::paper_small),
+        ),
+        (
+            "agree 4K",
+            run_suite_predictor(&suite, len, || Agree::new(12, 12, 12)),
+        ),
+    ] {
+        let rates: Vec<f64> = runs.iter().map(|(_, r)| 100.0 * r.miss_rate()).collect();
+        let (mean, se) = jackknife(&rates);
+        println!("{name:<24} {mean:>9.2}% ± {se:.2}");
+    }
+
+    println!();
+    println!("confidence on top (resetting counters, PC xor BHR, CT = predictor size):");
+    println!("{:<24} {:>20}", "configuration", "coverage@20% ± se");
+    for (name, result) in [
+        (
+            "gshare 4K + CT 4K",
+            run_suite_mechanism(&suite, len, Gshare::paper_small, || {
+                ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes)
+            }),
+        ),
+        (
+            "agree 4K + CT 4K",
+            run_suite_mechanism(
+                &suite,
+                len,
+                || Agree::new(12, 12, 12),
+                || ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes),
+            ),
+        ),
+    ] {
+        let per: Vec<f64> = result
+            .per_benchmark
+            .iter()
+            .map(|(_, s)| cira_analysis::CoverageCurve::from_buckets(s).coverage_at(20.0))
+            .collect();
+        let (mean, se) = jackknife(&per);
+        println!("{name:<24} {mean:>16.1}% ± {se:.1}");
+    }
+    println!();
+    println!(
+        "reading: if agree closes part of the gshare 64K->4K gap, aliasing is confirmed\n\
+         as the §5.3 culprit; the confidence table's own aliasing remains either way"
+    );
+}

@@ -1,0 +1,82 @@
+//! Ablation: context-switch flushing of the confidence tables (§5.4).
+//!
+//! The paper studies initial CT values because "it takes a long time for
+//! the tables to build up history", mentions flushing at context switches
+//! as the motivating scenario, and *conjectures* that leaving the CIRs in
+//! place except for setting the oldest bit ("lastbit") "would tend to
+//! simplify the initialization hardware and provide good performance".
+//! The paper did not run that experiment; this ablation does.
+//!
+//! Setup: the best one-level method (PC⊕BHR, 2^16 × 16-bit CIRs, ideal
+//! reduction), flushed every `interval` branches with each initialization
+//! policy, across the suite.
+
+use cira_analysis::runner::collect_mechanism_buckets_with_flush;
+use cira_analysis::{BucketStats, CoverageCurve};
+use cira_bench::{banner, trace_len};
+use cira_core::one_level::OneLevelCir;
+use cira_core::{IndexSpec, InitPolicy};
+use cira_predictor::Gshare;
+use cira_trace::suite::{ibs_like_suite, Benchmark};
+
+fn run_config(suite: &[Benchmark], len: u64, init: InitPolicy, interval: u64) -> f64 {
+    let per: Vec<BucketStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = suite
+            .iter()
+            .map(|bench| {
+                scope.spawn(move || {
+                    let mut predictor = Gshare::paper_large();
+                    let mut mech = OneLevelCir::new(IndexSpec::pc_xor_bhr(16), 16, init);
+                    collect_mechanism_buckets_with_flush(
+                        bench.walker().take(len as usize),
+                        &mut predictor,
+                        &mut mech,
+                        interval,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let combined = BucketStats::combine_equal_weight(per.iter());
+    CoverageCurve::from_buckets(&combined).coverage_at(20.0)
+}
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Ablation: context-switch flushing",
+        "Flush the CT every N branches with each init policy; coverage at the 20% budget",
+        len,
+    );
+    let suite = ibs_like_suite();
+    let intervals = [10_000u64, 50_000, 250_000, u64::MAX];
+    let policies = [
+        ("ones", InitPolicy::AllOnes),
+        ("zeros", InitPolicy::AllZeros),
+        ("lastbit", InitPolicy::LastBit),
+    ];
+
+    print!("{:<10}", "init");
+    for &i in &intervals {
+        if i == u64::MAX {
+            print!(" {:>12}", "no flush");
+        } else {
+            print!(" {:>12}", i);
+        }
+    }
+    println!();
+    for (name, policy) in policies {
+        print!("{name:<10}");
+        for &interval in &intervals {
+            let cov = run_config(&suite, len, policy, interval);
+            print!(" {cov:>11.1}%");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "paper conjecture (§5.4): lastbit-on-flush should perform like full all-ones\n\
+         reinitialization while needing far simpler hardware"
+    );
+}

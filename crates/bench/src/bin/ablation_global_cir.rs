@@ -1,0 +1,51 @@
+//! Ablation: indexing with the global CIR.
+//!
+//! §3.1 reports that "indexing with a global CIR is of little value — it
+//! gives low performance when used alone and typically reduces performance
+//! when added to the others". This ablation regenerates that claim.
+
+use cira_bench::{banner, run_figure, trace_len};
+use cira_core::index::{Combine, IndexSource};
+use cira_core::one_level::OneLevelCir;
+use cira_core::{ConfidenceMechanism, IndexSpec};
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Ablation: global CIR indexing",
+        "Global CIR alone, and PC xor BHR with/without the global CIR mixed in",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    let results = run_figure(
+        "ablation_global_cir",
+        &suite,
+        len,
+        Gshare::paper_large,
+        &["GCIR alone", "BHRxorPC", "BHRxorPCxorGCIR"],
+        || {
+            vec![
+                Box::new(OneLevelCir::paper_default(IndexSpec::global_cir(16)))
+                    as Box<dyn ConfidenceMechanism>,
+                Box::new(OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))),
+                Box::new(OneLevelCir::paper_default(IndexSpec::new(
+                    vec![IndexSource::Pc, IndexSource::Bhr, IndexSource::GlobalCir],
+                    Combine::Xor,
+                    16,
+                ))),
+            ]
+        },
+        &[],
+    );
+    let alone = results[0].curve().coverage_at(20.0);
+    let base = results[1].curve().coverage_at(20.0);
+    let mixed = results[2].curve().coverage_at(20.0);
+    println!();
+    println!(
+        "at 20%: GCIR alone {alone:.1}%, BHRxorPC {base:.1}%, +GCIR {mixed:.1}% \
+         (paper: GCIR alone is poor and adding it typically hurts)"
+    );
+}

@@ -1,0 +1,41 @@
+//! Ablation: XOR vs concatenation of the PC/BHR index sub-fields.
+//!
+//! §3.1 reports (without a figure) that "exclusive-ORing is more effective
+//! than concatenating sub-fields" for CIR-table indexing, mirroring
+//! gshare-vs-gselect for prediction. This ablation regenerates that claim.
+
+use cira_bench::{banner, run_figure, trace_len};
+use cira_core::one_level::OneLevelCir;
+use cira_core::{ConfidenceMechanism, IndexSpec};
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Ablation: index composition",
+        "One-level CIR table indexed by PC xor BHR vs PC || BHR (concatenated sub-fields)",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    let results = run_figure(
+        "ablation_index_hash",
+        &suite,
+        len,
+        Gshare::paper_large,
+        &["BHRxorPC", "PC||BHR"],
+        || {
+            vec![
+                Box::new(OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16)))
+                    as Box<dyn ConfidenceMechanism>,
+                Box::new(OneLevelCir::paper_default(IndexSpec::pc_concat_bhr(16))),
+            ]
+        },
+        &[],
+    );
+    let xor = results[0].curve().coverage_at(20.0);
+    let cat = results[1].curve().coverage_at(20.0);
+    println!();
+    println!("at 20%: xor {xor:.1}% vs concat {cat:.1}% (paper: xor more effective)");
+}

@@ -1,0 +1,50 @@
+//! Calibration: per-benchmark gshare misprediction rates.
+//!
+//! Reproduces the paper's predictor operating points:
+//!
+//! * §1.2 / §4: gshare with 2^16 two-bit counters and 16-bit history —
+//!   overall misprediction rate **3.85%** on IBS (equal weighting).
+//! * §5.3: gshare with 4K counters and 12-bit history — **8.6%**.
+//!
+//! Also verifies the Fig. 9 ordering: `jpeg` best, `gcc` worst.
+
+use cira_analysis::suite_run::run_suite_predictor;
+use cira_bench::{banner, trace_len};
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "calibration",
+        "Per-benchmark gshare misprediction rates (paper: 3.85% large / 8.6% small)",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    let large = run_suite_predictor(&suite, len, Gshare::paper_large);
+    let small = run_suite_predictor(&suite, len, Gshare::paper_small);
+
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "benchmark", "gshare 64K (%)", "gshare 4K (%)"
+    );
+    let mut sum_large = 0.0;
+    let mut sum_small = 0.0;
+    for ((name, l), (_, s)) in large.iter().zip(&small) {
+        println!(
+            "{:<12} {:>14.2} {:>14.2}",
+            name,
+            100.0 * l.miss_rate(),
+            100.0 * s.miss_rate()
+        );
+        sum_large += l.miss_rate();
+        sum_small += s.miss_rate();
+    }
+    let avg_large = 100.0 * sum_large / large.len() as f64;
+    let avg_small = 100.0 * sum_small / small.len() as f64;
+    println!("{:-<42}", "");
+    println!("{:<12} {:>14.2} {:>14.2}", "average", avg_large, avg_small);
+    println!();
+    println!("paper        {:>14} {:>14}", "3.85", "8.60");
+}

@@ -1,0 +1,43 @@
+//! Figure 2: cumulative mispredictions vs. cumulative dynamic branches for
+//! the idealized **static** (perfect-profile) confidence method (§2).
+//!
+//! Paper observations to reproduce:
+//! * a marked point at (25.2% of dynamic branches, 70.6% of mispredictions);
+//! * ≈63% of mispredictions concentrated in 20% of dynamic branches;
+//! * a gentle knee compared with the dynamic methods of Fig. 5.
+
+use cira_analysis::export::format_points;
+use cira_analysis::suite_run::run_suite_static;
+use cira_bench::{banner, report_curves, trace_len};
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Figure 2",
+        "Static (perfect-profile) confidence: sorted static branches, worst first",
+        len,
+    );
+    let suite = ibs_like_suite();
+    let result = run_suite_static(&suite, len, Gshare::paper_large);
+    let curve = result.curve();
+
+    println!(
+        "static branches profiled: {}",
+        result.combined.distinct_keys()
+    );
+    println!(
+        "paper reference point (25.2, 70.6); measured at 25.2% -> {:.1}%",
+        curve.coverage_at(25.2)
+    );
+    println!(
+        "paper: ~63% of mispredictions at 20%; measured {:.1}%",
+        curve.coverage_at(20.0)
+    );
+    println!();
+    println!("thinned curve points (2.5% spacing):");
+    println!("{}", format_points(&curve.thinned(2.5)));
+
+    report_curves("fig02_static", &[("static".to_string(), curve)]);
+}

@@ -1,0 +1,55 @@
+//! Figure 9: per-benchmark variation — the best (jpeg) and worst (gcc)
+//! IBS benchmarks under the best one-level method with ideal reduction.
+//!
+//! Paper observations to reproduce: considerable spread between benchmarks;
+//! the zero buckets hold similar *fractions of mispredictions* but very
+//! different numbers of branches.
+
+use cira_analysis::suite_run::run_suite_mechanism;
+use cira_bench::{banner, report_curves, trace_len, zero_bucket_line};
+use cira_core::one_level::OneLevelCir;
+use cira_core::IndexSpec;
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Figure 9",
+        "Best (jpeg) vs worst (gcc) benchmark, one-level PC xor BHR with ideal reduction",
+        len,
+    );
+    let suite = ibs_like_suite();
+    let out = run_suite_mechanism(&suite, len, Gshare::paper_large, || {
+        OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))
+    });
+
+    println!("per-benchmark coverage at a 20% branch budget:");
+    for (name, stats) in &out.per_benchmark {
+        let curve = cira_analysis::CoverageCurve::from_buckets(stats);
+        println!(
+            "  {:<12} miss {:5.2}%  coverage@20% {:5.1}%",
+            name,
+            100.0 * stats.miss_rate(),
+            curve.coverage_at(20.0)
+        );
+    }
+    println!();
+    for target in ["jpeg", "gcc"] {
+        let stats = &out
+            .per_benchmark
+            .iter()
+            .find(|(n, _)| n == target)
+            .expect("suite contains benchmark")
+            .1;
+        println!("{}", zero_bucket_line(target, stats, 0));
+    }
+
+    let jpeg = out.benchmark_curve("jpeg").expect("jpeg curve");
+    let gcc = out.benchmark_curve("gcc").expect("gcc curve");
+    println!();
+    report_curves(
+        "fig09_benchmarks",
+        &[("gcc".to_string(), gcc), ("jpeg".to_string(), jpeg)],
+    );
+}

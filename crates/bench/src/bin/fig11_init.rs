@@ -1,0 +1,44 @@
+//! Figure 11: the effect of CT initialization (§5.4) — the best one-level
+//! method (PC⊕BHR, 2^16 × 16-bit CIRs) with ideal reduction, initialized
+//! all-ones, all-zeros, lastbit, and random.
+//!
+//! Paper observations to reproduce: ones ≈ random ≈ lastbit, all clearly
+//! better than all-zeros (which assigns high confidence to cold entries,
+//! exactly when mispredictions are most likely).
+
+use cira_bench::{banner, run_figure, trace_len};
+use cira_core::one_level::OneLevelCir;
+use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Figure 11",
+        "CT initialization policies: ones vs zeros vs lastbit vs random",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    run_figure(
+        "fig11_init",
+        &suite,
+        len,
+        Gshare::paper_large,
+        &["one", "zero", "lastbit", "random"],
+        || {
+            let idx = IndexSpec::pc_xor_bhr(16);
+            vec![
+                Box::new(OneLevelCir::new(idx.clone(), 16, InitPolicy::AllOnes))
+                    as Box<dyn ConfidenceMechanism>,
+                Box::new(OneLevelCir::new(idx.clone(), 16, InitPolicy::AllZeros)),
+                Box::new(OneLevelCir::new(idx.clone(), 16, InitPolicy::LastBit)),
+                Box::new(OneLevelCir::new(idx, 16, InitPolicy::Random(0xC1AA))),
+            ]
+        },
+        &[],
+    );
+    println!();
+    println!("paper: one / random / lastbit perform similarly; zero is clearly worse");
+}

@@ -1,0 +1,68 @@
+//! Diagnostic probe: splits each benchmark's misprediction rate into user
+//! and kernel components at both predictor sizes. Not part of the paper's
+//! experiment set; used while calibrating the workload profiles.
+
+use cira_predictor::{BranchPredictor, Gshare, HistoryRegister};
+use cira_trace::suite::ibs_like_suite;
+
+struct Split {
+    user_n: u64,
+    user_miss: u64,
+    kern_n: u64,
+    kern_miss: u64,
+}
+
+fn run_split<P: BranchPredictor>(
+    trace: impl Iterator<Item = cira_trace::BranchRecord>,
+    p: &mut P,
+    kernel_start: u64,
+) -> Split {
+    let mut bhr = HistoryRegister::new(64);
+    let mut s = Split {
+        user_n: 0,
+        user_miss: 0,
+        kern_n: 0,
+        kern_miss: 0,
+    };
+    for r in trace {
+        let h = bhr.value();
+        let miss = p.predict(r.pc, h) != r.taken;
+        if r.pc >= kernel_start {
+            s.kern_n += 1;
+            s.kern_miss += miss as u64;
+        } else {
+            s.user_n += 1;
+            s.user_miss += miss as u64;
+        }
+        p.update(r.pc, h, r.taken);
+        bhr.push(r.taken);
+    }
+    s
+}
+
+fn pct(a: u64, b: u64) -> f64 {
+    100.0 * a as f64 / b.max(1) as f64
+}
+
+fn main() {
+    let len: usize = 1_000_000;
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "kshare%", "u16", "k16", "u12", "k12", "tot16"
+    );
+    for bench in ibs_like_suite().iter() {
+        let ks = bench.kernel_start_pc();
+        let g16 = run_split(bench.walker().take(len), &mut Gshare::new(16, 16), ks);
+        let g12 = run_split(bench.walker().take(len), &mut Gshare::new(12, 12), ks);
+        println!(
+            "{:<12} {:>7.1} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            bench.name(),
+            pct(g16.kern_n, g16.kern_n + g16.user_n),
+            pct(g16.user_miss, g16.user_n),
+            pct(g16.kern_miss, g16.kern_n),
+            pct(g12.user_miss, g12.user_n),
+            pct(g12.kern_miss, g12.kern_n),
+            pct(g16.user_miss + g16.kern_miss, len as u64),
+        );
+    }
+}

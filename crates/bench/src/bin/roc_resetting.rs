@@ -1,0 +1,56 @@
+//! Operating-point sweep for the recommended practical design: every
+//! `counter < t` threshold of the resetting-counter estimator (the §5.2
+//! "threshold granularity" discussion, extended into a full ROC-style
+//! table with the Grunwald-style PVN/PVP/SPEC metrics).
+
+use cira_analysis::suite_run::run_suite_mechanism;
+use cira_analysis::{sweep_to_csv, threshold_sweep};
+use cira_bench::{banner, results_dir, trace_len};
+use cira_core::one_level::ResettingConfidence;
+use cira_core::IndexSpec;
+use cira_predictor::Gshare;
+use cira_trace::suite::ibs_like_suite;
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Threshold sweep (ROC)",
+        "All operating points of the resetting-counter estimator (PC xor BHR, 2^16 entries)",
+        len,
+    );
+    let suite = ibs_like_suite();
+    let out = run_suite_mechanism(&suite, len, Gshare::paper_large, || {
+        ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16))
+    });
+    let sweep = threshold_sweep(&out.combined, 16);
+
+    println!(
+        "{:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+        "threshold", "low set", "coverage", "PVN", "PVP", "SPEC"
+    );
+    for p in &sweep {
+        println!(
+            "{:>9} {:>8.1}% {:>8.1}% {:>7.3} {:>7.4} {:>7.3}",
+            p.threshold,
+            100.0 * p.low_fraction,
+            100.0 * p.coverage,
+            p.pvn,
+            p.pvp,
+            p.specificity
+        );
+    }
+
+    let path = results_dir().join("roc_resetting.csv");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&path, sweep_to_csv(&sweep)) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!();
+    println!(
+        "use: pick the threshold whose low-set size fits the application's \
+         resource budget (the paper's dual-path study uses ~20%)"
+    );
+}

@@ -1,0 +1,159 @@
+//! Smoke tests: every experiment binary runs to completion at reduced
+//! trace length and prints its key result markers.
+
+use std::process::Command;
+
+fn run(bin_path: &str, expect: &[&str]) {
+    let out = Command::new(bin_path)
+        .env("CIRA_TRACE_LEN", "4000")
+        .env(
+            "CIRA_RESULTS_DIR",
+            std::env::temp_dir().join("cira_smoke_results"),
+        )
+        .output()
+        .expect("binary launches");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "{bin_path} failed:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    for marker in expect {
+        assert!(
+            stdout.contains(marker),
+            "{bin_path}: missing {marker:?} in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn calibration_runs() {
+    run(
+        env!("CARGO_BIN_EXE_calibration"),
+        &["benchmark", "average", "paper"],
+    );
+}
+
+#[test]
+fn fig02_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig02_static"),
+        &["static branches profiled", "measured"],
+    );
+}
+
+#[test]
+fn fig05_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig05_one_level"),
+        &["BHRxorPC", "zero bucket", "paper at 20%"],
+    );
+}
+
+#[test]
+fn fig06_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig06_two_level"),
+        &["BHRxorPC-CIR", "static"],
+    );
+}
+
+#[test]
+fn fig07_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig07_compare"),
+        &["one-level", "two-level"],
+    );
+}
+
+#[test]
+fn fig08_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig08_reduction"),
+        &["BHRxorPC.Reset", "BHRxorPC.Sat", "zero bucket"],
+    );
+}
+
+#[test]
+fn table1_runs() {
+    run(
+        env!("CARGO_BIN_EXE_table1_resetting"),
+        &["Count", "counts 0..=15", "paper"],
+    );
+}
+
+#[test]
+fn fig09_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig09_benchmarks"),
+        &["jpeg", "gcc", "coverage@20%"],
+    );
+}
+
+#[test]
+fn fig10_runs() {
+    run(env!("CARGO_BIN_EXE_fig10_small_tables"), &["4096", "128"]);
+}
+
+#[test]
+fn fig11_runs() {
+    run(
+        env!("CARGO_BIN_EXE_fig11_init"),
+        &["one", "zero", "lastbit", "random"],
+    );
+}
+
+#[test]
+fn ablation_index_hash_runs() {
+    run(
+        env!("CARGO_BIN_EXE_ablation_index_hash"),
+        &["xor", "concat"],
+    );
+}
+
+#[test]
+fn ablation_global_cir_runs() {
+    run(env!("CARGO_BIN_EXE_ablation_global_cir"), &["GCIR"]);
+}
+
+#[test]
+fn ablation_counter_width_runs() {
+    run(
+        env!("CARGO_BIN_EXE_ablation_counter_width"),
+        &["max=4", "max=64"],
+    );
+}
+
+#[test]
+fn ablation_context_switch_runs() {
+    run(
+        env!("CARGO_BIN_EXE_ablation_context_switch"),
+        &["ones", "zeros", "lastbit", "no flush"],
+    );
+}
+
+#[test]
+fn ablation_agree_runs() {
+    run(
+        env!("CARGO_BIN_EXE_ablation_agree"),
+        &["gshare 4K", "agree 4K"],
+    );
+}
+
+#[test]
+fn roc_resetting_runs() {
+    run(env!("CARGO_BIN_EXE_roc_resetting"), &["threshold", "PVN"]);
+}
+
+#[test]
+fn pipeline_gating_runs() {
+    run(
+        env!("CARGO_BIN_EXE_pipeline_gating"),
+        &["never gate (baseline)", "no speculation"],
+    );
+}
+
+#[test]
+fn probe_runs() {
+    run(env!("CARGO_BIN_EXE_probe"), &["bench"]);
+}

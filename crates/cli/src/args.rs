@@ -1,0 +1,247 @@
+//! A small dependency-free argument parser for the `cira` CLI.
+//!
+//! Supports `--flag value`, `--flag=value`, boolean `--flag`, and
+//! positional arguments, with typed accessors and an unknown-flag check.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, Vec<String>>,
+}
+
+/// Errors raised while parsing or reading arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag that the command does not accept.
+    UnknownFlag(String),
+    /// A required flag was not supplied.
+    MissingFlag(&'static str),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Too many / too few positional arguments.
+    Positional(&'static str),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::UnknownFlag(name) => write!(f, "unknown flag --{name}"),
+            ArgsError::MissingFlag(name) => write!(f, "missing required flag --{name}"),
+            ArgsError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag}: expected {expected}, got {value:?}")
+            }
+            ArgsError::Positional(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program and subcommand names).
+    ///
+    /// Flags may take their value as the next token or after `=`. A flag
+    /// followed by another flag (or end of input) is boolean.
+    pub fn parse<I, S>(raw: I) -> Args
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = raw.into_iter().map(Into::into).collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(name) = t.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    args.flags
+                        .entry(k.to_owned())
+                        .or_default()
+                        .push(v.to_owned());
+                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.flags
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(tokens[i + 1].clone());
+                    i += 1;
+                } else {
+                    args.flags
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(String::new());
+                }
+            } else {
+                args.positional.push(t.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The single positional argument, if exactly one was given.
+    pub fn single_positional(&self, what: &'static str) -> Result<&str, ArgsError> {
+        match self.positional() {
+            [one] => Ok(one),
+            _ => Err(ArgsError::Positional(what)),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// The last value of a string flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable flag, in order (empty if absent).
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &'static str) -> Result<&str, ArgsError> {
+        self.get(name).ok_or(ArgsError::MissingFlag(name))
+    }
+
+    /// An optional typed flag.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgsError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| ArgsError::BadValue {
+                flag: name.to_owned(),
+                value: raw.to_owned(),
+                expected,
+            }),
+        }
+    }
+
+    /// A typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        Ok(self.get_parsed(name, expected)?.unwrap_or(default))
+    }
+
+    /// Rejects flags outside the allowed set.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgsError::UnknownFlag(name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_styles() {
+        // Note: a flag followed by a bare token consumes it as its value,
+        // so positionals are written before flags (or boolean flags last).
+        let a = Args::parse(["file.txt", "--len", "100", "--out=trace.cirt", "--verbose"]);
+        assert_eq!(a.get("len"), Some("100"));
+        assert_eq!(a.get("out"), Some("trace.cirt"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.positional(), &["file.txt".to_owned()]);
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let a = Args::parse(["--len", "1", "--len", "2"]);
+        assert_eq!(a.get("len"), Some("2"));
+        assert_eq!(a.get_all("len"), vec!["1", "2"]);
+        assert!(a.get_all("missing").is_empty());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = Args::parse(["--len", "42"]);
+        assert_eq!(a.get_or("len", 0u64, "integer").unwrap(), 42);
+        assert_eq!(a.get_or("missing", 7u64, "integer").unwrap(), 7);
+        let err = a.get_parsed::<u64>("len", "integer");
+        assert_eq!(err.unwrap(), Some(42));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = Args::parse(["--len", "banana"]);
+        let err = a.get_or("len", 0u64, "an integer").unwrap_err();
+        assert!(matches!(err, ArgsError::BadValue { .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = Args::parse::<_, String>([]);
+        assert_eq!(
+            a.require("bench").unwrap_err(),
+            ArgsError::MissingFlag("bench")
+        );
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let a = Args::parse(["--lenn", "3"]);
+        assert!(matches!(
+            a.check_known(&["len"]),
+            Err(ArgsError::UnknownFlag(_))
+        ));
+        assert!(a.check_known(&["lenn"]).is_ok());
+    }
+
+    #[test]
+    fn single_positional() {
+        let one = Args::parse(["x.cirt"]);
+        assert_eq!(one.single_positional("need one file").unwrap(), "x.cirt");
+        let none = Args::parse::<_, String>([]);
+        assert!(none.single_positional("need one file").is_err());
+        let two = Args::parse(["a", "b"]);
+        assert!(two.single_positional("need one file").is_err());
+    }
+
+    #[test]
+    fn boolean_flag_at_end() {
+        let a = Args::parse(["--quiet"]);
+        assert!(a.has("quiet"));
+        assert_eq!(a.get("quiet"), Some(""));
+    }
+}

@@ -1,0 +1,370 @@
+//! `cira` — command-line tools for branch traces, predictors, and
+//! confidence experiments.
+//!
+//! ```text
+//! cira suite                                   list the IBS-like benchmarks
+//! cira gen --bench gcc --len 1000000 --out t.cirt
+//! cira info t.cirt                             trace statistics
+//! cira dump t.cirt --limit 20                  print records
+//! cira predict --bench gcc --predictor gshare64k
+//! cira confidence --bench gcc --mechanism resetting:16 --threshold 16
+//! cira curve --bench gcc --out curve.csv       coverage-curve CSV
+//! cira table --bench gcc                       Table-1 style counter table
+//! cira vm prog.asm --mem 64 --trace out.cirt   run a tiny-VM program
+//! ```
+//!
+//! Run `cira help` for full usage.
+
+mod args;
+mod spec;
+
+use std::process::ExitCode;
+
+use args::Args;
+use cira_analysis::export::{ascii_chart, save_curves_csv};
+use cira_analysis::{runner, CounterTable, CoverageCurve};
+use cira_core::{ConfidenceEstimator, LowRule, ThresholdEstimator};
+use cira_trace::suite::ibs_like_suite;
+use cira_trace::tinyvm::{assemble, Machine};
+use cira_trace::{codec, BranchRecord, TraceStats};
+
+const USAGE: &str = "\
+cira — branch prediction confidence tools (Jacobsen/Rotenberg/Smith, MICRO-29 1996)
+
+USAGE: cira <command> [flags]
+
+COMMANDS
+  suite                      list the synthetic IBS-like benchmarks
+  gen                        generate a trace file
+      --bench NAME [--len N] [--seed S] --out FILE
+  info FILE                  statistics of a trace file
+  dump FILE [--limit N]      print trace records
+  predict                    run a predictor over a trace
+      (--bench NAME | --trace FILE) [--len N] [--predictor SPEC]
+  confidence                 run predictor + confidence estimator
+      (--bench NAME | --trace FILE) [--len N] [--predictor SPEC]
+      [--mechanism SPEC] [--index SPEC] [--init SPEC] [--threshold T]
+  curve                      coverage curve (ideal reduction over keys)
+      same flags as `confidence`, plus [--out FILE.csv] [--chart]
+  table                      Table-1 style per-counter statistics
+      same flags as `confidence`, plus [--max M]
+  sweep                      all operating points of a counter estimator
+      same flags as `confidence`, plus [--max M] [--out FILE.csv]
+  mix                        interleave several benchmarks into one trace
+      --bench A --bench B [...] [--len N] [--quantum Q] --out FILE
+  vm FILE.asm                assemble and run a tiny-VM program
+      [--mem WORDS] [--steps N] [--trace OUT.cirt] [--base PC]
+  help                       show this text
+
+SPECS
+  predictor: gshare:T:H | gshare64k | gshare4k | bimodal:B | gselect:T:H
+             | local:B:H | taken | not-taken            (default gshare64k)
+  mechanism: cir:W | ones-count:W | saturating:MAX | resetting:MAX
+             | two-level:VARIANT                        (default resetting:16)
+  index:     pc:B | bhr:B | pcxorbhr:B | pcconcatbhr:B | gcir:B
+                                                        (default pcxorbhr:16)
+  init:      ones | zeros | lastbit | random:SEED       (default ones)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(rest.iter().cloned());
+    let result = match command.as_str() {
+        "suite" => cmd_suite(&args),
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "dump" => cmd_dump(&args),
+        "predict" => cmd_predict(&args),
+        "confidence" => cmd_confidence(&args),
+        "curve" => cmd_curve(&args),
+        "table" => cmd_table(&args),
+        "sweep" => cmd_sweep(&args),
+        "mix" => cmd_mix(&args),
+        "vm" => cmd_vm(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `cira help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_suite(args: &Args) -> CliResult {
+    args.check_known(&[])?;
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>14}",
+        "name", "regions", "static", "kernel pc", "construction"
+    );
+    for bench in ibs_like_suite() {
+        println!(
+            "{:<12} {:>9} {:>9} {:>#12x} {:>14}",
+            bench.name(),
+            bench.program().regions(),
+            bench.program().static_branches(),
+            bench.kernel_start_pc(),
+            bench.profile().construction_seed,
+        );
+    }
+    Ok(())
+}
+
+/// Loads the trace selected by `--bench`/`--trace` flags, bounded by
+/// `--len` (default 1,000,000 for benchmarks, whole file for traces).
+fn load_trace(args: &Args) -> Result<Vec<BranchRecord>, Box<dyn std::error::Error>> {
+    let len: usize = args.get_or("len", 1_000_000u64, "a positive integer")? as usize;
+    match (args.get("bench"), args.get("trace")) {
+        (Some(name), None) => {
+            let suite = ibs_like_suite();
+            let bench = suite
+                .iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| format!("unknown benchmark {name:?}; see `cira suite`"))?;
+            let seed = args.get_parsed::<u64>("seed", "an integer")?;
+            let walker = match seed {
+                Some(s) => bench.walker_with_seed(s),
+                None => bench.walker(),
+            };
+            Ok(walker.take(len).collect())
+        }
+        (None, Some(path)) => {
+            let file = std::fs::File::open(path)?;
+            let records = codec::read_trace(std::io::BufReader::new(file))?;
+            Ok(records.into_iter().take(len).collect())
+        }
+        _ => Err("exactly one of --bench or --trace is required".into()),
+    }
+}
+
+const TRACE_FLAGS: &[&str] = &["bench", "trace", "len", "seed"];
+
+fn cmd_gen(args: &Args) -> CliResult {
+    args.check_known(&["bench", "len", "seed", "out"])?;
+    let out = args.require("out")?.to_owned();
+    if args.get("bench").is_none() {
+        return Err("--bench is required".into());
+    }
+    let records = load_trace(args)?;
+    let file = std::fs::File::create(&out)?;
+    let n = codec::write_trace(std::io::BufWriter::new(file), records.iter().copied())?;
+    println!("wrote {n} records to {out}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> CliResult {
+    args.check_known(&[])?;
+    let path = args.single_positional("usage: cira info FILE")?;
+    let file = std::fs::File::open(path)?;
+    let records = codec::read_trace(std::io::BufReader::new(file))?;
+    let stats: TraceStats = records.iter().copied().collect();
+    println!("records:         {}", stats.dynamic_branches());
+    println!("static branches: {}", stats.static_branches());
+    println!("taken rate:      {:.2}%", 100.0 * stats.taken_rate());
+    let bytes = std::fs::metadata(path)?.len();
+    println!(
+        "file size:       {bytes} bytes ({:.2} bytes/record)",
+        bytes as f64 / stats.dynamic_branches().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_dump(args: &Args) -> CliResult {
+    args.check_known(&["limit"])?;
+    let path = args.single_positional("usage: cira dump FILE [--limit N]")?;
+    let limit: u64 = args.get_or("limit", 32u64, "a positive integer")?;
+    let file = std::fs::File::open(path)?;
+    let reader = codec::TraceReader::new(std::io::BufReader::new(file))?;
+    for (i, record) in reader.take(limit as usize).enumerate() {
+        println!("{i:>8}  {}", record?);
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> CliResult {
+    args.check_known(&[TRACE_FLAGS, &["predictor"]].concat())?;
+    let mut predictor = spec::parse_predictor(args.get("predictor").unwrap_or("gshare64k"))?;
+    let records = load_trace(args)?;
+    let run = runner::run_predictor(records, &mut predictor);
+    println!("predictor:   {}", predictor.describe());
+    println!("branches:    {}", run.branches);
+    println!("mispredicts: {}", run.mispredicts);
+    println!("miss rate:   {:.3}%", 100.0 * run.miss_rate());
+    Ok(())
+}
+
+fn build_mechanism(
+    args: &Args,
+) -> Result<Box<dyn cira_core::ConfidenceMechanism>, Box<dyn std::error::Error>> {
+    let index = spec::parse_index(args.get("index").unwrap_or("pcxorbhr:16"))?;
+    let init = spec::parse_init(args.get("init").unwrap_or("ones"))?;
+    Ok(spec::parse_mechanism(
+        args.get("mechanism").unwrap_or("resetting:16"),
+        index,
+        init,
+    )?)
+}
+
+const CONF_FLAGS: &[&str] = &["predictor", "mechanism", "index", "init"];
+
+fn cmd_confidence(args: &Args) -> CliResult {
+    args.check_known(&[TRACE_FLAGS, CONF_FLAGS, &["threshold"]].concat())?;
+    let mut predictor = spec::parse_predictor(args.get("predictor").unwrap_or("gshare64k"))?;
+    let mechanism = build_mechanism(args)?;
+    let threshold: u64 = args.get_or("threshold", 16u64, "a key threshold")?;
+    let mut estimator = ThresholdEstimator::new(mechanism, LowRule::KeyBelow(threshold));
+    let records = load_trace(args)?;
+    let counts = runner::run_estimator(records, &mut predictor, &mut estimator);
+    println!("predictor: {}", predictor.describe());
+    println!("estimator: {}", estimator.describe());
+    println!("{counts}");
+    println!(
+        "misprediction rate {:.3}% over {} branches",
+        100.0 * counts.miss_rate(),
+        counts.total()
+    );
+    Ok(())
+}
+
+fn cmd_curve(args: &Args) -> CliResult {
+    args.check_known(&[TRACE_FLAGS, CONF_FLAGS, &["out", "chart"]].concat())?;
+    let mut predictor = spec::parse_predictor(args.get("predictor").unwrap_or("gshare64k"))?;
+    let mut mechanism = build_mechanism(args)?;
+    let records = load_trace(args)?;
+    let stats = runner::collect_mechanism_buckets(records, &mut predictor, &mut mechanism);
+    let curve = CoverageCurve::from_buckets(&stats);
+    println!("mechanism: {}", mechanism.describe());
+    println!("miss rate: {:.3}%", 100.0 * stats.miss_rate());
+    for budget in [5.0, 10.0, 20.0, 30.0, 50.0] {
+        println!(
+            "  lowest-confidence {budget:>4.0}% of branches hold {:5.1}% of mispredictions",
+            curve.coverage_at(budget)
+        );
+    }
+    if args.has("chart") {
+        println!("\n{}", ascii_chart(&[("curve", &curve)], 72, 20));
+    }
+    if let Some(path) = args.get("out") {
+        save_curves_csv(path, &[("curve", &curve)])?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_table(args: &Args) -> CliResult {
+    args.check_known(&[TRACE_FLAGS, CONF_FLAGS, &["max"]].concat())?;
+    let mut predictor = spec::parse_predictor(args.get("predictor").unwrap_or("gshare64k"))?;
+    let mut mechanism = build_mechanism(args)?;
+    let max: u32 = args.get_or("max", 16u32, "a counter maximum")?;
+    let records = load_trace(args)?;
+    let stats = runner::collect_mechanism_buckets(records, &mut predictor, &mut mechanism);
+    println!("mechanism: {}", mechanism.describe());
+    println!("{}", CounterTable::from_buckets(&stats, max));
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> CliResult {
+    args.check_known(&[TRACE_FLAGS, CONF_FLAGS, &["max", "out"]].concat())?;
+    let mut predictor = spec::parse_predictor(args.get("predictor").unwrap_or("gshare64k"))?;
+    let mut mechanism = build_mechanism(args)?;
+    let max: u64 = args.get_or("max", 16u64, "a counter maximum")?;
+    let records = load_trace(args)?;
+    let stats = runner::collect_mechanism_buckets(records, &mut predictor, &mut mechanism);
+    let sweep = cira_analysis::threshold_sweep(&stats, max);
+    println!("mechanism: {}", mechanism.describe());
+    println!(
+        "{:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+        "threshold", "low set", "coverage", "PVN", "PVP", "SPEC"
+    );
+    for p in &sweep {
+        println!(
+            "{:>9} {:>8.1}% {:>8.1}% {:>7.3} {:>7.4} {:>7.3}",
+            p.threshold,
+            100.0 * p.low_fraction,
+            100.0 * p.coverage,
+            p.pvn,
+            p.pvp,
+            p.specificity
+        );
+    }
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, cira_analysis::sweep_to_csv(&sweep))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_mix(args: &Args) -> CliResult {
+    args.check_known(&["bench", "len", "seed", "quantum", "out"])?;
+    let names = args.get_all("bench");
+    if names.len() < 2 {
+        return Err("mix needs at least two --bench flags".into());
+    }
+    let out = args.require("out")?.to_owned();
+    let len: usize = args.get_or("len", 200_000u64, "a positive integer")? as usize;
+    let quantum: usize = args.get_or("quantum", 10_000u64, "a positive integer")? as usize;
+    let suite = ibs_like_suite();
+    let mut traces = Vec::with_capacity(names.len());
+    for name in &names {
+        let bench = suite
+            .iter()
+            .find(|b| b.name() == *name)
+            .ok_or_else(|| format!("unknown benchmark {name:?}; see `cira suite`"))?;
+        traces.push(bench.walker().take(len).collect::<Vec<_>>());
+    }
+    let mixed = cira_trace::transform::interleave(traces, quantum);
+    let file = std::fs::File::create(&out)?;
+    let n = codec::write_trace(std::io::BufWriter::new(file), mixed.iter().copied())?;
+    println!(
+        "wrote {n} records ({} programs, quantum {quantum}) to {out}",
+        names.len()
+    );
+    Ok(())
+}
+
+fn cmd_vm(args: &Args) -> CliResult {
+    args.check_known(&["mem", "steps", "trace", "base"])?;
+    let path = args.single_positional("usage: cira vm FILE.asm [flags]")?;
+    let source = std::fs::read_to_string(path)?;
+    let program = assemble(&source)?;
+    let mem: usize = args.get_or("mem", 1024u64, "a word count")? as usize;
+    let steps: u64 = args.get_or("steps", 10_000_000u64, "a step budget")?;
+    let base: u64 = args.get_or("base", 0x1_0000u64, "a base address")?;
+    let mut machine = Machine::new(program, mem).with_code_base(base);
+    let trace = machine.run(steps)?;
+    println!(
+        "halted after {} instructions; {} conditional branches",
+        machine.steps(),
+        trace.len()
+    );
+    let stats: TraceStats = trace.iter().copied().collect();
+    println!(
+        "static branches: {}; taken rate {:.1}%",
+        stats.static_branches(),
+        100.0 * stats.taken_rate()
+    );
+    println!(
+        "registers: {}",
+        (0..16)
+            .map(|r| format!("r{r}={}", machine.reg(r)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    if let Some(out) = args.get("trace") {
+        let file = std::fs::File::create(out)?;
+        codec::write_trace(std::io::BufWriter::new(file), trace.iter().copied())?;
+        println!("wrote trace to {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,336 @@
+//! Textual specifications for predictors, confidence mechanisms, and index
+//! functions, e.g. `gshare:16:16`, `resetting:16`, `pcxorbhr:12`.
+
+use std::fmt;
+
+use cira_core::one_level::{MappedKey, OneLevelCir, ResettingConfidence, SaturatingConfidence};
+use cira_core::two_level::TwoLevelCir;
+use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+use cira_predictor::{
+    Agree, Bimodal, BranchPredictor, GSelect, Gshare, LocalTwoLevel, StaticDirection,
+};
+
+/// Error for unparseable specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What kind of spec was being parsed.
+    pub kind: &'static str,
+    /// The offending input.
+    pub input: String,
+    /// Accepted forms.
+    pub usage: &'static str,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} spec {:?}; expected one of: {}",
+            self.kind, self.input, self.usage
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(kind: &'static str, input: &str, usage: &'static str) -> SpecError {
+    SpecError {
+        kind,
+        input: input.to_owned(),
+        usage,
+    }
+}
+
+fn split(input: &str) -> (&str, Vec<&str>) {
+    let mut parts = input.split(':');
+    let head = parts.next().unwrap_or("");
+    (head, parts.collect())
+}
+
+fn parse_bits(
+    raw: &str,
+    kind: &'static str,
+    input: &str,
+    usage: &'static str,
+) -> Result<u32, SpecError> {
+    raw.parse::<u32>()
+        .ok()
+        .filter(|b| (1..=28).contains(b))
+        .ok_or_else(|| err(kind, input, usage))
+}
+
+/// Parses a predictor spec.
+///
+/// Forms: `gshare:<table_bits>:<history_bits>` · `bimodal:<bits>` ·
+/// `gselect:<table_bits>:<history_bits>` · `local:<bht_bits>:<hist_bits>` ·
+/// `taken` · `not-taken`. Shorthands: `gshare64k` (= `gshare:16:16`),
+/// `gshare4k` (= `gshare:12:12`).
+pub fn parse_predictor(input: &str) -> Result<Box<dyn BranchPredictor>, SpecError> {
+    const USAGE: &str = "gshare:T:H, gshare64k, gshare4k, bimodal:B, gselect:T:H, \
+                         local:B:H, agree:T:H:B, taken, not-taken";
+    let kind = "predictor";
+    let (head, rest) = split(input);
+    match (head, rest.as_slice()) {
+        ("gshare64k", []) => Ok(Box::new(Gshare::paper_large())),
+        ("gshare4k", []) => Ok(Box::new(Gshare::paper_small())),
+        ("gshare", [t, h]) => {
+            let t = parse_bits(t, kind, input, USAGE)?;
+            let h = parse_bits(h, kind, input, USAGE)?;
+            if h > t {
+                return Err(err(kind, input, USAGE));
+            }
+            Ok(Box::new(Gshare::new(t, h)))
+        }
+        ("gselect", [t, h]) => {
+            let t = parse_bits(t, kind, input, USAGE)?;
+            let h = parse_bits(h, kind, input, USAGE)?;
+            if h > t {
+                return Err(err(kind, input, USAGE));
+            }
+            Ok(Box::new(GSelect::new(t, h)))
+        }
+        ("bimodal", [b]) => Ok(Box::new(Bimodal::new(parse_bits(b, kind, input, USAGE)?))),
+        ("local", [b, h]) => Ok(Box::new(LocalTwoLevel::new(
+            parse_bits(b, kind, input, USAGE)?,
+            parse_bits(h, kind, input, USAGE)?,
+        ))),
+        ("agree", [t, h, b]) => {
+            let t = parse_bits(t, kind, input, USAGE)?;
+            let h = parse_bits(h, kind, input, USAGE)?;
+            let b = parse_bits(b, kind, input, USAGE)?;
+            if h > t {
+                return Err(err(kind, input, USAGE));
+            }
+            Ok(Box::new(Agree::new(t, h, b)))
+        }
+        ("taken", []) => Ok(Box::new(StaticDirection::always_taken())),
+        ("not-taken", []) => Ok(Box::new(StaticDirection::always_not_taken())),
+        _ => Err(err(kind, input, USAGE)),
+    }
+}
+
+/// Parses an index spec: `pc:<bits>` · `bhr:<bits>` · `pcxorbhr:<bits>` ·
+/// `pcconcatbhr:<bits>` · `gcir:<bits>`.
+pub fn parse_index(input: &str) -> Result<IndexSpec, SpecError> {
+    const USAGE: &str = "pc:B, bhr:B, pcxorbhr:B, pcconcatbhr:B, gcir:B";
+    let kind = "index";
+    let (head, rest) = split(input);
+    let [bits] = rest.as_slice() else {
+        return Err(err(kind, input, USAGE));
+    };
+    let bits = parse_bits(bits, kind, input, USAGE)?;
+    match head {
+        "pc" => Ok(IndexSpec::pc(bits)),
+        "bhr" => Ok(IndexSpec::bhr(bits)),
+        "pcxorbhr" => Ok(IndexSpec::pc_xor_bhr(bits)),
+        "pcconcatbhr" if bits >= 2 => Ok(IndexSpec::pc_concat_bhr(bits)),
+        "gcir" => Ok(IndexSpec::global_cir(bits)),
+        _ => Err(err(kind, input, USAGE)),
+    }
+}
+
+/// Parses an initialization policy: `ones` · `zeros` · `lastbit` ·
+/// `random:<seed>`.
+pub fn parse_init(input: &str) -> Result<InitPolicy, SpecError> {
+    const USAGE: &str = "ones, zeros, lastbit, random:SEED";
+    let kind = "init";
+    let (head, rest) = split(input);
+    match (head, rest.as_slice()) {
+        ("ones", []) => Ok(InitPolicy::AllOnes),
+        ("zeros", []) => Ok(InitPolicy::AllZeros),
+        ("lastbit", []) => Ok(InitPolicy::LastBit),
+        ("random", [seed]) => seed
+            .parse::<u64>()
+            .map(InitPolicy::Random)
+            .map_err(|_| err(kind, input, USAGE)),
+        _ => Err(err(kind, input, USAGE)),
+    }
+}
+
+/// Parses a confidence-mechanism spec, given the index and init policy.
+///
+/// Forms: `cir:<width>` (full CIRs, ideal-reduction keys) ·
+/// `ones-count:<width>` · `saturating:<max>` · `resetting:<max>` ·
+/// `two-level:<variant>` where variant is `pc-cir`, `pcxorbhr-cir`, or
+/// `pcxorbhr-cirxorpcxorbhr` (two-level variants ignore `index`/`init`).
+pub fn parse_mechanism(
+    input: &str,
+    index: IndexSpec,
+    init: InitPolicy,
+) -> Result<Box<dyn ConfidenceMechanism>, SpecError> {
+    const USAGE: &str = "cir:W, ones-count:W, saturating:MAX, resetting:MAX, \
+                         two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}";
+    let kind = "mechanism";
+    let (head, rest) = split(input);
+    match (head, rest.as_slice()) {
+        ("cir", [w]) => {
+            let w = w
+                .parse::<u32>()
+                .ok()
+                .filter(|w| (1..=32).contains(w))
+                .ok_or_else(|| err(kind, input, USAGE))?;
+            Ok(Box::new(OneLevelCir::new(index, w, init)))
+        }
+        ("ones-count", [w]) => {
+            let w = w
+                .parse::<u32>()
+                .ok()
+                .filter(|w| (1..=32).contains(w))
+                .ok_or_else(|| err(kind, input, USAGE))?;
+            Ok(Box::new(MappedKey::ones_count(OneLevelCir::new(
+                index, w, init,
+            ))))
+        }
+        ("saturating", [m]) => {
+            let m = m
+                .parse::<u32>()
+                .ok()
+                .filter(|&m| m > 0)
+                .ok_or_else(|| err(kind, input, USAGE))?;
+            Ok(Box::new(SaturatingConfidence::new(index, m, init)))
+        }
+        ("resetting", [m]) => {
+            let m = m
+                .parse::<u32>()
+                .ok()
+                .filter(|&m| m > 0)
+                .ok_or_else(|| err(kind, input, USAGE))?;
+            Ok(Box::new(ResettingConfidence::new(index, m, init)))
+        }
+        ("two-level", [variant]) => match *variant {
+            "pc-cir" => Ok(Box::new(TwoLevelCir::variant_pc_cir())),
+            "pcxorbhr-cir" => Ok(Box::new(TwoLevelCir::variant_pcxorbhr_cir())),
+            "pcxorbhr-cirxorpcxorbhr" => {
+                Ok(Box::new(TwoLevelCir::variant_pcxorbhr_cirxorpcxorbhr()))
+            }
+            _ => Err(err(kind, input, USAGE)),
+        },
+        _ => Err(err(kind, input, USAGE)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_specs() {
+        assert_eq!(
+            parse_predictor("gshare:10:8").unwrap().describe(),
+            "gshare(10,8)"
+        );
+        assert_eq!(
+            parse_predictor("gshare64k").unwrap().describe(),
+            "gshare(16,16)"
+        );
+        assert_eq!(
+            parse_predictor("gshare4k").unwrap().describe(),
+            "gshare(12,12)"
+        );
+        assert_eq!(
+            parse_predictor("bimodal:12").unwrap().describe(),
+            "bimodal(12)"
+        );
+        assert_eq!(
+            parse_predictor("gselect:10:4").unwrap().describe(),
+            "gselect(10,4)"
+        );
+        assert_eq!(
+            parse_predictor("local:10:8").unwrap().describe(),
+            "local(10,8)"
+        );
+        assert_eq!(
+            parse_predictor("agree:12:12:10").unwrap().describe(),
+            "agree(12,12,bias 10)"
+        );
+        assert_eq!(
+            parse_predictor("taken").unwrap().describe(),
+            "static(taken)"
+        );
+        assert_eq!(
+            parse_predictor("not-taken").unwrap().describe(),
+            "static(not-taken)"
+        );
+    }
+
+    #[test]
+    fn predictor_spec_errors() {
+        for bad in [
+            "",
+            "gshare",
+            "gshare:0:0",
+            "gshare:8:9",
+            "gshare:29:1",
+            "frobnicate:3",
+        ] {
+            let e = match parse_predictor(bad) {
+                Err(e) => e,
+                Ok(p) => panic!("{bad:?} parsed as {}", p.describe()),
+            };
+            assert_eq!(e.kind, "predictor");
+            assert!(e.to_string().contains("expected one of"));
+        }
+    }
+
+    #[test]
+    fn index_specs() {
+        assert_eq!(parse_index("pc:8").unwrap().to_string(), "PC[8b]");
+        assert_eq!(
+            parse_index("pcxorbhr:16").unwrap().to_string(),
+            "PC^BHR[16b]"
+        );
+        assert_eq!(
+            parse_index("pcconcatbhr:8").unwrap().to_string(),
+            "PC||BHR[8b]"
+        );
+        assert_eq!(parse_index("gcir:6").unwrap().to_string(), "GCIR[6b]");
+        assert!(parse_index("pc").is_err());
+        assert!(parse_index("pc:0").is_err());
+        assert!(parse_index("pcconcatbhr:1").is_err());
+        assert!(parse_index("what:8").is_err());
+    }
+
+    #[test]
+    fn init_specs() {
+        assert_eq!(parse_init("ones").unwrap(), InitPolicy::AllOnes);
+        assert_eq!(parse_init("zeros").unwrap(), InitPolicy::AllZeros);
+        assert_eq!(parse_init("lastbit").unwrap(), InitPolicy::LastBit);
+        assert_eq!(parse_init("random:9").unwrap(), InitPolicy::Random(9));
+        assert!(parse_init("random:x").is_err());
+        assert!(parse_init("none").is_err());
+    }
+
+    #[test]
+    fn mechanism_specs() {
+        let idx = || IndexSpec::pc_xor_bhr(8);
+        let m = parse_mechanism("resetting:16", idx(), InitPolicy::AllOnes).unwrap();
+        assert!(m.describe().contains("resetting"));
+        let m = parse_mechanism("saturating:16", idx(), InitPolicy::AllOnes).unwrap();
+        assert!(m.describe().contains("saturating"));
+        let m = parse_mechanism("cir:16", idx(), InitPolicy::AllOnes).unwrap();
+        assert!(m.describe().contains("one-level CIR[16]"));
+        let m = parse_mechanism("ones-count:16", idx(), InitPolicy::AllOnes).unwrap();
+        assert!(m.describe().contains("ones-count"));
+        let m = parse_mechanism("two-level:pcxorbhr-cir", idx(), InitPolicy::AllOnes).unwrap();
+        assert!(m.describe().contains("two-level"));
+    }
+
+    #[test]
+    fn mechanism_spec_errors() {
+        let idx = || IndexSpec::pc(8);
+        for bad in [
+            "",
+            "cir",
+            "cir:0",
+            "cir:33",
+            "resetting:0",
+            "two-level:nope",
+            "zzz:1",
+        ] {
+            assert!(
+                parse_mechanism(bad, idx(), InitPolicy::AllOnes).is_err(),
+                "{bad}"
+            );
+        }
+    }
+}

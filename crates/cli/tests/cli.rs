@@ -1,0 +1,205 @@
+//! End-to-end tests of the `cira` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cira(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cira"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cira_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn suite_lists_all_benchmarks() {
+    let out = cira(&["suite"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for name in ["gcc", "jpeg", "sdet", "video_play"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn gen_info_dump_round_trip() {
+    let path = temp_path("t.cirt");
+    let path_str = path.to_str().unwrap();
+
+    let out = cira(&["gen", "--bench", "jpeg", "--len", "5000", "--out", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 5000 records"));
+
+    let out = cira(&["info", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("records:         5000"));
+
+    let out = cira(&["dump", path_str, "--limit", "4"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 4);
+}
+
+#[test]
+fn predict_reports_miss_rate() {
+    let out = cira(&[
+        "predict",
+        "--bench",
+        "jpeg",
+        "--len",
+        "20000",
+        "--predictor",
+        "gshare4k",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("gshare(12,12)"));
+    assert!(text.contains("miss rate"));
+}
+
+#[test]
+fn confidence_reports_coverage() {
+    let out = cira(&[
+        "confidence",
+        "--bench",
+        "gcc",
+        "--len",
+        "20000",
+        "--mechanism",
+        "resetting:16",
+        "--threshold",
+        "8",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("coverage"));
+}
+
+#[test]
+fn curve_writes_csv() {
+    let path = temp_path("curve.csv");
+    let out = cira(&[
+        "curve",
+        "--bench",
+        "jpeg",
+        "--len",
+        "20000",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert!(csv.starts_with("series,"));
+    assert!(csv.lines().count() > 2);
+}
+
+#[test]
+fn table_prints_counter_rows() {
+    let out = cira(&["table", "--bench", "jpeg", "--len", "20000", "--max", "4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Count"));
+    assert!(text.lines().count() >= 6);
+}
+
+#[test]
+fn vm_runs_assembly_and_saves_trace() {
+    let asm = temp_path("count.asm");
+    std::fs::write(
+        &asm,
+        "li r1, 7\nli r2, 0\nloop: addi r2, r2, 1\nblt r2, r1, loop\nhalt\n",
+    )
+    .unwrap();
+    let trace = temp_path("vm.cirt");
+    let out = cira(&[
+        "vm",
+        asm.to_str().unwrap(),
+        "--mem",
+        "8",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("7 conditional branches"));
+
+    let out = cira(&["info", trace.to_str().unwrap()]);
+    assert!(stdout(&out).contains("records:         7"));
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let cases: &[&[&str]] = &[
+        &["bogus"],
+        &["predict"],                                              // no trace source
+        &["predict", "--bench", "nope"],                           // unknown benchmark
+        &["predict", "--bench", "gcc", "--oops", "1"],             // unknown flag
+        &["predict", "--bench", "gcc", "--predictor", "gshare:9"], // bad spec
+        &["info", "/nonexistent/file.cirt"],
+        &["gen", "--bench", "gcc"], // missing --out
+    ];
+    for case in cases {
+        let out = cira(case);
+        assert!(!out.status.success(), "expected failure for {case:?}");
+        assert!(
+            stderr(&out).contains("error") || stderr(&out).contains("USAGE"),
+            "no error text for {case:?}"
+        );
+    }
+}
+
+#[test]
+fn sweep_prints_operating_points() {
+    let out = cira(&["sweep", "--bench", "jpeg", "--len", "10000", "--max", "4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("threshold") && text.contains("PVN"), "{text}");
+    // max=4 sweep: header + mechanism line + 6 threshold rows
+    assert!(text.lines().count() >= 8);
+}
+
+#[test]
+fn mix_interleaves_benchmarks() {
+    let path = temp_path("mix.cirt");
+    let out = cira(&[
+        "mix",
+        "--bench",
+        "gcc",
+        "--bench",
+        "jpeg",
+        "--len",
+        "3000",
+        "--quantum",
+        "500",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 6000 records"));
+    let info = cira(&["info", path.to_str().unwrap()]);
+    assert!(stdout(&info).contains("records:         6000"));
+}
+
+#[test]
+fn mix_requires_two_benchmarks() {
+    let out = cira(&["mix", "--bench", "gcc", "--out", "/tmp/x.cirt"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("two"));
+}
+
+#[test]
+fn help_shows_usage() {
+    let out = cira(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE: cira"));
+}

@@ -1,0 +1,242 @@
+//! Adaptive low-confidence thresholds — relaxing the paper's fixed-logic
+//! constraint.
+//!
+//! §1: *"to simplify the hardware design, we do not dynamically adjust the
+//! criteria for determining the high and low confidence sets."* Fig. 9
+//! then shows why one might want to: the low-confidence set size varies
+//! considerably across programs for a fixed reduction function. This
+//! module implements the natural extension — a feedback controller that
+//! nudges an integer key threshold so the low-confidence set tracks a
+//! target fraction of predictions, whatever the program.
+
+use crate::estimator::{Confidence, ConfidenceEstimator};
+use crate::ConfidenceMechanism;
+
+/// A `key < threshold` estimator whose threshold adapts to hold the
+/// low-confidence fraction near a target.
+///
+/// Every `window` predictions the controller compares the observed low
+/// fraction with the target: more than `tolerance` above ⇒ tighten
+/// (threshold − 1); more than `tolerance` below ⇒ loosen (threshold + 1).
+/// The threshold stays in `[0, max_threshold]`.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::adaptive::AdaptiveEstimator;
+/// use cira_core::one_level::ResettingConfidence;
+/// use cira_core::{ConfidenceEstimator, IndexSpec};
+///
+/// let mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+/// let est = AdaptiveEstimator::new(mech, 0.2, 17, 1024);
+/// assert_eq!(est.threshold(), 8); // starts mid-range
+/// let _ = est.describe();
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveEstimator<M> {
+    mechanism: M,
+    target_low_fraction: f64,
+    threshold: u64,
+    max_threshold: u64,
+    window: u64,
+    tolerance: f64,
+    seen: u64,
+    low_seen: u64,
+    adjustments: u64,
+}
+
+impl<M: ConfidenceMechanism> AdaptiveEstimator<M> {
+    /// Creates an adaptive estimator.
+    ///
+    /// * `target_low_fraction` — desired share of predictions flagged low
+    ///   (e.g. `0.2` for the paper's illustrative 20% budget).
+    /// * `max_threshold` — upper bound for the threshold; use
+    ///   `counter_max + 1` so the whole key range stays reachable.
+    /// * `window` — predictions between controller steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is outside `(0, 1)`, `window` is zero, or
+    /// `max_threshold` is zero.
+    pub fn new(mechanism: M, target_low_fraction: f64, max_threshold: u64, window: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_low_fraction) && target_low_fraction > 0.0,
+            "target fraction must be in (0, 1)"
+        );
+        assert!(window > 0, "window must be positive");
+        assert!(max_threshold > 0, "max_threshold must be positive");
+        Self {
+            mechanism,
+            target_low_fraction,
+            threshold: max_threshold / 2,
+            max_threshold,
+            window,
+            tolerance: 0.02,
+            seen: 0,
+            low_seen: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The current threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The configured target low fraction.
+    pub fn target_low_fraction(&self) -> f64 {
+        self.target_low_fraction
+    }
+
+    /// Controller steps taken so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Borrows the underlying mechanism.
+    pub fn mechanism(&self) -> &M {
+        &self.mechanism
+    }
+
+    fn is_low(&self, pc: u64, bhr: u64) -> bool {
+        self.mechanism.read_key(pc, bhr) < self.threshold
+    }
+}
+
+impl<M: ConfidenceMechanism> ConfidenceEstimator for AdaptiveEstimator<M> {
+    fn estimate(&self, pc: u64, bhr: u64) -> Confidence {
+        if self.is_low(pc, bhr) {
+            Confidence::Low
+        } else {
+            Confidence::High
+        }
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        // Track the signal that was (or would have been) emitted for this
+        // prediction, then train the table.
+        if self.is_low(pc, bhr) {
+            self.low_seen += 1;
+        }
+        self.seen += 1;
+        self.mechanism.update(pc, bhr, correct);
+
+        if self.seen >= self.window {
+            let low_fraction = self.low_seen as f64 / self.seen as f64;
+            if low_fraction > self.target_low_fraction + self.tolerance && self.threshold > 0 {
+                self.threshold -= 1;
+                self.adjustments += 1;
+            } else if low_fraction < self.target_low_fraction - self.tolerance
+                && self.threshold < self.max_threshold
+            {
+                self.threshold += 1;
+                self.adjustments += 1;
+            }
+            self.seen = 0;
+            self.low_seen = 0;
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "adaptive(target {:.0}%, threshold {}/{}) over {}",
+            100.0 * self.target_low_fraction,
+            self.threshold,
+            self.max_threshold,
+            self.mechanism.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_level::ResettingConfidence;
+    use crate::IndexSpec;
+
+    fn mech() -> ResettingConfidence {
+        ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(10))
+    }
+
+    /// A deterministic pseudo-branch stream: pc cycles, correctness comes
+    /// from a simple hash so ~`acc` of predictions are correct.
+    fn drive(est: &mut AdaptiveEstimator<ResettingConfidence>, n: u64, acc_mod: u64) -> f64 {
+        let mut low = 0u64;
+        for i in 0..n {
+            let pc = (i % 97) * 4;
+            let bhr = i % 31;
+            if est.estimate(pc, bhr).is_low() {
+                low += 1;
+            }
+            let correct = (i * 2654435761) % acc_mod != 0;
+            est.update(pc, bhr, correct);
+        }
+        low as f64 / n as f64
+    }
+
+    #[test]
+    #[should_panic(expected = "target fraction")]
+    fn rejects_zero_target() {
+        AdaptiveEstimator::new(mech(), 0.0, 17, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        AdaptiveEstimator::new(mech(), 0.5, 17, 0);
+    }
+
+    #[test]
+    fn converges_toward_target_fraction() {
+        // ~10% mispredictions: the unclamped low set at threshold 8 would
+        // be far from 20%; the controller should steer it close.
+        let mut est = AdaptiveEstimator::new(mech(), 0.2, 17, 500);
+        drive(&mut est, 60_000, 10); // warm up and adapt
+        let frac = drive(&mut est, 30_000, 10);
+        assert!(
+            (frac - 0.2).abs() < 0.08,
+            "low fraction {frac} should approach 0.2 (threshold {})",
+            est.threshold()
+        );
+        assert!(est.adjustments() > 0);
+    }
+
+    #[test]
+    fn different_targets_give_ordered_thresholds() {
+        let mut small = AdaptiveEstimator::new(mech(), 0.05, 17, 500);
+        let mut large = AdaptiveEstimator::new(mech(), 0.5, 17, 500);
+        drive(&mut small, 60_000, 10);
+        drive(&mut large, 60_000, 10);
+        assert!(
+            small.threshold() < large.threshold(),
+            "5% target ({}) should sit below 50% target ({})",
+            small.threshold(),
+            large.threshold()
+        );
+    }
+
+    #[test]
+    fn threshold_stays_in_bounds() {
+        // Perfectly-predicted stream drives the threshold up; it must clamp.
+        let mut est = AdaptiveEstimator::new(mech(), 0.9, 17, 50);
+        for i in 0..20_000u64 {
+            est.update((i % 13) * 4, 0, true);
+        }
+        assert!(est.threshold() <= 17);
+        // All-mispredicted stream drives it down; it must clamp at 0.
+        let mut est = AdaptiveEstimator::new(mech(), 0.01, 17, 50);
+        for i in 0..20_000u64 {
+            est.update((i % 13) * 4, 0, false);
+        }
+        assert!(est.threshold() > 0 || est.estimate(0, 0).is_high());
+    }
+
+    #[test]
+    fn describe_reports_state() {
+        let est = AdaptiveEstimator::new(mech(), 0.2, 17, 100);
+        let d = est.describe();
+        assert!(d.contains("target 20%") && d.contains("adaptive"), "{d}");
+        assert_eq!(est.target_low_fraction(), 0.2);
+        assert_eq!(est.mechanism().max(), 16);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Correct/Incorrect Register (CIR) — the paper's central structure.
+//!
+//! A CIR is a shift register holding the `n` most recent correct/incorrect
+//! indications for a confidence-table entry. Following the paper's
+//! convention, a **1 bit records an incorrect prediction** and a 0 bit a
+//! correct one; bit 0 is the most recent outcome. For example, 3 correct
+//! predictions, then an incorrect one, then 4 correct predictions leave an
+//! 8-bit CIR holding `0001_0000`.
+
+use std::fmt;
+
+/// A fixed-width shift register of prediction-correctness bits
+/// (1 = mispredicted).
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::Cir;
+///
+/// let mut cir = Cir::zeroed(8);
+/// cir.push(true);  // correct
+/// cir.push(false); // incorrect
+/// cir.push(true);  // correct
+/// assert_eq!(cir.value(), 0b010);
+/// assert_eq!(cir.ones_count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cir {
+    bits: u32,
+    width: u32,
+}
+
+impl Cir {
+    /// Maximum supported register width.
+    pub const MAX_WIDTH: u32 = 32;
+
+    /// An all-zero (all-correct history) CIR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`Cir::MAX_WIDTH`].
+    pub fn zeroed(width: u32) -> Self {
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "CIR width must be 1..={}, got {width}",
+            Self::MAX_WIDTH
+        );
+        Self { bits: 0, width }
+    }
+
+    /// An all-ones (all-incorrect history) CIR — the paper's preferred
+    /// initial value (§5.4).
+    pub fn all_ones(width: u32) -> Self {
+        let mut c = Self::zeroed(width);
+        c.bits = c.mask();
+        c
+    }
+
+    /// A CIR with an explicit bit pattern (masked to `width`).
+    pub fn from_bits(bits: u32, width: u32) -> Self {
+        let mut c = Self::zeroed(width);
+        c.bits = bits & c.mask();
+        c
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// All-ones mask of the register's width.
+    pub fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// The register contents; bit 0 is the most recent outcome.
+    pub fn value(&self) -> u32 {
+        self.bits
+    }
+
+    /// Shifts in the outcome of a prediction (`correct == true` records a
+    /// 0 bit, an incorrect prediction records a 1 bit).
+    pub fn push(&mut self, correct: bool) {
+        self.bits = ((self.bits << 1) | (!correct) as u32) & self.mask();
+    }
+
+    /// Number of mispredictions recorded (population count).
+    pub fn ones_count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether the register records no recent mispredictions — the paper's
+    /// "zero bucket".
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of predictions since the most recent misprediction, saturated
+    /// at `width` when no misprediction is recorded.
+    ///
+    /// This is exactly the quantity a *resetting counter* (§5.1) tracks, so
+    /// it provides the reference semantics for
+    /// [`ResettingConfidence`](crate::one_level::ResettingConfidence).
+    pub fn distance_since_misprediction(&self) -> u32 {
+        if self.bits == 0 {
+            self.width
+        } else {
+            self.bits.trailing_zeros()
+        }
+    }
+}
+
+impl fmt::Display for Cir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_pattern() {
+        // 3 correct, 1 incorrect, 4 correct => 00010000 in an 8-bit CIR.
+        let mut cir = Cir::zeroed(8);
+        for _ in 0..3 {
+            cir.push(true);
+        }
+        cir.push(false);
+        for _ in 0..4 {
+            cir.push(true);
+        }
+        assert_eq!(cir.value(), 0b0001_0000);
+        assert_eq!(cir.to_string(), "00010000");
+    }
+
+    #[test]
+    fn push_shifts_out_old_bits() {
+        let mut cir = Cir::all_ones(4);
+        for _ in 0..4 {
+            cir.push(true);
+        }
+        assert!(cir.is_zero());
+    }
+
+    #[test]
+    fn all_ones_has_full_count() {
+        let cir = Cir::all_ones(16);
+        assert_eq!(cir.ones_count(), 16);
+        assert_eq!(cir.value(), 0xffff);
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        let cir = Cir::from_bits(0xffff_ffff, 8);
+        assert_eq!(cir.value(), 0xff);
+    }
+
+    #[test]
+    fn width_32_supported() {
+        let mut cir = Cir::all_ones(32);
+        assert_eq!(cir.value(), u32::MAX);
+        cir.push(true);
+        assert_eq!(cir.ones_count(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        Cir::zeroed(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn overwide_panics() {
+        Cir::zeroed(33);
+    }
+
+    #[test]
+    fn distance_since_misprediction_semantics() {
+        let mut cir = Cir::zeroed(8);
+        assert_eq!(cir.distance_since_misprediction(), 8); // saturated
+        cir.push(false); // misprediction now
+        assert_eq!(cir.distance_since_misprediction(), 0);
+        cir.push(true);
+        cir.push(true);
+        assert_eq!(cir.distance_since_misprediction(), 2);
+        for _ in 0..6 {
+            cir.push(true);
+        }
+        // Misprediction has shifted out entirely.
+        assert_eq!(cir.distance_since_misprediction(), 8);
+    }
+
+    #[test]
+    fn ones_count_tracks_pushes() {
+        let mut cir = Cir::zeroed(16);
+        cir.push(false);
+        cir.push(false);
+        cir.push(true);
+        assert_eq!(cir.ones_count(), 2);
+    }
+}

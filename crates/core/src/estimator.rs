@@ -1,0 +1,226 @@
+//! Online high/low confidence estimators.
+//!
+//! A [`ConfidenceMechanism`] exposes a raw
+//! *key* (CIR pattern or counter value); an estimator reduces that key to
+//! the binary high/low signal of Fig. 1 via a [`LowRule`]. The estimator is
+//! what the paper's applications consume (dual-path forking, SMT fetch
+//! gating, prediction reversal, hybrid selection).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ConfidenceMechanism;
+
+/// The binary confidence signal emitted alongside each prediction (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// The prediction is expected to be correct.
+    High,
+    /// The prediction belongs to the low-confidence set.
+    Low,
+}
+
+impl Confidence {
+    /// `true` for [`Confidence::Low`].
+    pub fn is_low(self) -> bool {
+        matches!(self, Confidence::Low)
+    }
+
+    /// `true` for [`Confidence::High`].
+    pub fn is_high(self) -> bool {
+        matches!(self, Confidence::High)
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::High => write!(f, "high"),
+            Confidence::Low => write!(f, "low"),
+        }
+    }
+}
+
+/// An online estimator pairing each branch prediction with a
+/// high/low-confidence signal.
+pub trait ConfidenceEstimator {
+    /// The confidence of the current prediction for the branch at `pc`
+    /// under global history `bhr`.
+    fn estimate(&self, pc: u64, bhr: u64) -> Confidence;
+
+    /// Records whether the prediction turned out correct.
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool);
+
+    /// Short human-readable description.
+    fn describe(&self) -> String;
+}
+
+/// The combinational "reduction function" (Fig. 3) in rule form: which keys
+/// constitute the low-confidence set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowRule {
+    /// Low when `key < threshold` — the natural rule for counter-compressed
+    /// tables (small count ⇒ recent misprediction). A threshold of
+    /// `max + 1` makes every non-saturated *and* saturated key low; a
+    /// threshold of 0 makes nothing low.
+    KeyBelow(u64),
+    /// Low when `popcount(key) >= threshold` — the ones-count rule for
+    /// full-CIR tables (§5.1).
+    OnesAtLeast(u32),
+    /// Low when the key is a member of an explicit set — the ideal
+    /// reduction of §4, whose minterms come from offline bucket analysis.
+    KeyIn(HashSet<u64>),
+}
+
+impl LowRule {
+    /// Whether `key` falls in the low-confidence set.
+    pub fn is_low(&self, key: u64) -> bool {
+        match self {
+            LowRule::KeyBelow(t) => key < *t,
+            LowRule::OnesAtLeast(t) => key.count_ones() >= *t,
+            LowRule::KeyIn(set) => set.contains(&key),
+        }
+    }
+}
+
+impl fmt::Display for LowRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowRule::KeyBelow(t) => write!(f, "key<{t}"),
+            LowRule::OnesAtLeast(t) => write!(f, "ones>={t}"),
+            LowRule::KeyIn(set) => write!(f, "key in {{{} minterms}}", set.len()),
+        }
+    }
+}
+
+/// A mechanism plus a [`LowRule`]: the complete hardware box of Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::{Confidence, ConfidenceEstimator, IndexSpec, LowRule, ThresholdEstimator};
+/// use cira_core::one_level::ResettingConfidence;
+///
+/// let mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+/// let mut est = ThresholdEstimator::new(mech, LowRule::KeyBelow(2));
+/// // Fresh entries read 0 (all-ones init): low confidence.
+/// assert_eq!(est.estimate(0x40, 0), Confidence::Low);
+/// for _ in 0..4 {
+///     est.update(0x40, 0, true);
+/// }
+/// assert_eq!(est.estimate(0x40, 0), Confidence::High);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdEstimator<M> {
+    mechanism: M,
+    rule: LowRule,
+}
+
+impl<M: ConfidenceMechanism> ThresholdEstimator<M> {
+    /// Pairs a mechanism with a reduction rule.
+    pub fn new(mechanism: M, rule: LowRule) -> Self {
+        Self { mechanism, rule }
+    }
+
+    /// Borrows the underlying mechanism.
+    pub fn mechanism(&self) -> &M {
+        &self.mechanism
+    }
+
+    /// The reduction rule.
+    pub fn rule(&self) -> &LowRule {
+        &self.rule
+    }
+}
+
+impl<M: ConfidenceMechanism> ConfidenceEstimator for ThresholdEstimator<M> {
+    fn estimate(&self, pc: u64, bhr: u64) -> Confidence {
+        if self.rule.is_low(self.mechanism.read_key(pc, bhr)) {
+            Confidence::Low
+        } else {
+            Confidence::High
+        }
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        self.mechanism.update(pc, bhr, correct);
+    }
+
+    fn describe(&self) -> String {
+        format!("{} | low if {}", self.mechanism.describe(), self.rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_level::{OneLevelCir, ResettingConfidence};
+    use crate::{IndexSpec, InitPolicy};
+
+    #[test]
+    fn confidence_helpers() {
+        assert!(Confidence::Low.is_low());
+        assert!(!Confidence::Low.is_high());
+        assert!(Confidence::High.is_high());
+        assert_eq!(Confidence::High.to_string(), "high");
+        assert_eq!(Confidence::Low.to_string(), "low");
+    }
+
+    #[test]
+    fn key_below_rule() {
+        let r = LowRule::KeyBelow(3);
+        assert!(r.is_low(0));
+        assert!(r.is_low(2));
+        assert!(!r.is_low(3));
+        assert!(!r.is_low(100));
+    }
+
+    #[test]
+    fn ones_at_least_rule() {
+        let r = LowRule::OnesAtLeast(2);
+        assert!(!r.is_low(0b0001));
+        assert!(r.is_low(0b0011));
+        assert!(r.is_low(0b1110001));
+    }
+
+    #[test]
+    fn key_in_rule() {
+        let r = LowRule::KeyIn([1u64, 5, 9].into_iter().collect());
+        assert!(r.is_low(5));
+        assert!(!r.is_low(4));
+    }
+
+    #[test]
+    fn resetting_estimator_end_to_end() {
+        let mech = ResettingConfidence::new(IndexSpec::pc(8), 16, InitPolicy::AllOnes);
+        let mut est = ThresholdEstimator::new(mech, LowRule::KeyBelow(1));
+        // Counter starts at 0 => low.
+        assert!(est.estimate(0x40, 0).is_low());
+        est.update(0x40, 0, true);
+        assert!(est.estimate(0x40, 0).is_high());
+        est.update(0x40, 0, false);
+        assert!(est.estimate(0x40, 0).is_low(), "reset on misprediction");
+    }
+
+    #[test]
+    fn ones_count_estimator_on_full_cir() {
+        let mech = OneLevelCir::new(IndexSpec::pc(8), 8, InitPolicy::AllZeros);
+        let mut est = ThresholdEstimator::new(mech, LowRule::OnesAtLeast(2));
+        assert!(est.estimate(0x10, 0).is_high());
+        est.update(0x10, 0, false);
+        assert!(
+            est.estimate(0x10, 0).is_high(),
+            "one misprediction is below threshold"
+        );
+        est.update(0x10, 0, false);
+        assert!(est.estimate(0x10, 0).is_low());
+    }
+
+    #[test]
+    fn describe_combines_parts() {
+        let mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(8));
+        let est = ThresholdEstimator::new(mech, LowRule::KeyBelow(16));
+        let d = est.describe();
+        assert!(d.contains("resetting") && d.contains("key<16"), "{d}");
+    }
+}

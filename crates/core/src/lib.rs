@@ -1,0 +1,137 @@
+//! # cira-core
+//!
+//! Branch-prediction **confidence mechanisms** — the primary contribution
+//! of Jacobsen, Rotenberg & Smith, *"Assigning Confidence to Conditional
+//! Branch Predictions"* (MICRO-29, 1996), reproduced in full.
+//!
+//! A confidence mechanism runs beside a branch predictor and partitions its
+//! predictions into **high** and **low** confidence sets, concentrating as
+//! many mispredictions as possible into a small low-confidence set. The
+//! paper's taxonomy maps onto this crate as follows:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Correct/Incorrect Register (CIR) | [`Cir`] |
+//! | CIR Table (CT) | [`table::CirTable`] |
+//! | Index functions (PC, BHR, PC⊕BHR, global CIR, concat) §3.1 | [`IndexSpec`] |
+//! | One-level methods §3.1 | [`one_level::OneLevelCir`] |
+//! | Two-level methods §3.2 | [`two_level::TwoLevelCir`] |
+//! | Ones-count reduction §5.1 | [`one_level::MappedKey::ones_count`] + [`LowRule::OnesAtLeast`] |
+//! | Saturating-counter reduction §5.1 | [`one_level::SaturatingConfidence`] |
+//! | Resetting-counter reduction §5.1 | [`one_level::ResettingConfidence`] |
+//! | CT initialization §5.4 | [`InitPolicy`] |
+//! | Static profile method §2 | [`StaticConfidence`] |
+//!
+//! ## Mechanisms vs. estimators
+//!
+//! A [`ConfidenceMechanism`] maintains the table state and exposes the raw
+//! *key* read for each branch (a CIR pattern or a counter value). Offline
+//! analyses (`cira-analysis`) aggregate keys into buckets to compute the
+//! paper's cumulative-misprediction curves and *ideal* reductions; online
+//! consumers wrap a mechanism in a [`ThresholdEstimator`] with a
+//! [`LowRule`] to obtain the binary signal of Fig. 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_core::one_level::ResettingConfidence;
+//! use cira_core::{ConfidenceEstimator, IndexSpec, LowRule, ThresholdEstimator};
+//!
+//! // The paper's recommended practical design: a resetting-counter table
+//! // indexed by PC xor BHR, low-confidence while the counter is below 16.
+//! let mechanism = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16));
+//! let mut estimator = ThresholdEstimator::new(mechanism, LowRule::KeyBelow(16));
+//! let confidence = estimator.estimate(0x4000, 0b1010);
+//! estimator.update(0x4000, 0b1010, /* prediction was correct = */ true);
+//! assert!(confidence.is_low()); // cold entries start low-confidence
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod cir;
+pub mod estimator;
+pub mod index;
+pub mod init;
+pub mod multi_level;
+pub mod one_level;
+pub mod static_profile;
+pub mod table;
+pub mod two_level;
+
+pub use adaptive::AdaptiveEstimator;
+pub use cir::Cir;
+pub use estimator::{Confidence, ConfidenceEstimator, LowRule, ThresholdEstimator};
+pub use index::{Combine, IndexInputs, IndexSource, IndexSpec};
+pub use init::InitPolicy;
+pub use multi_level::{ClassStats, MultiLevelEstimator};
+pub use static_profile::StaticConfidence;
+
+/// A confidence table plus its index function: maintains per-entry
+/// correctness state and exposes the raw key read for each branch.
+///
+/// `read_key` must be pure (no state change); `update` records the
+/// correctness of one prediction and must be called exactly once per
+/// dynamic branch, after `read_key`, with the same `(pc, bhr)`.
+pub trait ConfidenceMechanism {
+    /// The key (CIR pattern, counter value, …) currently stored for the
+    /// branch at `pc` under global history `bhr`.
+    fn read_key(&self, pc: u64, bhr: u64) -> u64;
+
+    /// Records whether the prediction for this branch was correct.
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool);
+
+    /// Upper bound on distinct keys, when small enough to enumerate
+    /// (e.g. `17` for 0..=16 counters, `2^16` for 16-bit CIRs).
+    fn key_space(&self) -> Option<u64>;
+
+    /// Short human-readable description.
+    fn describe(&self) -> String;
+
+    /// Re-initializes all table state to its configured initial values —
+    /// models the context-switch flush discussed (but not studied) in
+    /// §5.4. Global history is owned by the driver and is *not* affected.
+    fn flush(&mut self);
+}
+
+impl<M: ConfidenceMechanism + ?Sized> ConfidenceMechanism for Box<M> {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        (**self).read_key(pc, bhr)
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        (**self).update(pc, bhr, correct)
+    }
+
+    fn key_space(&self) -> Option<u64> {
+        (**self).key_space()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_level::ResettingConfidence;
+
+    #[test]
+    fn boxed_mechanism_dispatches() {
+        let mut m: Box<dyn ConfidenceMechanism> =
+            Box::new(ResettingConfidence::paper_default(IndexSpec::pc(4)));
+        assert_eq!(m.read_key(0, 0), 0);
+        m.update(0, 0, true);
+        assert_eq!(m.read_key(0, 0), 1);
+        assert_eq!(m.key_space(), Some(17));
+        assert!(!m.describe().is_empty());
+        m.flush();
+        assert_eq!(m.read_key(0, 0), 0, "flush restores the initial count");
+    }
+}

@@ -1,0 +1,588 @@
+//! One-level dynamic confidence mechanisms (§3.1, §5.1).
+//!
+//! All three storage organizations share the same shape — an indexed table
+//! updated with prediction correctness — and differ in what each entry
+//! holds:
+//!
+//! * [`OneLevelCir`] — full `n`-bit CIRs (Fig. 3). The *key* it exposes is
+//!   the raw CIR pattern, which supports the ideal reduction of §4 and,
+//!   through [`MappedKey`], the ones-count reduction of §5.1.
+//! * [`SaturatingConfidence`] — entries compressed to saturating up/down
+//!   counters (up on correct): a logarithmic cost saving, at the price of a
+//!   swollen maximum-count bucket (§5.1).
+//! * [`ResettingConfidence`] — entries compressed to resetting counters
+//!   (increment on correct, clear on a misprediction): tracks the ideal
+//!   reduction closely and is the paper's recommended practical design.
+
+use cira_predictor::SaturatingCounter;
+
+use crate::cir::Cir;
+use crate::index::{IndexInputs, IndexSpec};
+use crate::init::InitPolicy;
+use crate::table::CirTable;
+use crate::ConfidenceMechanism;
+
+/// Width of the global CIR maintained for `GlobalCir`-indexed mechanisms.
+const GLOBAL_CIR_WIDTH: u32 = 32;
+
+fn check_not_second_level(index: &IndexSpec) {
+    assert!(
+        !index.uses_cir(),
+        "one-level mechanisms cannot index with the level-one CIR source"
+    );
+}
+
+/// One-level CIR table: the generic mechanism of Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+/// use cira_core::one_level::OneLevelCir;
+///
+/// let mut m = OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16));
+/// assert_eq!(m.read_key(0x4000, 0), 0xffff); // all-ones init
+/// m.update(0x4000, 0, true);
+/// assert_eq!(m.read_key(0x4000, 0), 0xfffe);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneLevelCir {
+    table: CirTable,
+    index: IndexSpec,
+    global_cir: Cir,
+}
+
+impl OneLevelCir {
+    /// Creates a one-level mechanism with `width`-bit CIRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index spec uses the level-one CIR source, or on
+    /// invalid widths (propagated from [`CirTable`]).
+    pub fn new(index: IndexSpec, width: u32, init: InitPolicy) -> Self {
+        check_not_second_level(&index);
+        Self {
+            table: CirTable::new(index.bits(), width, init),
+            index,
+            global_cir: Cir::zeroed(GLOBAL_CIR_WIDTH),
+        }
+    }
+
+    /// The paper's configuration: 16-bit CIRs, all-ones initialization.
+    pub fn paper_default(index: IndexSpec) -> Self {
+        Self::new(index, 16, InitPolicy::AllOnes)
+    }
+
+    /// The index spec in use.
+    pub fn index_spec(&self) -> &IndexSpec {
+        &self.index
+    }
+
+    /// CIR width.
+    pub fn width(&self) -> u32 {
+        self.table.width()
+    }
+
+    /// Borrows the underlying table.
+    pub fn table(&self) -> &CirTable {
+        &self.table
+    }
+
+    /// Reads the full CIR for a branch (not just its key).
+    pub fn read_cir(&self, pc: u64, bhr: u64) -> Cir {
+        self.table.get(self.slot(pc, bhr))
+    }
+
+    fn slot(&self, pc: u64, bhr: u64) -> usize {
+        self.index.index(IndexInputs {
+            pc,
+            bhr,
+            cir: 0,
+            global_cir: self.global_cir.value() as u64,
+        })
+    }
+}
+
+impl ConfidenceMechanism for OneLevelCir {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        self.read_cir(pc, bhr).value() as u64
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        let slot = self.slot(pc, bhr);
+        self.table.record(slot, correct);
+        self.global_cir.push(correct);
+    }
+
+    fn key_space(&self) -> Option<u64> {
+        Some(1u64 << self.table.width())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "one-level CIR[{}] idx {} init {}",
+            self.table.width(),
+            self.index,
+            self.table.init_policy()
+        )
+    }
+
+    fn flush(&mut self) {
+        self.table.reinitialize();
+        self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
+    }
+}
+
+/// Wraps a mechanism, exposing `map(key)` as the key — e.g. a ones count
+/// over a CIR mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::{ConfidenceMechanism, IndexSpec};
+/// use cira_core::one_level::{MappedKey, OneLevelCir};
+///
+/// let cir = OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(10));
+/// let ones = MappedKey::ones_count(cir);
+/// assert_eq!(ones.read_key(0x40, 0), 16); // all-ones init has 16 ones
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappedKey<M> {
+    inner: M,
+    map: fn(u64) -> u64,
+    label: &'static str,
+    key_space: Option<u64>,
+}
+
+impl<M: ConfidenceMechanism> MappedKey<M> {
+    /// Wraps `inner`, exposing `map(key)` with a display label and an
+    /// optional key-space bound for the mapped key.
+    pub fn new(inner: M, map: fn(u64) -> u64, label: &'static str, key_space: Option<u64>) -> Self {
+        Self {
+            inner,
+            map,
+            label,
+            key_space,
+        }
+    }
+
+    /// The ones-count reduction of §5.1: key = popcount(CIR).
+    pub fn ones_count(inner: M) -> Self {
+        let space = inner
+            .key_space()
+            .map(|s| 64 - (s.saturating_sub(1)).leading_zeros() as u64 + 1);
+        Self::new(inner, |k| k.count_ones() as u64, "ones-count", space)
+    }
+
+    /// Borrows the wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ConfidenceMechanism> ConfidenceMechanism for MappedKey<M> {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        (self.map)(self.inner.read_key(pc, bhr))
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        self.inner.update(pc, bhr, correct);
+    }
+
+    fn key_space(&self) -> Option<u64> {
+        self.key_space
+    }
+
+    fn describe(&self) -> String {
+        format!("{} of {}", self.label, self.inner.describe())
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+/// Saturating-counter confidence table (§5.1).
+///
+/// Each entry counts up on a correct prediction and down on a
+/// misprediction, saturating at `0` and `max`. The key is the counter
+/// value: `max` plays the role of the zero bucket.
+#[derive(Debug, Clone)]
+pub struct SaturatingConfidence {
+    counters: Vec<SaturatingCounter>,
+    index: IndexSpec,
+    max: u32,
+    init: InitPolicy,
+    global_cir: Cir,
+}
+
+impl SaturatingConfidence {
+    /// Creates a table of counters saturating at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0` or the index spec uses the level-one CIR.
+    pub fn new(index: IndexSpec, max: u32, init: InitPolicy) -> Self {
+        check_not_second_level(&index);
+        assert!(max > 0, "counter max must be positive");
+        let counters = (0..index.table_len())
+            .map(|i| SaturatingCounter::new(init.initial_count(max, i), max))
+            .collect();
+        Self {
+            counters,
+            index,
+            max,
+            init,
+            global_cir: Cir::zeroed(GLOBAL_CIR_WIDTH),
+        }
+    }
+
+    /// The paper's configuration: counters 0..=16 (comparable to 16-bit
+    /// CIRs), all-ones-equivalent initialization (count 0).
+    pub fn paper_default(index: IndexSpec) -> Self {
+        Self::new(index, 16, InitPolicy::AllOnes)
+    }
+
+    /// Counter saturation maximum.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// The index spec in use.
+    pub fn index_spec(&self) -> &IndexSpec {
+        &self.index
+    }
+
+    fn slot(&self, pc: u64, bhr: u64) -> usize {
+        self.index.index(IndexInputs {
+            pc,
+            bhr,
+            cir: 0,
+            global_cir: self.global_cir.value() as u64,
+        })
+    }
+}
+
+impl ConfidenceMechanism for SaturatingConfidence {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        self.counters[self.slot(pc, bhr)].value() as u64
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        let slot = self.slot(pc, bhr);
+        if correct {
+            self.counters[slot].inc();
+        } else {
+            self.counters[slot].dec();
+        }
+        self.global_cir.push(correct);
+    }
+
+    fn key_space(&self) -> Option<u64> {
+        Some(self.max as u64 + 1)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "saturating[0..={}] idx {} init {}",
+            self.max, self.index, self.init
+        )
+    }
+
+    fn flush(&mut self) {
+        for (i, c) in self.counters.iter_mut().enumerate() {
+            c.set(self.init.initial_count(self.max, i));
+        }
+        self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
+    }
+}
+
+/// Resetting-counter confidence table (§5.1) — the paper's recommended
+/// practical mechanism.
+///
+/// Each entry counts correct predictions and clears to zero on any
+/// misprediction; the counter therefore holds the distance since the most
+/// recent misprediction, i.e. exactly [`Cir::distance_since_misprediction`]
+/// of the full-length CIR it replaces — at log cost.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::{ConfidenceMechanism, IndexSpec};
+/// use cira_core::one_level::ResettingConfidence;
+///
+/// let mut m = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+/// for _ in 0..20 {
+///     m.update(0x40, 0, true);
+/// }
+/// assert_eq!(m.read_key(0x40, 0), 16); // saturated: the zero bucket
+/// m.update(0x40, 0, false);
+/// assert_eq!(m.read_key(0x40, 0), 0);  // reset by the misprediction
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResettingConfidence {
+    counters: Vec<SaturatingCounter>,
+    index: IndexSpec,
+    max: u32,
+    init: InitPolicy,
+    global_cir: Cir,
+}
+
+impl ResettingConfidence {
+    /// Creates a table of resetting counters saturating at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0` or the index spec uses the level-one CIR.
+    pub fn new(index: IndexSpec, max: u32, init: InitPolicy) -> Self {
+        check_not_second_level(&index);
+        assert!(max > 0, "counter max must be positive");
+        let counters = (0..index.table_len())
+            .map(|i| SaturatingCounter::new(init.initial_count(max, i), max))
+            .collect();
+        Self {
+            counters,
+            index,
+            max,
+            init,
+            global_cir: Cir::zeroed(GLOBAL_CIR_WIDTH),
+        }
+    }
+
+    /// The paper's configuration: counters 0..=16, initialized to 0 (the
+    /// all-ones-CIR equivalent).
+    pub fn paper_default(index: IndexSpec) -> Self {
+        Self::new(index, 16, InitPolicy::AllOnes)
+    }
+
+    /// Counter saturation maximum.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// The index spec in use.
+    pub fn index_spec(&self) -> &IndexSpec {
+        &self.index
+    }
+
+    fn slot(&self, pc: u64, bhr: u64) -> usize {
+        self.index.index(IndexInputs {
+            pc,
+            bhr,
+            cir: 0,
+            global_cir: self.global_cir.value() as u64,
+        })
+    }
+}
+
+impl ConfidenceMechanism for ResettingConfidence {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        self.counters[self.slot(pc, bhr)].value() as u64
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        let slot = self.slot(pc, bhr);
+        if correct {
+            self.counters[slot].inc();
+        } else {
+            self.counters[slot].reset();
+        }
+        self.global_cir.push(correct);
+    }
+
+    fn key_space(&self) -> Option<u64> {
+        Some(self.max as u64 + 1)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "resetting[0..={}] idx {} init {}",
+            self.max, self.index, self.init
+        )
+    }
+
+    fn flush(&mut self) {
+        for (i, c) in self.counters.iter_mut().enumerate() {
+            c.set(self.init.initial_count(self.max, i));
+        }
+        self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexSpec;
+
+    #[test]
+    fn one_level_tracks_per_entry_history() {
+        let mut m = OneLevelCir::new(IndexSpec::pc(8), 4, InitPolicy::AllZeros);
+        m.update(0x40, 0, false);
+        m.update(0x40, 0, true);
+        assert_eq!(m.read_key(0x40, 0), 0b10);
+        // A different pc maps elsewhere.
+        assert_eq!(m.read_key(0x80, 0), 0);
+    }
+
+    #[test]
+    fn one_level_respects_bhr_in_index() {
+        let mut m = OneLevelCir::new(IndexSpec::pc_xor_bhr(8), 4, InitPolicy::AllZeros);
+        m.update(0x40, 0b0001, false);
+        assert_eq!(m.read_key(0x40, 0b0001), 1);
+        assert_eq!(
+            m.read_key(0x40, 0b0010),
+            0,
+            "different history, different entry"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "level-one CIR")]
+    fn one_level_rejects_cir_index() {
+        OneLevelCir::paper_default(IndexSpec::cir(8));
+    }
+
+    #[test]
+    fn global_cir_index_changes_with_outcomes() {
+        let mut m = OneLevelCir::new(IndexSpec::global_cir(4), 4, InitPolicy::AllZeros);
+        // Record a misprediction at global state 0, then a correct
+        // prediction; the global CIR is now 0b01 so reads go elsewhere.
+        m.update(0x40, 0, false);
+        assert_eq!(m.read_key(0x40, 0), 0, "global CIR moved to a new entry");
+    }
+
+    #[test]
+    fn mapped_ones_count() {
+        let mut m =
+            MappedKey::ones_count(OneLevelCir::new(IndexSpec::pc(6), 16, InitPolicy::AllZeros));
+        m.update(0x10, 0, false);
+        m.update(0x10, 0, false);
+        m.update(0x10, 0, true);
+        assert_eq!(m.read_key(0x10, 0), 2);
+        assert_eq!(m.key_space(), Some(17));
+        assert!(m.describe().contains("ones-count"));
+    }
+
+    #[test]
+    fn saturating_counts_up_and_down() {
+        let mut m = SaturatingConfidence::new(IndexSpec::pc(6), 4, InitPolicy::AllOnes);
+        assert_eq!(m.read_key(0x10, 0), 0);
+        for _ in 0..10 {
+            m.update(0x10, 0, true);
+        }
+        assert_eq!(m.read_key(0x10, 0), 4); // saturated at max
+        m.update(0x10, 0, false);
+        assert_eq!(m.read_key(0x10, 0), 3); // down by one, not reset
+    }
+
+    #[test]
+    fn resetting_clears_on_misprediction() {
+        let mut m = ResettingConfidence::new(IndexSpec::pc(6), 8, InitPolicy::AllOnes);
+        for _ in 0..5 {
+            m.update(0x10, 0, true);
+        }
+        assert_eq!(m.read_key(0x10, 0), 5);
+        m.update(0x10, 0, false);
+        assert_eq!(m.read_key(0x10, 0), 0);
+    }
+
+    #[test]
+    fn resetting_matches_full_cir_distance() {
+        // Resetting counter ≡ distance-since-misprediction of the full CIR
+        // (both saturated at width/max) for any outcome sequence.
+        let index = IndexSpec::pc(4);
+        let mut counter = ResettingConfidence::new(index.clone(), 16, InitPolicy::AllOnes);
+        let mut full = OneLevelCir::new(index, 16, InitPolicy::AllOnes);
+        let outcomes = [
+            true, true, false, true, true, true, false, false, true, true, true, true, true, true,
+            true, true, true, true, true, true, false, true,
+        ];
+        for (i, &ok) in outcomes.iter().enumerate() {
+            counter.update(0x20, 0, ok);
+            full.update(0x20, 0, ok);
+            let cir = full.read_cir(0x20, 0);
+            // The all-ones initial CIR never records distance > the number
+            // of updates, so both saturate identically once warmed up.
+            assert_eq!(
+                counter.read_key(0x20, 0),
+                cir.distance_since_misprediction() as u64,
+                "diverged after {} outcomes",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn key_spaces() {
+        assert_eq!(
+            OneLevelCir::paper_default(IndexSpec::pc(4)).key_space(),
+            Some(65536)
+        );
+        assert_eq!(
+            SaturatingConfidence::paper_default(IndexSpec::pc(4)).key_space(),
+            Some(17)
+        );
+        assert_eq!(
+            ResettingConfidence::paper_default(IndexSpec::pc(4)).key_space(),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn describe_mentions_organization() {
+        assert!(ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(4))
+            .describe()
+            .contains("resetting"));
+        assert!(SaturatingConfidence::paper_default(IndexSpec::pc(4))
+            .describe()
+            .contains("saturating"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_rejected() {
+        ResettingConfidence::new(IndexSpec::pc(4), 0, InitPolicy::AllOnes);
+    }
+
+    #[test]
+    fn flush_restores_initial_state() {
+        let mut cir = OneLevelCir::new(IndexSpec::pc(4), 8, InitPolicy::LastBit);
+        let mut sat = SaturatingConfidence::new(IndexSpec::pc(4), 16, InitPolicy::AllZeros);
+        let mut reset = ResettingConfidence::new(IndexSpec::pc(4), 16, InitPolicy::AllOnes);
+        for _ in 0..5 {
+            cir.update(0x10, 0, true);
+            sat.update(0x10, 0, false);
+            reset.update(0x10, 0, true);
+        }
+        cir.flush();
+        sat.flush();
+        reset.flush();
+        assert_eq!(cir.read_key(0x10, 0), 0b1000_0000);
+        assert_eq!(sat.read_key(0x10, 0), 16, "all-zeros equivalent count");
+        assert_eq!(reset.read_key(0x10, 0), 0);
+    }
+
+    #[test]
+    fn mapped_flush_delegates() {
+        let mut m =
+            MappedKey::ones_count(OneLevelCir::new(IndexSpec::pc(4), 8, InitPolicy::AllOnes));
+        for _ in 0..8 {
+            m.update(0x10, 0, true);
+        }
+        assert_eq!(m.read_key(0x10, 0), 0);
+        m.flush();
+        assert_eq!(m.read_key(0x10, 0), 8);
+    }
+
+    #[test]
+    fn init_policies_shape_initial_counts() {
+        let zeros = ResettingConfidence::new(IndexSpec::pc(4), 16, InitPolicy::AllZeros);
+        assert_eq!(
+            zeros.read_key(0, 0),
+            16,
+            "all-zeros CIR ≡ saturated counter"
+        );
+        let last = ResettingConfidence::new(IndexSpec::pc(4), 16, InitPolicy::LastBit);
+        assert_eq!(last.read_key(0, 0), 15);
+    }
+}

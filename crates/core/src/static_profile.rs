@@ -1,0 +1,105 @@
+//! Static (profile-based) confidence (§2).
+//!
+//! The paper's baseline: profile each static branch's misprediction rate
+//! offline, sort worst-first, and tag a prefix as the low-confidence set.
+//! All dynamic executions of a tagged branch are low confidence — no
+//! dynamic adaptation. The profiling itself (counting per-PC executions
+//! and mispredictions) lives in `cira-analysis`; this type is the runtime
+//! artifact: a set of low-confidence PCs.
+
+use std::collections::HashSet;
+
+use crate::estimator::{Confidence, ConfidenceEstimator};
+
+/// Profile-derived static confidence: low-confidence iff the branch PC was
+/// tagged at profile time.
+///
+/// # Examples
+///
+/// ```
+/// use cira_core::{Confidence, ConfidenceEstimator, StaticConfidence};
+///
+/// let est = StaticConfidence::from_low_pcs([0x400, 0x408]);
+/// assert_eq!(est.estimate(0x400, 0), Confidence::Low);
+/// assert_eq!(est.estimate(0x404, 0), Confidence::High);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticConfidence {
+    low_pcs: HashSet<u64>,
+}
+
+impl StaticConfidence {
+    /// Creates an estimator from the tagged low-confidence branch PCs.
+    pub fn from_low_pcs<I: IntoIterator<Item = u64>>(pcs: I) -> Self {
+        Self {
+            low_pcs: pcs.into_iter().collect(),
+        }
+    }
+
+    /// Number of tagged static branches.
+    pub fn low_branch_count(&self) -> usize {
+        self.low_pcs.len()
+    }
+
+    /// Whether a specific PC is tagged low-confidence.
+    pub fn is_tagged(&self, pc: u64) -> bool {
+        self.low_pcs.contains(&pc)
+    }
+}
+
+impl ConfidenceEstimator for StaticConfidence {
+    fn estimate(&self, pc: u64, _bhr: u64) -> Confidence {
+        if self.low_pcs.contains(&pc) {
+            Confidence::Low
+        } else {
+            Confidence::High
+        }
+    }
+
+    fn update(&mut self, _pc: u64, _bhr: u64, _correct: bool) {}
+
+    fn describe(&self) -> String {
+        format!(
+            "static profile ({} low-confidence branches)",
+            self.low_pcs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_only_listed_pcs() {
+        let est = StaticConfidence::from_low_pcs([8, 16]);
+        assert!(est.estimate(8, 0).is_low());
+        assert!(est.estimate(16, 99).is_low());
+        assert!(est.estimate(12, 0).is_high());
+        assert_eq!(est.low_branch_count(), 2);
+        assert!(est.is_tagged(8));
+        assert!(!est.is_tagged(12));
+    }
+
+    #[test]
+    fn update_is_noop() {
+        let mut est = StaticConfidence::from_low_pcs([8]);
+        est.update(8, 0, true);
+        est.update(8, 0, false);
+        assert!(est.estimate(8, 0).is_low());
+    }
+
+    #[test]
+    fn empty_profile_is_all_high() {
+        let est = StaticConfidence::default();
+        assert!(est.estimate(0, 0).is_high());
+        assert_eq!(est.low_branch_count(), 0);
+    }
+
+    #[test]
+    fn describe_counts_branches() {
+        assert!(StaticConfidence::from_low_pcs([1, 2, 3])
+            .describe()
+            .contains("3 low-confidence"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the confidence-mechanism primitives.
+
+use cira_core::one_level::{OneLevelCir, ResettingConfidence, SaturatingConfidence};
+use cira_core::two_level::TwoLevelCir;
+use cira_core::{Cir, ConfidenceMechanism, IndexInputs, IndexSpec, InitPolicy};
+use cira_predictor::SaturatingCounter;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cir_matches_reference_shift_register(
+        width in 1u32..=32,
+        outcomes in proptest::collection::vec(any::<bool>(), 0..100)
+    ) {
+        let mut cir = Cir::zeroed(width);
+        let mut reference: Vec<bool> = vec![false; width as usize]; // newest first
+        for &correct in &outcomes {
+            cir.push(correct);
+            reference.insert(0, !correct);
+            reference.truncate(width as usize);
+            let expected_bits: u32 = reference
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u32) << i)
+                .sum();
+            prop_assert_eq!(cir.value(), expected_bits);
+            prop_assert_eq!(
+                cir.ones_count() as usize,
+                reference.iter().filter(|&&b| b).count()
+            );
+            let expected_distance = reference
+                .iter()
+                .position(|&b| b)
+                .map(|p| p as u32)
+                .unwrap_or(width);
+            prop_assert_eq!(cir.distance_since_misprediction(), expected_distance);
+        }
+    }
+
+    #[test]
+    fn saturating_counter_stays_in_bounds(
+        max in 1u32..100,
+        ops in proptest::collection::vec(any::<bool>(), 0..200)
+    ) {
+        let mut c = SaturatingCounter::new(0, max);
+        for &up in &ops {
+            if up {
+                c.inc();
+            } else {
+                c.dec();
+            }
+            prop_assert!(c.value() <= max);
+        }
+    }
+
+    #[test]
+    fn index_spec_output_is_within_table(
+        bits in 1u32..=20,
+        pc in any::<u64>(),
+        bhr in any::<u64>(),
+        cir in any::<u64>(),
+        gcir in any::<u64>()
+    ) {
+        for spec in [
+            IndexSpec::pc(bits),
+            IndexSpec::bhr(bits),
+            IndexSpec::pc_xor_bhr(bits),
+            IndexSpec::cir(bits),
+            IndexSpec::cir_xor_pc_xor_bhr(bits),
+            IndexSpec::global_cir(bits),
+        ] {
+            let idx = spec.index(IndexInputs { pc, bhr, cir, global_cir: gcir });
+            prop_assert!(idx < spec.table_len(), "{spec}: {idx}");
+        }
+        if bits >= 2 {
+            let spec = IndexSpec::pc_concat_bhr(bits);
+            let idx = spec.index(IndexInputs { pc, bhr, cir, global_cir: gcir });
+            prop_assert!(idx < spec.table_len());
+        }
+    }
+
+    #[test]
+    fn init_policies_produce_valid_cirs(
+        width in 1u32..=32,
+        entry in 0usize..4096,
+        seed in any::<u64>()
+    ) {
+        for policy in [
+            InitPolicy::AllOnes,
+            InitPolicy::AllZeros,
+            InitPolicy::LastBit,
+            InitPolicy::Random(seed),
+        ] {
+            let cir = policy.initial_cir(width, entry);
+            prop_assert_eq!(cir.width(), width);
+            prop_assert!(cir.value() <= cir.mask());
+            let count = policy.initial_count(16, entry);
+            prop_assert!(count <= 16);
+        }
+    }
+
+    #[test]
+    fn mechanisms_never_panic_and_keys_stay_in_space(
+        stream in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..300)
+    ) {
+        let mut one = OneLevelCir::new(IndexSpec::pc_xor_bhr(6), 8, InitPolicy::AllOnes);
+        let mut sat = SaturatingConfidence::new(IndexSpec::pc(6), 7, InitPolicy::AllZeros);
+        let mut reset = ResettingConfidence::new(IndexSpec::bhr(6), 9, InitPolicy::LastBit);
+        let mut two = TwoLevelCir::new(
+            IndexSpec::pc(5),
+            6,
+            IndexSpec::cir_xor_pc_xor_bhr(6),
+            5,
+            InitPolicy::Random(3),
+        );
+        for &(pc, bhr, correct) in &stream {
+            for (mech, space) in [
+                (&mut one as &mut dyn ConfidenceMechanism, 1u64 << 8),
+                (&mut sat, 8),
+                (&mut reset, 10),
+                (&mut two, 1 << 5),
+            ] {
+                let key = mech.read_key(pc, bhr);
+                prop_assert!(key < space, "{}: key {key} space {space}", mech.describe());
+                mech.update(pc, bhr, correct);
+            }
+        }
+    }
+
+    #[test]
+    fn read_key_is_pure(
+        pc in any::<u64>(),
+        bhr in any::<u64>(),
+        warmup in proptest::collection::vec(any::<bool>(), 0..50)
+    ) {
+        let mut mech = ResettingConfidence::new(IndexSpec::pc_xor_bhr(8), 16, InitPolicy::AllOnes);
+        for &c in &warmup {
+            mech.update(pc, bhr, c);
+        }
+        let a = mech.read_key(pc, bhr);
+        let b = mech.read_key(pc, bhr);
+        prop_assert_eq!(a, b);
+    }
+}

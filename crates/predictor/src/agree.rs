@@ -1,0 +1,186 @@
+//! The agree predictor (Sprangle, Chappell, Alsup & Patt, ISCA 1997).
+//!
+//! Included because it attacks exactly the failure mode the paper's §5.3
+//! measures: destructive aliasing in small shared counter tables. Each
+//! static branch gets a *bias bit* (its first observed direction, cached in
+//! a PC-indexed table); the shared history-indexed counters then predict
+//! whether the branch **agrees** with its bias rather than its absolute
+//! direction. Two aliasing branches that both usually agree reinforce each
+//! other instead of fighting.
+
+use crate::counter::TwoBitCounter;
+use crate::{mask, table_len, BranchPredictor};
+
+/// Agree predictor: PC-indexed bias bits + gshare-style agree counters.
+///
+/// # Examples
+///
+/// ```
+/// use cira_predictor::{agree::Agree, BranchPredictor};
+///
+/// let mut p = Agree::new(10, 10, 10);
+/// p.update(0x40, 0, false); // first outcome sets the bias
+/// assert!(!p.predict(0x40, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Agree {
+    /// Agree/disagree counters, indexed like gshare (PC ⊕ BHR).
+    counters: Vec<TwoBitCounter>,
+    /// Bias bits with a valid flag, indexed by PC.
+    bias: Vec<Option<bool>>,
+    table_bits: u32,
+    history_bits: u32,
+    bias_bits: u32,
+}
+
+impl Agree {
+    /// Creates an agree predictor.
+    ///
+    /// * `table_bits` — log2 of the agree-counter table size.
+    /// * `history_bits` — BHR bits XORed into the counter index.
+    /// * `bias_bits` — log2 of the bias-bit table size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is outside `1..=28` or
+    /// `history_bits > table_bits`.
+    pub fn new(table_bits: u32, history_bits: u32, bias_bits: u32) -> Self {
+        assert!(
+            history_bits <= table_bits,
+            "history_bits {history_bits} must not exceed table_bits {table_bits}"
+        );
+        Self {
+            // Weakly-taken state doubles as "weakly agree".
+            counters: vec![TwoBitCounter::weakly_taken(); table_len(table_bits)],
+            bias: vec![None; table_len(bias_bits)],
+            table_bits,
+            history_bits,
+            bias_bits,
+        }
+    }
+
+    fn counter_index(&self, pc: u64, bhr: u64) -> usize {
+        (((pc >> 2) ^ (bhr & mask(self.history_bits))) & mask(self.table_bits)) as usize
+    }
+
+    fn bias_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & mask(self.bias_bits)) as usize
+    }
+
+    /// The bias direction currently cached for `pc` (None before the
+    /// branch's first update, or after an aliasing overwrite).
+    pub fn bias_of(&self, pc: u64) -> Option<bool> {
+        self.bias[self.bias_index(pc)]
+    }
+}
+
+impl BranchPredictor for Agree {
+    fn predict(&self, pc: u64, bhr: u64) -> bool {
+        // Until the bias is known, fall back to predicting taken (the
+        // common static heuristic).
+        let bias = self.bias[self.bias_index(pc)].unwrap_or(true);
+        let agrees = self.counters[self.counter_index(pc, bhr)].predicts_taken();
+        if agrees {
+            bias
+        } else {
+            !bias
+        }
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
+        let bi = self.bias_index(pc);
+        let bias = *self.bias[bi].get_or_insert(taken);
+        let agreed = taken == bias;
+        let ci = self.counter_index(pc, bhr);
+        self.counters[ci].train(agreed);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "agree({},{},bias {})",
+            self.table_bits, self.history_bits, self.bias_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryRegister;
+
+    #[test]
+    fn first_update_fixes_bias() {
+        let mut p = Agree::new(8, 8, 8);
+        assert_eq!(p.bias_of(0x40), None);
+        p.update(0x40, 0, false);
+        assert_eq!(p.bias_of(0x40), Some(false));
+        // Later updates do not overwrite the bias.
+        p.update(0x40, 0, true);
+        assert_eq!(p.bias_of(0x40), Some(false));
+    }
+
+    #[test]
+    fn learns_biased_branch_through_agreement() {
+        let mut p = Agree::new(10, 10, 10);
+        let mut bhr = HistoryRegister::new(10);
+        let mut wrong_late = 0;
+        for i in 0..2000 {
+            let taken = i % 10 != 0; // 90% taken
+            let pred = p.predict(0x80, bhr.value());
+            if i > 500 && pred != taken && taken {
+                wrong_late += 1; // only count majority-direction misses
+            }
+            p.update(0x80, bhr.value(), taken);
+            bhr.push(taken);
+        }
+        assert!(wrong_late < 40, "agree should track the bias: {wrong_late}");
+    }
+
+    #[test]
+    fn constructive_aliasing_between_agreeing_branches() {
+        // Two branches with opposite directions share every counter
+        // (1-entry counter table). gshare would fight; agree does not,
+        // because both branches agree with their own bias bits.
+        let mut p = Agree::new(1, 0, 8);
+        let mut miss = 0;
+        for i in 0..400 {
+            for (pc, taken) in [(0x40u64, true), (0x80u64, false)] {
+                if i > 4 && p.predict(pc, 0) != taken {
+                    miss += 1;
+                }
+                p.update(pc, 0, taken);
+            }
+        }
+        assert_eq!(miss, 0, "agreeing branches must not interfere");
+    }
+
+    #[test]
+    fn gshare_fights_where_agree_does_not() {
+        use crate::Gshare;
+        let mut g = Gshare::new(1, 0);
+        let mut miss = 0;
+        for _ in 0..400 {
+            for (pc, taken) in [(0x40u64, true), (0x80u64, false)] {
+                if g.predict(pc, 0) != taken {
+                    miss += 1;
+                }
+                g.update(pc, 0, taken);
+            }
+        }
+        assert!(
+            miss > 300,
+            "gshare should thrash on this alias pair: {miss}"
+        );
+    }
+
+    #[test]
+    fn describe_includes_config() {
+        assert_eq!(Agree::new(12, 12, 10).describe(), "agree(12,12,bias 10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn history_wider_than_table_rejected() {
+        Agree::new(8, 9, 8);
+    }
+}

@@ -1,0 +1,223 @@
+//! Saturating counters — the storage primitive of both branch predictors
+//! and the paper's compressed confidence tables.
+
+use std::fmt;
+
+/// An up/down counter saturating at `0` and `max`.
+///
+/// Used directly for confidence reductions (§5.1 of the paper uses 0..=16
+/// counters) and, through [`TwoBitCounter`], for prediction tables.
+///
+/// # Examples
+///
+/// ```
+/// use cira_predictor::counter::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::new(16, 16); // start saturated high
+/// c.dec();
+/// assert_eq!(c.value(), 15);
+/// c.set(0);
+/// c.dec();
+/// assert_eq!(c.value(), 0); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with the given initial value and maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > max`.
+    pub fn new(value: u32, max: u32) -> Self {
+        assert!(value <= max, "initial value {value} exceeds max {max}");
+        Self { value, max }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Saturation maximum.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Sets the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > max`.
+    pub fn set(&mut self, value: u32) {
+        assert!(value <= self.max, "value {value} exceeds max {}", self.max);
+        self.value = value;
+    }
+
+    /// Increments, saturating at `max`. Returns the new value.
+    pub fn inc(&mut self) -> u32 {
+        if self.value < self.max {
+            self.value += 1;
+        }
+        self.value
+    }
+
+    /// Decrements, saturating at `0`. Returns the new value.
+    pub fn dec(&mut self) -> u32 {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+        self.value
+    }
+
+    /// Resets to zero (used by the paper's resetting counters).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Whether the counter sits at its maximum.
+    pub fn is_saturated_high(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Whether the counter sits at zero.
+    pub fn is_saturated_low(&self) -> bool {
+        self.value == 0
+    }
+}
+
+impl fmt::Display for SaturatingCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+/// The classic 2-bit bimodal prediction counter.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. The paper initializes
+/// prediction tables to *weakly taken* (state 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwoBitCounter(SaturatingCounter);
+
+impl TwoBitCounter {
+    /// A counter in the weakly-taken state — the paper's initial value.
+    pub fn weakly_taken() -> Self {
+        TwoBitCounter(SaturatingCounter::new(2, 3))
+    }
+
+    /// A counter in an arbitrary state 0..=3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > 3`.
+    pub fn with_state(state: u32) -> Self {
+        TwoBitCounter(SaturatingCounter::new(state, 3))
+    }
+
+    /// Current state 0..=3.
+    pub fn state(&self) -> u32 {
+        self.0.value()
+    }
+
+    /// The direction this counter predicts.
+    pub fn predicts_taken(&self) -> bool {
+        self.0.value() >= 2
+    }
+
+    /// Trains the counter toward the resolved direction.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0.inc();
+        } else {
+            self.0.dec();
+        }
+    }
+}
+
+impl Default for TwoBitCounter {
+    /// Same as [`TwoBitCounter::weakly_taken`].
+    fn default() -> Self {
+        Self::weakly_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SaturatingCounter::new(0, 3);
+        assert!(c.is_saturated_low());
+        assert_eq!(c.dec(), 0);
+        assert_eq!(c.inc(), 1);
+        assert_eq!(c.inc(), 2);
+        assert_eq!(c.inc(), 3);
+        assert_eq!(c.inc(), 3);
+        assert!(c.is_saturated_high());
+    }
+
+    #[test]
+    fn reset_goes_to_zero() {
+        let mut c = SaturatingCounter::new(5, 16);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn set_within_bounds() {
+        let mut c = SaturatingCounter::new(0, 16);
+        c.set(16);
+        assert!(c.is_saturated_high());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn new_rejects_value_above_max() {
+        SaturatingCounter::new(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn set_rejects_value_above_max() {
+        SaturatingCounter::new(0, 3).set(4);
+    }
+
+    #[test]
+    fn display_shows_value_and_max() {
+        assert_eq!(SaturatingCounter::new(2, 16).to_string(), "2/16");
+    }
+
+    #[test]
+    fn two_bit_state_machine() {
+        let mut c = TwoBitCounter::weakly_taken();
+        assert_eq!(c.state(), 2);
+        assert!(c.predicts_taken());
+        c.train(false); // 1
+        assert!(!c.predicts_taken());
+        c.train(false); // 0
+        c.train(false); // stays 0
+        assert_eq!(c.state(), 0);
+        c.train(true); // 1
+        assert!(!c.predicts_taken()); // hysteresis
+        c.train(true); // 2
+        assert!(c.predicts_taken());
+        c.train(true); // 3
+        c.train(true); // stays 3
+        assert_eq!(c.state(), 3);
+    }
+
+    #[test]
+    fn two_bit_default_is_weakly_taken() {
+        assert_eq!(TwoBitCounter::default().state(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn two_bit_with_state_rejects_high() {
+        TwoBitCounter::with_state(4);
+    }
+}

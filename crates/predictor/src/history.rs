@@ -1,0 +1,140 @@
+//! The global branch history register (BHR).
+//!
+//! A shift register of recent branch outcomes (1 = taken). The paper's
+//! gshare predictor and its confidence tables are both indexed with
+//! (portions of) this register, so the simulation driver owns a single
+//! `HistoryRegister` and hands its value to every component.
+
+use std::fmt;
+
+/// Global branch history shift register of up to 64 bits.
+///
+/// Bit 0 holds the most recent outcome.
+///
+/// # Examples
+///
+/// ```
+/// use cira_predictor::history::HistoryRegister;
+///
+/// let mut h = HistoryRegister::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.value(), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryRegister {
+    bits: u64,
+    width: u32,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero history of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "history width must be 1..=64");
+        Self { bits: 0, width }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The masked history value.
+    pub fn value(&self) -> u64 {
+        self.bits & self.mask()
+    }
+
+    /// All-ones mask of the register's width.
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Shifts in one outcome (1 = taken).
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | taken as u64) & self.mask();
+    }
+
+    /// Overwrites the register contents (masked to width).
+    pub fn set(&mut self, value: u64) {
+        self.bits = value & self.mask();
+    }
+
+    /// Clears the register to all zeros.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+impl fmt::Display for HistoryRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.value(), width = self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_and_masks() {
+        let mut h = HistoryRegister::new(3);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), 0b111);
+        h.push(false);
+        assert_eq!(h.value(), 0b110);
+    }
+
+    #[test]
+    fn width_64_works() {
+        let mut h = HistoryRegister::new(64);
+        h.set(u64::MAX);
+        assert_eq!(h.value(), u64::MAX);
+        h.push(false);
+        assert_eq!(h.value(), u64::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_width_panics() {
+        HistoryRegister::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn wide_width_panics() {
+        HistoryRegister::new(65);
+    }
+
+    #[test]
+    fn set_masks_to_width() {
+        let mut h = HistoryRegister::new(4);
+        h.set(0xff);
+        assert_eq!(h.value(), 0xf);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut h = HistoryRegister::new(8);
+        h.set(0xab);
+        h.clear();
+        assert_eq!(h.value(), 0);
+    }
+
+    #[test]
+    fn display_pads_to_width() {
+        let mut h = HistoryRegister::new(5);
+        h.push(true);
+        assert_eq!(h.to_string(), "00001");
+    }
+}

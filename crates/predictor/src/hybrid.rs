@@ -1,0 +1,160 @@
+//! McFarling-style combining (hybrid) predictor.
+//!
+//! Two component predictors run in parallel; a PC-indexed chooser table of
+//! two-bit counters selects which component's prediction to use. The
+//! chooser trains only when the components disagree in correctness. The
+//! paper's application 3 replaces this ad-hoc chooser with explicit
+//! confidence estimates (see `cira-apps::hybrid_selector`).
+
+use crate::counter::TwoBitCounter;
+use crate::{mask, table_len, BranchPredictor};
+
+/// Combining predictor over two components.
+///
+/// Chooser state ≥ 2 selects the **first** component.
+///
+/// # Examples
+///
+/// ```
+/// use cira_predictor::{Bimodal, BranchPredictor, Gshare, Hybrid};
+///
+/// let mut p = Hybrid::new(Gshare::new(10, 10), Bimodal::new(10), 10);
+/// p.update(0x40, 0, true);
+/// let _ = p.predict(0x40, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid<A, B> {
+    first: A,
+    second: B,
+    chooser: Vec<TwoBitCounter>,
+    chooser_bits: u32,
+}
+
+impl<A: BranchPredictor, B: BranchPredictor> Hybrid<A, B> {
+    /// Creates a hybrid with a `2^chooser_bits`-entry chooser, initialized
+    /// to weakly-prefer the first component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chooser_bits` is outside `1..=28`.
+    pub fn new(first: A, second: B, chooser_bits: u32) -> Self {
+        Self {
+            first,
+            second,
+            chooser: vec![TwoBitCounter::weakly_taken(); table_len(chooser_bits)],
+            chooser_bits,
+        }
+    }
+
+    /// Borrows the first component.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// Borrows the second component.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & mask(self.chooser_bits)) as usize
+    }
+
+    /// Whether the chooser currently selects the first component for `pc`.
+    pub fn selects_first(&self, pc: u64) -> bool {
+        self.chooser[self.chooser_index(pc)].predicts_taken()
+    }
+}
+
+impl<A: BranchPredictor, B: BranchPredictor> BranchPredictor for Hybrid<A, B> {
+    fn predict(&self, pc: u64, bhr: u64) -> bool {
+        if self.selects_first(pc) {
+            self.first.predict(pc, bhr)
+        } else {
+            self.second.predict(pc, bhr)
+        }
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
+        let p1 = self.first.predict(pc, bhr);
+        let p2 = self.second.predict(pc, bhr);
+        let c1 = p1 == taken;
+        let c2 = p2 == taken;
+        if c1 != c2 {
+            let idx = self.chooser_index(pc);
+            // Train toward the component that was right.
+            self.chooser[idx].train(c1);
+        }
+        self.first.update(pc, bhr, taken);
+        self.second.update(pc, bhr, taken);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "hybrid({}+{},chooser {})",
+            self.first.describe(),
+            self.second.describe(),
+            self.chooser_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gshare, HistoryRegister, StaticDirection};
+
+    #[test]
+    fn chooser_migrates_to_better_component() {
+        // Component 1 is always-not-taken, component 2 always-taken;
+        // on an always-taken branch the chooser must learn component 2.
+        let mut p = Hybrid::new(
+            StaticDirection::always_not_taken(),
+            StaticDirection::always_taken(),
+            8,
+        );
+        assert!(p.selects_first(0x40));
+        for _ in 0..4 {
+            p.update(0x40, 0, true);
+        }
+        assert!(!p.selects_first(0x40));
+        assert!(p.predict(0x40, 0));
+    }
+
+    #[test]
+    fn hybrid_tracks_best_component_on_mixed_workload() {
+        // Branch A alternates (gshare-friendly), branch B is biased
+        // not-taken (bimodal-friendly, and gshare handles it too); the
+        // hybrid should approach the better component on each.
+        let mut hybrid = Hybrid::new(Gshare::new(10, 10), Bimodal::new(10), 10);
+        let mut bhr = HistoryRegister::new(10);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..4000 {
+            let (pc, taken) = if i % 2 == 0 {
+                (0x100u64, (i / 2) % 2 == 0)
+            } else {
+                (0x200u64, false)
+            };
+            let pred = hybrid.predict(pc, bhr.value());
+            if i > 2000 {
+                total += 1;
+                if pred == taken {
+                    correct += 1;
+                }
+            }
+            hybrid.update(pc, bhr.value(), taken);
+            bhr.push(taken);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.95, "hybrid accuracy {acc}");
+    }
+
+    #[test]
+    fn components_accessible() {
+        let p = Hybrid::new(Bimodal::new(4), Bimodal::new(5), 4);
+        assert_eq!(p.first().bits(), 4);
+        assert_eq!(p.second().bits(), 5);
+        assert!(p.describe().contains("hybrid(bimodal(4)+bimodal(5)"));
+    }
+}

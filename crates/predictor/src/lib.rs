@@ -1,0 +1,160 @@
+//! # cira-predictor
+//!
+//! Dynamic branch predictors for the `cira` workspace — the substrate under
+//! the confidence mechanisms of Jacobsen, Rotenberg & Smith (MICRO-29,
+//! 1996).
+//!
+//! The paper's experiments sit on top of a **gshare** predictor (McFarling,
+//! DEC WRL TN-36): 2^16 two-bit counters indexed by the XOR of PC bits 17..2
+//! and a 16-bit global branch history register. This crate provides that
+//! predictor ([`Gshare`]), the smaller 4K configuration of §5.3, and a
+//! family of baselines ([`Bimodal`], [`GSelect`], [`LocalTwoLevel`],
+//! [`Hybrid`], [`StaticDirection`], and the anti-aliasing [`Agree`]
+//! predictor) used for context, for the hybrid-selector application, and
+//! for the small-table aliasing studies.
+//!
+//! ## Architecture
+//!
+//! The **global history register lives outside the predictors**: the
+//! simulation driver owns a [`HistoryRegister`] and passes its value to
+//! [`BranchPredictor::predict`] / [`BranchPredictor::update`]. This mirrors
+//! the hardware (one BHR feeding several structures) and lets confidence
+//! tables share exactly the history the predictor saw — which the paper's
+//! PC⊕BHR confidence indexing requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_predictor::{BranchPredictor, Gshare, HistoryRegister};
+//!
+//! let mut predictor = Gshare::paper_large();
+//! let mut bhr = HistoryRegister::new(16);
+//! // drive one branch through the predictor
+//! let predicted = predictor.predict(0x4000, bhr.value());
+//! let actual = true;
+//! predictor.update(0x4000, bhr.value(), actual);
+//! bhr.push(actual);
+//! let _ = predicted == actual;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agree;
+pub mod bimodal;
+pub mod counter;
+pub mod gselect;
+pub mod gshare;
+pub mod history;
+pub mod hybrid;
+pub mod local;
+pub mod statics;
+
+pub use agree::Agree;
+pub use bimodal::Bimodal;
+pub use counter::{SaturatingCounter, TwoBitCounter};
+pub use gselect::GSelect;
+pub use gshare::Gshare;
+pub use history::HistoryRegister;
+pub use hybrid::Hybrid;
+pub use local::LocalTwoLevel;
+pub use statics::StaticDirection;
+
+/// A dynamic conditional-branch direction predictor.
+///
+/// `bhr` is the current global-history value supplied by the driver (see
+/// the crate docs); predictors that do not use global history ignore it.
+///
+/// Implementations must be deterministic: identical call sequences yield
+/// identical predictions.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc` (`true` = taken).
+    fn predict(&self, pc: u64, bhr: u64) -> bool;
+
+    /// Trains the predictor with the resolved direction.
+    ///
+    /// `bhr` must be the same global-history value that was passed to the
+    /// matching [`predict`](Self::predict) call.
+    fn update(&mut self, pc: u64, bhr: u64, taken: bool);
+
+    /// Short human-readable description (e.g. `"gshare(16,16)"`).
+    fn describe(&self) -> String;
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&self, pc: u64, bhr: u64) -> bool {
+        (**self).predict(pc, bhr)
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
+        (**self).update(pc, bhr, taken)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Number of table entries implied by an index width, validating bounds.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 28 (a 256M-entry table is assumed
+/// to be a configuration mistake).
+pub(crate) fn table_len(bits: u32) -> usize {
+    assert!(
+        (1..=28).contains(&bits),
+        "table index width must be 1..=28 bits, got {bits}"
+    );
+    1usize << bits
+}
+
+/// Masks `value` to the low `bits` bits.
+pub(crate) fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_len_powers() {
+        assert_eq!(table_len(1), 2);
+        assert_eq!(table_len(12), 4096);
+        assert_eq!(table_len(16), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=28")]
+    fn table_len_rejects_zero() {
+        table_len(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=28")]
+    fn table_len_rejects_huge() {
+        table_len(29);
+    }
+
+    #[test]
+    fn boxed_predictor_dispatches() {
+        let mut p: Box<dyn BranchPredictor> = Box::new(crate::Bimodal::new(4));
+        for _ in 0..4 {
+            p.update(0x40, 0, false);
+        }
+        assert!(!p.predict(0x40, 0));
+        assert_eq!(p.describe(), "bimodal(4)");
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(16), 0xffff);
+        assert_eq!(mask(64), u64::MAX);
+    }
+}

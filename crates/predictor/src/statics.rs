@@ -1,0 +1,70 @@
+//! Static (non-learning) predictors — the simplest baselines.
+
+use crate::BranchPredictor;
+
+/// Predicts a fixed direction for every branch.
+///
+/// # Examples
+///
+/// ```
+/// use cira_predictor::{BranchPredictor, StaticDirection};
+///
+/// let p = StaticDirection::always_taken();
+/// assert!(p.predict(0x400, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticDirection {
+    taken: bool,
+}
+
+impl StaticDirection {
+    /// Predicts taken for every branch.
+    pub fn always_taken() -> Self {
+        Self { taken: true }
+    }
+
+    /// Predicts not-taken for every branch.
+    pub fn always_not_taken() -> Self {
+        Self { taken: false }
+    }
+}
+
+impl BranchPredictor for StaticDirection {
+    fn predict(&self, _pc: u64, _bhr: u64) -> bool {
+        self.taken
+    }
+
+    fn update(&mut self, _pc: u64, _bhr: u64, _taken: bool) {}
+
+    fn describe(&self) -> String {
+        if self.taken {
+            "static(taken)".to_owned()
+        } else {
+            "static(not-taken)".to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_directions() {
+        let mut t = StaticDirection::always_taken();
+        let n = StaticDirection::always_not_taken();
+        assert!(t.predict(0, 0));
+        assert!(!n.predict(0, 0));
+        t.update(0, 0, false); // no-op
+        assert!(t.predict(0, 0));
+    }
+
+    #[test]
+    fn describe_names() {
+        assert_eq!(StaticDirection::always_taken().describe(), "static(taken)");
+        assert_eq!(
+            StaticDirection::always_not_taken().describe(),
+            "static(not-taken)"
+        );
+    }
+}

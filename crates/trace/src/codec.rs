@@ -1,0 +1,329 @@
+//! Compact binary trace files.
+//!
+//! Format (`CIRT` v1): an 8-byte header (`b"CIRT"`, `u8` version, 3 reserved
+//! bytes) followed by one LEB128 varint per record. Each record is encoded
+//! as `zigzag(pc - prev_pc) * 2 + taken`, exploiting the strong locality of
+//! branch PCs: the typical record costs 1–2 bytes instead of 9.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_trace::{BranchRecord, codec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let records = vec![BranchRecord::new(0x4000, true), BranchRecord::new(0x4004, false)];
+//! let mut buf = Vec::new();
+//! codec::write_trace(&mut buf, records.iter().copied())?;
+//! let back = codec::read_trace(&buf[..])?;
+//! assert_eq!(back, records);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::record::BranchRecord;
+
+const MAGIC: &[u8; 4] = b"CIRT";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a trace file.
+#[derive(Debug)]
+pub enum DecodeTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `CIRT` magic.
+    BadMagic([u8; 4]),
+    /// The format version is not supported.
+    UnsupportedVersion(u8),
+    /// A varint ran past 10 bytes (not a valid LEB128 `u64`).
+    VarintOverflow,
+    /// The stream ended in the middle of a varint.
+    TruncatedRecord,
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            DecodeTraceError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"CIRT\""),
+            DecodeTraceError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeTraceError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            DecodeTraceError::TruncatedRecord => write!(f, "stream ended mid-record"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeTraceError {
+    fn from(e: io::Error) -> Self {
+        DecodeTraceError::Io(e)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// Record words are 65 bits (zigzag delta plus the taken bit), so varints are
+// carried in u128 and capped at 10 LEB128 bytes (70 payload bits).
+const MAX_VARINT_BITS: u32 = 70;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u128) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads one varint; `Ok(None)` on clean EOF at a record boundary.
+fn read_varint<R: Read>(r: &mut R) -> Result<Option<u128>, DecodeTraceError> {
+    let mut v: u128 = 0;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if first {
+                    Ok(None)
+                } else {
+                    Err(DecodeTraceError::TruncatedRecord)
+                };
+            }
+            Ok(_) => {}
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+        if shift >= MAX_VARINT_BITS {
+            return Err(DecodeTraceError::VarintOverflow);
+        }
+        v |= ((byte[0] & 0x7f) as u128) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+        first = false;
+    }
+}
+
+/// Writes a trace to `writer`. A `&mut W` also works (`W: Write` is taken by
+/// value per the usual reader/writer convention).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
+    mut writer: W,
+    records: I,
+) -> io::Result<u64> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[VERSION, 0, 0, 0])?;
+    let mut prev_pc: u64 = 0;
+    let mut count = 0u64;
+    for r in records {
+        let delta = r.pc.wrapping_sub(prev_pc) as i64;
+        let word = ((zigzag(delta) as u128) << 1) | r.taken as u128;
+        write_varint(&mut writer, word)?;
+        prev_pc = r.pc;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Reads an entire trace into memory.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<BranchRecord>, DecodeTraceError> {
+    TraceReader::new(reader)?.collect()
+}
+
+/// Streaming trace decoder; yields records one at a time.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    prev_pc: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the header and prepares to stream records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeTraceError`] if the magic or version is wrong.
+    pub fn new(mut reader: R) -> Result<Self, DecodeTraceError> {
+        let mut header = [0u8; 8];
+        reader
+            .read_exact(&mut header)
+            .map_err(DecodeTraceError::Io)?;
+        if &header[0..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&header[0..4]);
+            return Err(DecodeTraceError::BadMagic(m));
+        }
+        if header[4] != VERSION {
+            return Err(DecodeTraceError::UnsupportedVersion(header[4]));
+        }
+        Ok(Self { reader, prev_pc: 0 })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<BranchRecord, DecodeTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match read_varint(&mut self.reader) {
+            Ok(None) => None,
+            Ok(Some(word)) => {
+                let taken = word & 1 == 1;
+                let delta = unzigzag((word >> 1) as u64);
+                let pc = self.prev_pc.wrapping_add(delta as u64);
+                self.prev_pc = pc;
+                Some(Ok(BranchRecord::new(pc, taken)))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    fn roundtrip(records: &[BranchRecord]) {
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, records.iter().copied()).unwrap();
+        assert_eq!(n, records.len() as u64);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn zigzag_roundtrip_edges() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_record_roundtrips() {
+        roundtrip(&[BranchRecord::new(0xdead_beef, true)]);
+    }
+
+    #[test]
+    fn local_deltas_are_compact() {
+        let records: Vec<_> = (0..1000u64)
+            .map(|i| BranchRecord::new(0x40_0000 + 4 * (i % 16), i % 3 == 0))
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).unwrap();
+        // header + ~1-2 bytes per record
+        assert!(buf.len() < 8 + 2 * records.len(), "size {}", buf.len());
+        assert_eq!(read_trace(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn random_pcs_roundtrip() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let records: Vec<_> = (0..5000)
+            .map(|_| BranchRecord::new(rng.next_u64(), rng.bernoulli(0.5)))
+            .collect();
+        roundtrip(&records);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        match read_trace(&buf[..]) {
+            Err(DecodeTraceError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let buf = b"CIRT\x07\x00\x00\x00".to_vec();
+        match read_trace(&buf[..]) {
+            Err(DecodeTraceError::UnsupportedVersion(7)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let buf = b"CIRT".to_vec();
+        assert!(matches!(read_trace(&buf[..]), Err(DecodeTraceError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [BranchRecord::new(u64::MAX / 3, true)]).unwrap();
+        buf.pop(); // chop mid-varint
+        assert!(matches!(
+            read_trace(&buf[..]),
+            Err(DecodeTraceError::TruncatedRecord)
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let mut buf = b"CIRT\x01\x00\x00\x00".to_vec();
+        buf.extend_from_slice(&[0xff; 11]);
+        assert!(matches!(
+            read_trace(&buf[..]),
+            Err(DecodeTraceError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_yields_incrementally() {
+        let records = [
+            BranchRecord::new(16, true),
+            BranchRecord::new(20, false),
+            BranchRecord::new(16, true),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).unwrap();
+        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.next().unwrap().unwrap(), records[0]);
+        assert_eq!(reader.next().unwrap().unwrap(), records[1]);
+        assert_eq!(reader.next().unwrap().unwrap(), records[2]);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(DecodeTraceError::VarintOverflow
+            .to_string()
+            .contains("varint"));
+        assert!(DecodeTraceError::BadMagic(*b"ABCD")
+            .to_string()
+            .contains("CIRT"));
+    }
+}

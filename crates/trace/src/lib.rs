@@ -1,0 +1,45 @@
+//! # cira-trace
+//!
+//! Branch trace substrate for the `cira` workspace — the reproduction of
+//! Jacobsen, Rotenberg & Smith, *"Assigning Confidence to Conditional Branch
+//! Predictions"* (MICRO-29, 1996).
+//!
+//! Everything downstream (predictors, confidence mechanisms, analyses)
+//! consumes a stream of [`BranchRecord`]s. This crate provides:
+//!
+//! * [`record`] — the record type, the replayable [`TraceSource`] trait, and
+//!   one-pass [`TraceStats`].
+//! * [`rng`] — deterministic PRNGs so traces are bit-stable forever.
+//! * [`model`] / [`program`] — per-branch behaviour models and the Markov
+//!   region walker that generates synthetic workloads.
+//! * [`suite`] — the IBS-like benchmark suite substituting for the paper's
+//!   (unavailable) IBS traces; see `DESIGN.md` §3.
+//! * [`tinyvm`] — a small register VM with an assembler whose real control
+//!   flow yields organic branch traces for examples and tests.
+//! * [`codec`] — a compact binary trace file format.
+//! * [`transform`] — rebasing, concatenation, interleaving, sampling.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cira_trace::suite::ibs_like_suite;
+//! use cira_trace::TraceStats;
+//!
+//! let suite = ibs_like_suite();
+//! let stats: TraceStats = suite[0].walker().take(10_000).collect();
+//! assert_eq!(stats.dynamic_branches(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod model;
+pub mod program;
+pub mod record;
+pub mod rng;
+pub mod suite;
+pub mod tinyvm;
+pub mod transform;
+
+pub use record::{BranchRecord, TraceSource, TraceStats, VecTrace};

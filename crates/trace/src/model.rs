@@ -1,0 +1,400 @@
+//! Per-branch behaviour models for synthetic workloads.
+//!
+//! Each static branch in a synthetic program is assigned a [`Behavior`] that
+//! determines its outcome whenever it executes. The models are chosen to
+//! span the behaviours that drive branch-predictor (and therefore
+//! confidence-mechanism) dynamics in real programs:
+//!
+//! * [`Behavior::Loop`] — backward loop branches: taken for the loop body,
+//!   not-taken once on exit. Trip counts come from a [`TripCount`]
+//!   distribution; fixed short trips are perfectly learnable by a history
+//!   predictor, variable trips mispredict roughly once per loop visit.
+//! * [`Behavior::Bias`] — independent Bernoulli branches with a fixed taken
+//!   probability (data-dependent tests). A counter predictor converges on
+//!   the majority direction and mispredicts at `min(p, 1-p)`.
+//! * [`Behavior::Correlated`] — outcome is a boolean function (parity) of
+//!   selected recent *global* outcomes, optionally flipped with a small
+//!   noise probability. These reward history-indexed predictors and are the
+//!   reason dynamic confidence beats static profiling in the paper.
+//! * [`Behavior::Pattern`] — short periodic sequences (alternating guards,
+//!   unrolled-loop residues); learnable when the period fits in history.
+
+use crate::rng::{SplitMix64, Xoshiro256StarStar};
+
+/// Distribution of loop trip counts (number of *taken* iterations before the
+/// not-taken exit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TripCount {
+    /// Always exactly `n` iterations.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]` inclusive.
+    Uniform(u32, u32),
+    /// Geometric with the given mean, capped at `cap` iterations.
+    Geometric {
+        /// Mean number of iterations.
+        mean: f64,
+        /// Hard upper bound on a single draw.
+        cap: u32,
+    },
+}
+
+impl TripCount {
+    /// Draws one trip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` variant has `lo > hi`.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u32 {
+        match *self {
+            TripCount::Fixed(n) => n,
+            TripCount::Uniform(lo, hi) => {
+                assert!(lo <= hi, "TripCount::Uniform requires lo <= hi");
+                rng.range_inclusive(lo as u64, hi as u64) as u32
+            }
+            TripCount::Geometric { mean, cap } => {
+                if mean <= 0.0 {
+                    return 0;
+                }
+                let p = 1.0 / (mean + 1.0);
+                rng.geometric(p, cap as u64) as u32
+            }
+        }
+    }
+
+    /// The distribution's mean trip count.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            TripCount::Fixed(n) => n as f64,
+            TripCount::Uniform(lo, hi) => (lo as f64 + hi as f64) / 2.0,
+            TripCount::Geometric { mean, cap } => mean.min(cap as f64),
+        }
+    }
+}
+
+/// The behaviour model of one static branch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// A loop-closing branch; see [`TripCount`].
+    Loop(TripCount),
+    /// Independent Bernoulli branch taken with probability `p_taken`.
+    Bias {
+        /// Probability that the branch is taken.
+        p_taken: f64,
+    },
+    /// Parity of selected recent global outcomes, with noise.
+    Correlated {
+        /// History offsets (1 = most recent global outcome) whose parity
+        /// decides the direction. Offsets must be in `1..=64`.
+        deps: Vec<u8>,
+        /// If `true`, the parity is inverted.
+        invert: bool,
+        /// Probability the computed direction is flipped (models data
+        /// dependence the history cannot capture).
+        noise: f64,
+    },
+    /// A fixed repeating outcome pattern.
+    Pattern {
+        /// The repeating outcomes, earliest first. Must be nonempty.
+        bits: Vec<bool>,
+    },
+    /// A context mixture: for most 16-bit global-history contexts the
+    /// outcome is a fixed (hash-derived) direction — perfectly learnable —
+    /// while a `hard_frac` fraction of contexts are permanently 50/50.
+    ///
+    /// This reproduces how real hard branches behave: mispredictions
+    /// concentrate in specific recurring contexts instead of arriving
+    /// i.i.d., which is what gives confidence tables their discriminating
+    /// power (the paper's zero-bucket structure).
+    ContextHard {
+        /// Per-branch salt making context hashes independent across
+        /// branches.
+        salt: u64,
+        /// Fraction of contexts that are permanently hard (50/50). The
+        /// asymptotic misprediction rate is ≈ `hard_frac / 2`.
+        hard_frac: f64,
+    },
+}
+
+impl Behavior {
+    /// Convenience constructor for a correlated branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency offset is 0 or greater than 64.
+    pub fn correlated(deps: Vec<u8>, invert: bool, noise: f64) -> Self {
+        assert!(
+            deps.iter().all(|&d| (1..=64).contains(&d)),
+            "correlated deps must be history offsets in 1..=64"
+        );
+        Behavior::Correlated {
+            deps,
+            invert,
+            noise,
+        }
+    }
+
+    /// Convenience constructor for a context-mixture branch.
+    pub fn context_hard(salt: u64, hard_frac: f64) -> Self {
+        Behavior::ContextHard { salt, hard_frac }
+    }
+
+    /// Expected outcomes emitted per execution of the owning slot
+    /// (loops emit `mean + 1` records, everything else exactly one).
+    pub fn mean_records_per_visit(&self) -> f64 {
+        match self {
+            Behavior::Loop(trip) => trip.mean() + 1.0,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Mutable per-branch state carried between executions.
+///
+/// Only [`Behavior::Pattern`] needs state (its phase); kept as a struct so
+/// more stateful behaviours can be added without changing call sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BehaviorState {
+    pattern_pos: usize,
+}
+
+impl BehaviorState {
+    /// Fresh state for a branch that has not executed yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates a non-loop behaviour once, returning the outcome.
+    ///
+    /// `global_history` holds the most recent global outcomes with bit 0 the
+    /// most recent (1 = taken), as maintained by the program walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Behavior::Loop`] (loops are expanded by the
+    /// walker, which emits their taken/not-taken sequence directly) or on an
+    /// empty pattern.
+    pub fn evaluate(
+        &mut self,
+        behavior: &Behavior,
+        global_history: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> bool {
+        match behavior {
+            Behavior::Loop(_) => {
+                panic!("loop branches are expanded by the walker, not evaluated pointwise")
+            }
+            Behavior::Bias { p_taken } => rng.bernoulli(*p_taken),
+            Behavior::Correlated {
+                deps,
+                invert,
+                noise,
+            } => {
+                let mut parity = *invert;
+                for &d in deps {
+                    let bit = (global_history >> (d - 1)) & 1 == 1;
+                    parity ^= bit;
+                }
+                if rng.bernoulli(*noise) {
+                    !parity
+                } else {
+                    parity
+                }
+            }
+            Behavior::Pattern { bits } => {
+                assert!(!bits.is_empty(), "pattern must be nonempty");
+                let out = bits[self.pattern_pos % bits.len()];
+                self.pattern_pos = (self.pattern_pos + 1) % bits.len();
+                out
+            }
+            Behavior::ContextHard { salt, hard_frac } => {
+                let h = SplitMix64::mix(salt ^ (global_history & 0xffff));
+                let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if u < *hard_frac {
+                    rng.bernoulli(0.5)
+                } else {
+                    h & (1 << 60) != 0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fixed_trip_is_constant() {
+        let mut r = rng();
+        let t = TripCount::Fixed(7);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut r), 7);
+        }
+        assert_eq!(t.mean(), 7.0);
+    }
+
+    #[test]
+    fn uniform_trip_within_bounds() {
+        let mut r = rng();
+        let t = TripCount::Uniform(3, 9);
+        for _ in 0..1000 {
+            let v = t.sample(&mut r);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(t.mean(), 6.0);
+    }
+
+    #[test]
+    fn geometric_trip_mean_roughly_right() {
+        let mut r = rng();
+        let t = TripCount::Geometric {
+            mean: 10.0,
+            cap: 10_000,
+        };
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| t.sample(&mut r) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_trip_zero_mean() {
+        let mut r = rng();
+        let t = TripCount::Geometric { mean: 0.0, cap: 10 };
+        assert_eq!(t.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn bias_behavior_frequency() {
+        let mut r = rng();
+        let b = Behavior::Bias { p_taken: 0.8 };
+        let mut st = BehaviorState::new();
+        let n = 100_000;
+        let taken = (0..n).filter(|_| st.evaluate(&b, 0, &mut r)).count();
+        let f = taken as f64 / n as f64;
+        assert!((f - 0.8).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn correlated_parity_no_noise() {
+        let mut r = rng();
+        let b = Behavior::correlated(vec![1, 3], false, 0.0);
+        let mut st = BehaviorState::new();
+        // history bits: bit0 (offset 1) = 1, bit2 (offset 3) = 1 -> parity 0
+        assert!(!st.evaluate(&b, 0b101, &mut r));
+        // bit0 = 1, bit2 = 0 -> parity 1
+        assert!(st.evaluate(&b, 0b001, &mut r));
+    }
+
+    #[test]
+    fn correlated_invert_flips() {
+        let mut r = rng();
+        let b = Behavior::correlated(vec![2], true, 0.0);
+        let mut st = BehaviorState::new();
+        assert!(st.evaluate(&b, 0b00, &mut r));
+        assert!(!st.evaluate(&b, 0b10, &mut r));
+    }
+
+    #[test]
+    fn correlated_noise_flips_sometimes() {
+        let mut r = rng();
+        let b = Behavior::correlated(vec![1], false, 0.25);
+        let mut st = BehaviorState::new();
+        let n = 40_000;
+        // with history 0 parity is false; flips happen with p=0.25
+        let flips = (0..n).filter(|_| st.evaluate(&b, 0, &mut r)).count();
+        let f = flips as f64 / n as f64;
+        assert!((f - 0.25).abs() < 0.02, "flip rate {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn correlated_offset_zero_panics() {
+        Behavior::correlated(vec![0], false, 0.0);
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let mut r = rng();
+        let b = Behavior::Pattern {
+            bits: vec![true, true, false],
+        };
+        let mut st = BehaviorState::new();
+        let out: Vec<bool> = (0..7).map(|_| st.evaluate(&b, 0, &mut r)).collect();
+        assert_eq!(out, vec![true, true, false, true, true, false, true]);
+    }
+
+    #[test]
+    fn context_hard_is_deterministic_on_easy_contexts() {
+        let mut r = rng();
+        let b = Behavior::context_hard(42, 0.0); // no hard contexts
+        let mut st = BehaviorState::new();
+        for hist in 0..200u64 {
+            let a = st.evaluate(&b, hist, &mut r);
+            let c = st.evaluate(&b, hist, &mut r);
+            assert_eq!(a, c, "easy context {hist} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn context_hard_fraction_is_respected() {
+        let mut r = rng();
+        let b = Behavior::context_hard(7, 0.3);
+        let mut st = BehaviorState::new();
+        // A context is hard iff two evaluations can differ; estimate the
+        // hard fraction over many contexts.
+        let mut hard = 0;
+        let n = 2000u64;
+        for hist in 0..n {
+            let first = st.evaluate(&b, hist, &mut r);
+            let mut differs = false;
+            for _ in 0..12 {
+                if st.evaluate(&b, hist, &mut r) != first {
+                    differs = true;
+                    break;
+                }
+            }
+            if differs {
+                hard += 1;
+            }
+        }
+        let frac = hard as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.06, "hard fraction {frac}");
+    }
+
+    #[test]
+    fn context_hard_salt_changes_mapping() {
+        let mut r = rng();
+        let mut st = BehaviorState::new();
+        let a = Behavior::context_hard(1, 0.0);
+        let b = Behavior::context_hard(2, 0.0);
+        let same = (0..64u64)
+            .filter(|&h| st.evaluate(&a, h, &mut r) == st.evaluate(&b, h, &mut r))
+            .count();
+        assert!(same < 55, "salts should decorrelate directions: {same}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expanded by the walker")]
+    fn loop_pointwise_evaluation_panics() {
+        let mut r = rng();
+        let b = Behavior::Loop(TripCount::Fixed(3));
+        BehaviorState::new().evaluate(&b, 0, &mut r);
+    }
+
+    #[test]
+    fn mean_records_per_visit() {
+        assert_eq!(
+            Behavior::Loop(TripCount::Fixed(4)).mean_records_per_visit(),
+            5.0
+        );
+        assert_eq!(
+            Behavior::Bias { p_taken: 0.5 }.mean_records_per_visit(),
+            1.0
+        );
+    }
+}

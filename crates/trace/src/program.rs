@@ -1,0 +1,576 @@
+//! Synthetic programs: static branches arranged in regions, executed by a
+//! Markov region walker.
+//!
+//! A [`Program`] models the control-flow *shape* of a workload without
+//! simulating computation: static branches (each with a
+//! [`Behavior`]) are grouped into *regions*
+//! (think functions or hot code clusters). Executing a region emits the
+//! outcomes of its branch slots in order, expanding loop slots into their
+//! taken/taken/.../not-taken sequence; then the walker transitions to a
+//! successor region according to a weighted Markov chain. Region locality
+//! plus loop expansion reproduces the PC-locality and dynamic-frequency
+//! structure that drives predictor and confidence-table behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_trace::program::{ProgramBuilder, Slot};
+//! use cira_trace::model::{Behavior, TripCount};
+//!
+//! let mut b = ProgramBuilder::new(0x1000);
+//! let cond = b.branch(Behavior::Bias { p_taken: 0.9 });
+//! let lp = b.branch(Behavior::Loop(TripCount::Fixed(3)));
+//! let r = b.region(vec![Slot::Loop { branch: lp, body: vec![Slot::Branch(cond)] }]);
+//! b.transition(r, r, 1.0);
+//! let program = b.build().unwrap();
+//! let records: Vec<_> = program.walker(42).take(100).collect();
+//! assert_eq!(records.len(), 100);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::model::{Behavior, BehaviorState};
+use crate::record::{BranchRecord, TraceSource};
+use crate::rng::Xoshiro256StarStar;
+
+/// Identifier of a static branch within a [`Program`].
+pub type BranchId = usize;
+
+/// Identifier of a region within a [`Program`].
+pub type RegionId = usize;
+
+/// One element of a region's body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// Execute a non-loop branch once.
+    Branch(BranchId),
+    /// Execute a loop: per iteration emit `body`, then the loop branch
+    /// taken; on exit emit the loop branch not-taken.
+    Loop {
+        /// The loop-closing branch; must have [`Behavior::Loop`].
+        branch: BranchId,
+        /// Slots executed once per iteration (may nest further loops).
+        body: Vec<Slot>,
+    },
+}
+
+/// Errors reported by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildProgramError {
+    /// The program has no regions.
+    NoRegions,
+    /// A region has an empty slot list.
+    EmptyRegion(RegionId),
+    /// A slot references a branch id that was never declared.
+    UnknownBranch(BranchId),
+    /// A `Slot::Loop` references a branch whose behaviour is not `Loop`.
+    NotALoopBranch(BranchId),
+    /// A `Slot::Branch` references a branch whose behaviour is `Loop`.
+    LoopUsedAsPlainBranch(BranchId),
+    /// A region has no outgoing transition weight.
+    NoTransitions(RegionId),
+    /// A transition weight is negative or non-finite.
+    BadWeight(RegionId, RegionId),
+}
+
+impl fmt::Display for BuildProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildProgramError::NoRegions => write!(f, "program has no regions"),
+            BuildProgramError::EmptyRegion(r) => write!(f, "region {r} has no slots"),
+            BuildProgramError::UnknownBranch(b) => write!(f, "unknown branch id {b}"),
+            BuildProgramError::NotALoopBranch(b) => {
+                write!(f, "branch {b} used in a loop slot but is not a loop branch")
+            }
+            BuildProgramError::LoopUsedAsPlainBranch(b) => {
+                write!(f, "loop branch {b} used as a plain branch slot")
+            }
+            BuildProgramError::NoTransitions(r) => {
+                write!(f, "region {r} has no outgoing transitions")
+            }
+            BuildProgramError::BadWeight(a, b) => {
+                write!(
+                    f,
+                    "transition {a}->{b} has a non-positive or non-finite weight"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildProgramError {}
+
+#[derive(Debug, Clone)]
+struct BranchDecl {
+    pc: u64,
+    behavior: Behavior,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    slots: Vec<Slot>,
+    /// Outgoing transitions as (target, weight) pairs.
+    succs: Vec<(RegionId, f64)>,
+}
+
+/// Incrementally constructs a [`Program`].
+///
+/// Declare branches with [`branch`](Self::branch), group them into regions
+/// with [`region`](Self::region), wire regions with
+/// [`transition`](Self::transition), and finish with
+/// [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    base_pc: u64,
+    branches: Vec<BranchDecl>,
+    regions: Vec<Region>,
+    start: RegionId,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose branch PCs are allocated from `base_pc`
+    /// upward in 4-byte steps.
+    pub fn new(base_pc: u64) -> Self {
+        Self {
+            base_pc,
+            branches: Vec::new(),
+            regions: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Declares a static branch and returns its id. The branch's PC is
+    /// `base_pc + 4 * id`.
+    pub fn branch(&mut self, behavior: Behavior) -> BranchId {
+        let id = self.branches.len();
+        self.branches.push(BranchDecl {
+            pc: self.base_pc + 4 * id as u64,
+            behavior,
+        });
+        id
+    }
+
+    /// The PC that was (or will be) assigned to branch `id`.
+    pub fn pc_of(&self, id: BranchId) -> u64 {
+        self.base_pc + 4 * id as u64
+    }
+
+    /// Declares a region with the given slot list and returns its id.
+    pub fn region(&mut self, slots: Vec<Slot>) -> RegionId {
+        let id = self.regions.len();
+        self.regions.push(Region {
+            slots,
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a Markov transition edge `from -> to` with the given weight.
+    ///
+    /// Weights are relative; they need not sum to one.
+    pub fn transition(&mut self, from: RegionId, to: RegionId, weight: f64) -> &mut Self {
+        self.regions[from].succs.push((to, weight));
+        self
+    }
+
+    /// Sets the region the walker starts in (defaults to region 0).
+    pub fn start_region(&mut self, region: RegionId) -> &mut Self {
+        self.start = region;
+        self
+    }
+
+    /// Number of branches declared so far.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Validates and freezes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildProgramError`] if the program is empty, references
+    /// undeclared branches, mixes loop/non-loop branches into the wrong slot
+    /// kind, or leaves a region without outgoing transitions.
+    pub fn build(self) -> Result<Program, BuildProgramError> {
+        if self.regions.is_empty() {
+            return Err(BuildProgramError::NoRegions);
+        }
+        for (rid, region) in self.regions.iter().enumerate() {
+            if region.slots.is_empty() {
+                return Err(BuildProgramError::EmptyRegion(rid));
+            }
+            self.check_slots(&region.slots)?;
+            if region.succs.is_empty() {
+                return Err(BuildProgramError::NoTransitions(rid));
+            }
+            for &(to, w) in &region.succs {
+                if w.is_nan() || w <= 0.0 || !w.is_finite() {
+                    return Err(BuildProgramError::BadWeight(rid, to));
+                }
+            }
+        }
+        Ok(Program {
+            inner: Arc::new(ProgramInner {
+                branches: self.branches,
+                regions: self.regions,
+                start: self.start,
+            }),
+        })
+    }
+
+    fn check_slots(&self, slots: &[Slot]) -> Result<(), BuildProgramError> {
+        for slot in slots {
+            match slot {
+                Slot::Branch(b) => {
+                    let decl = self
+                        .branches
+                        .get(*b)
+                        .ok_or(BuildProgramError::UnknownBranch(*b))?;
+                    if matches!(decl.behavior, Behavior::Loop(_)) {
+                        return Err(BuildProgramError::LoopUsedAsPlainBranch(*b));
+                    }
+                }
+                Slot::Loop { branch, body } => {
+                    let decl = self
+                        .branches
+                        .get(*branch)
+                        .ok_or(BuildProgramError::UnknownBranch(*branch))?;
+                    if !matches!(decl.behavior, Behavior::Loop(_)) {
+                        return Err(BuildProgramError::NotALoopBranch(*branch));
+                    }
+                    self.check_slots(body)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct ProgramInner {
+    branches: Vec<BranchDecl>,
+    regions: Vec<Region>,
+    start: RegionId,
+}
+
+/// A validated, immutable synthetic program.
+///
+/// Cheap to clone (the definition is shared); create walkers with
+/// [`Program::walker`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    inner: Arc<ProgramInner>,
+}
+
+impl Program {
+    /// Number of static branches.
+    pub fn static_branches(&self) -> usize {
+        self.inner.branches.len()
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.inner.regions.len()
+    }
+
+    /// The PC of branch `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn pc_of(&self, id: BranchId) -> u64 {
+        self.inner.branches[id].pc
+    }
+
+    /// Creates a deterministic walker over this program.
+    ///
+    /// The same `(program, seed)` pair always generates the same record
+    /// stream.
+    pub fn walker(&self, seed: u64) -> Walker {
+        Walker::new(self.clone(), seed)
+    }
+}
+
+/// Iterates the branch records produced by executing a [`Program`].
+///
+/// `Walker` implements [`TraceSource`]; [`reset`](TraceSource::reset)
+/// rewinds to the exact initial state.
+#[derive(Debug, Clone)]
+pub struct Walker {
+    program: Program,
+    seed: u64,
+    rng: Xoshiro256StarStar,
+    region: RegionId,
+    states: Vec<BehaviorState>,
+    /// Most recent global outcomes, bit 0 = most recent, 1 = taken.
+    global_history: u64,
+    queue: VecDeque<BranchRecord>,
+}
+
+impl Walker {
+    fn new(program: Program, seed: u64) -> Self {
+        let n = program.inner.branches.len();
+        let start = program.inner.start;
+        Self {
+            program,
+            seed,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            region: start,
+            states: vec![BehaviorState::new(); n],
+            global_history: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The seed this walker was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn emit(&mut self, branch: BranchId, taken: bool) {
+        let pc = self.program.inner.branches[branch].pc;
+        self.queue.push_back(BranchRecord::new(pc, taken));
+        self.global_history = (self.global_history << 1) | taken as u64;
+    }
+
+    fn exec_slots(&mut self, slots: &[Slot]) {
+        for slot in slots {
+            match slot {
+                Slot::Branch(b) => {
+                    // Clone the behaviour handle out to satisfy borrowck; it
+                    // is a small enum and regions execute at coarse grain.
+                    let behavior = self.program.inner.branches[*b].behavior.clone();
+                    let taken =
+                        self.states[*b].evaluate(&behavior, self.global_history, &mut self.rng);
+                    self.emit(*b, taken);
+                }
+                Slot::Loop { branch, body } => {
+                    let trip = match &self.program.inner.branches[*branch].behavior {
+                        Behavior::Loop(t) => t.sample(&mut self.rng),
+                        _ => unreachable!("validated at build time"),
+                    };
+                    let body = body.clone();
+                    for _ in 0..trip {
+                        self.exec_slots(&body);
+                        self.emit(*branch, true);
+                    }
+                    self.exec_slots(&body);
+                    self.emit(*branch, false);
+                }
+            }
+        }
+    }
+
+    fn advance_region(&mut self) {
+        let succs = &self.program.inner.regions[self.region].succs;
+        let weights: Vec<f64> = succs.iter().map(|&(_, w)| w).collect();
+        let choice = self.rng.pick_weighted(&weights);
+        self.region = succs[choice].0;
+    }
+
+    fn refill(&mut self) {
+        let slots = self.program.inner.regions[self.region].slots.clone();
+        self.exec_slots(&slots);
+        self.advance_region();
+    }
+}
+
+impl Iterator for Walker {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        while self.queue.is_empty() {
+            self.refill();
+        }
+        self.queue.pop_front()
+    }
+}
+
+impl TraceSource for Walker {
+    fn reset(&mut self) {
+        *self = Walker::new(self.program.clone(), self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TripCount;
+
+    fn simple_program() -> Program {
+        let mut b = ProgramBuilder::new(0x4000);
+        let bias = b.branch(Behavior::Bias { p_taken: 0.7 });
+        let lp = b.branch(Behavior::Loop(TripCount::Fixed(2)));
+        let r0 = b.region(vec![Slot::Branch(bias)]);
+        let r1 = b.region(vec![Slot::Loop {
+            branch: lp,
+            body: vec![Slot::Branch(bias)],
+        }]);
+        b.transition(r0, r1, 1.0);
+        b.transition(r1, r0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_pcs() {
+        let mut b = ProgramBuilder::new(0x100);
+        let x = b.branch(Behavior::Bias { p_taken: 0.5 });
+        let y = b.branch(Behavior::Bias { p_taken: 0.5 });
+        assert_eq!(b.pc_of(x), 0x100);
+        assert_eq!(b.pc_of(y), 0x104);
+        assert_eq!(b.branch_count(), 2);
+    }
+
+    #[test]
+    fn build_rejects_no_regions() {
+        let b = ProgramBuilder::new(0);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::NoRegions);
+    }
+
+    #[test]
+    fn build_rejects_empty_region() {
+        let mut b = ProgramBuilder::new(0);
+        let r = b.region(vec![]);
+        b.transition(r, r, 1.0);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::EmptyRegion(0));
+    }
+
+    #[test]
+    fn build_rejects_unknown_branch() {
+        let mut b = ProgramBuilder::new(0);
+        let r = b.region(vec![Slot::Branch(5)]);
+        b.transition(r, r, 1.0);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::UnknownBranch(5));
+    }
+
+    #[test]
+    fn build_rejects_loop_branch_in_plain_slot() {
+        let mut b = ProgramBuilder::new(0);
+        let lp = b.branch(Behavior::Loop(TripCount::Fixed(1)));
+        let r = b.region(vec![Slot::Branch(lp)]);
+        b.transition(r, r, 1.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildProgramError::LoopUsedAsPlainBranch(lp)
+        );
+    }
+
+    #[test]
+    fn build_rejects_plain_branch_in_loop_slot() {
+        let mut b = ProgramBuilder::new(0);
+        let x = b.branch(Behavior::Bias { p_taken: 0.5 });
+        let r = b.region(vec![Slot::Loop {
+            branch: x,
+            body: vec![],
+        }]);
+        b.transition(r, r, 1.0);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::NotALoopBranch(x));
+    }
+
+    #[test]
+    fn build_rejects_missing_transitions() {
+        let mut b = ProgramBuilder::new(0);
+        let x = b.branch(Behavior::Bias { p_taken: 0.5 });
+        b.region(vec![Slot::Branch(x)]);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::NoTransitions(0));
+    }
+
+    #[test]
+    fn build_rejects_bad_weight() {
+        let mut b = ProgramBuilder::new(0);
+        let x = b.branch(Behavior::Bias { p_taken: 0.5 });
+        let r = b.region(vec![Slot::Branch(x)]);
+        b.transition(r, r, -1.0);
+        assert_eq!(b.build().unwrap_err(), BuildProgramError::BadWeight(r, r));
+    }
+
+    #[test]
+    fn walker_is_deterministic() {
+        let p = simple_program();
+        let a: Vec<_> = p.walker(9).take(500).collect();
+        let b: Vec<_> = p.walker(9).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walker_reset_replays() {
+        let p = simple_program();
+        let mut w = p.walker(9);
+        let a: Vec<_> = w.by_ref().take(100).collect();
+        w.reset();
+        let b: Vec<_> = w.take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = simple_program();
+        let a: Vec<_> = p.walker(1).take(200).collect();
+        let b: Vec<_> = p.walker(2).take(200).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn loop_expansion_shape() {
+        // A lone fixed loop with a single-branch body, self-looping region.
+        let mut b = ProgramBuilder::new(0);
+        let lp = b.branch(Behavior::Loop(TripCount::Fixed(2)));
+        let r = b.region(vec![Slot::Loop {
+            branch: lp,
+            body: vec![],
+        }]);
+        b.transition(r, r, 1.0);
+        let p = b.build().unwrap();
+        let recs: Vec<_> = p.walker(0).take(6).collect();
+        let outcomes: Vec<bool> = recs.iter().map(|r| r.taken).collect();
+        // trip=2: taken, taken, not-taken; repeated.
+        assert_eq!(outcomes, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn pcs_match_declarations() {
+        let p = simple_program();
+        assert_eq!(p.pc_of(0), 0x4000);
+        assert_eq!(p.pc_of(1), 0x4004);
+        let pcs: std::collections::BTreeSet<u64> = p.walker(3).take(1000).map(|r| r.pc).collect();
+        assert!(pcs.contains(&0x4000) && pcs.contains(&0x4004));
+        assert_eq!(pcs.len(), 2);
+    }
+
+    #[test]
+    fn nested_loops_execute() {
+        let mut b = ProgramBuilder::new(0);
+        let inner = b.branch(Behavior::Loop(TripCount::Fixed(1)));
+        let outer = b.branch(Behavior::Loop(TripCount::Fixed(1)));
+        let r = b.region(vec![Slot::Loop {
+            branch: outer,
+            body: vec![Slot::Loop {
+                branch: inner,
+                body: vec![],
+            }],
+        }]);
+        b.transition(r, r, 1.0);
+        let p = b.build().unwrap();
+        // outer trip 1: [inner: T,N] T [inner: T,N] N => 6 records per region
+        let recs: Vec<_> = p.walker(0).take(6).collect();
+        let outcomes: Vec<bool> = recs.iter().map(|r| r.taken).collect();
+        assert_eq!(outcomes, vec![true, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn start_region_respected() {
+        let mut b = ProgramBuilder::new(0);
+        let x = b.branch(Behavior::Pattern { bits: vec![true] });
+        let y = b.branch(Behavior::Pattern { bits: vec![false] });
+        let r0 = b.region(vec![Slot::Branch(x)]);
+        let r1 = b.region(vec![Slot::Branch(y)]);
+        b.transition(r0, r0, 1.0);
+        b.transition(r1, r1, 1.0);
+        b.start_region(r1);
+        let p = b.build().unwrap();
+        let first = p.walker(0).next().unwrap();
+        assert_eq!(first.pc, p.pc_of(y));
+    }
+}

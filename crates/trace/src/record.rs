@@ -1,0 +1,275 @@
+//! Branch trace records and the [`TraceSource`] abstraction.
+//!
+//! A *branch trace* is the only input the systems in this workspace consume:
+//! a sequence of ([`BranchRecord`]) pairs of conditional-branch program
+//! counter and resolved outcome. Confidence mechanisms (and the predictors
+//! beneath them) never observe opcodes, operands, or data addresses, so this
+//! record type is deliberately minimal.
+
+use std::fmt;
+
+/// One dynamic conditional branch: its instruction address and outcome.
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::BranchRecord;
+///
+/// let r = BranchRecord::new(0x4000, true);
+/// assert!(r.taken);
+/// assert_eq!(r.pc, 0x4000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BranchRecord {
+    /// Instruction address of the conditional branch.
+    pub pc: u64,
+    /// `true` if the branch was taken.
+    pub taken: bool,
+}
+
+impl BranchRecord {
+    /// Creates a record from a program counter and an outcome.
+    pub fn new(pc: u64, taken: bool) -> Self {
+        Self { pc, taken }
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}:{}", self.pc, if self.taken { 'T' } else { 'N' })
+    }
+}
+
+/// A source of branch records that can be replayed from the start.
+///
+/// All generators in this crate are cheap to re-create from their seed, so a
+/// `TraceSource` is an `Iterator` plus the ability to rewind; multi-pass
+/// experiments (e.g. profile-then-measure) use [`TraceSource::reset`] rather
+/// than buffering gigabytes of records.
+pub trait TraceSource: Iterator<Item = BranchRecord> {
+    /// Rewinds the source to the beginning of its stream.
+    ///
+    /// After `reset`, iteration yields exactly the same records again.
+    fn reset(&mut self);
+}
+
+/// Replays a fixed in-memory vector of records.
+///
+/// Useful in tests and for traces loaded from files via
+/// [`crate::codec::read_trace`].
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::{BranchRecord, TraceSource, VecTrace};
+///
+/// let mut t = VecTrace::new(vec![BranchRecord::new(8, true)]);
+/// assert_eq!(t.next(), Some(BranchRecord::new(8, true)));
+/// assert_eq!(t.next(), None);
+/// t.reset();
+/// assert_eq!(t.next(), Some(BranchRecord::new(8, true)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecTrace {
+    records: Vec<BranchRecord>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Creates a replayable trace over `records`.
+    pub fn new(records: Vec<BranchRecord>) -> Self {
+        Self { records, pos: 0 }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrows the underlying records.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Consumes the trace, returning the underlying records.
+    pub fn into_records(self) -> Vec<BranchRecord> {
+        self.records
+    }
+}
+
+impl Iterator for VecTrace {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        let r = self.records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.records.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl FromIterator<BranchRecord> for VecTrace {
+    fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<BranchRecord> for VecTrace {
+    fn extend<I: IntoIterator<Item = BranchRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+/// Summary statistics of a branch trace.
+///
+/// Computed in one pass by [`TraceStats::from_iter`] (via `collect()`); used
+/// in examples, calibration output, and tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    dynamic_branches: u64,
+    taken: u64,
+    static_pcs: std::collections::BTreeSet<u64>,
+}
+
+impl TraceStats {
+    /// Total number of dynamic branches observed.
+    pub fn dynamic_branches(&self) -> u64 {
+        self.dynamic_branches
+    }
+
+    /// Number of taken outcomes.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Fraction of branches that were taken (0 if the trace is empty).
+    pub fn taken_rate(&self) -> f64 {
+        if self.dynamic_branches == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.dynamic_branches as f64
+        }
+    }
+
+    /// Number of distinct static branch sites (distinct PCs).
+    pub fn static_branches(&self) -> usize {
+        self.static_pcs.len()
+    }
+
+    /// Folds one record into the statistics.
+    pub fn observe(&mut self, record: BranchRecord) {
+        self.dynamic_branches += 1;
+        if record.taken {
+            self.taken += 1;
+        }
+        self.static_pcs.insert(record.pc);
+    }
+}
+
+impl FromIterator<BranchRecord> for TraceStats {
+    fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
+        let mut s = TraceStats::default();
+        for r in iter {
+            s.observe(r);
+        }
+        s
+    }
+}
+
+impl Extend<BranchRecord> for TraceStats {
+    fn extend<I: IntoIterator<Item = BranchRecord>>(&mut self, iter: I) {
+        for r in iter {
+            self.observe(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::new(0x10, true),
+            BranchRecord::new(0x14, false),
+            BranchRecord::new(0x10, true),
+        ]
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(BranchRecord::new(0x1f, true).to_string(), "0x1f:T");
+        assert_eq!(BranchRecord::new(0x20, false).to_string(), "0x20:N");
+    }
+
+    #[test]
+    fn vec_trace_iterates_and_resets() {
+        let mut t = VecTrace::new(sample());
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let first: Vec<_> = t.by_ref().collect();
+        assert_eq!(first, sample());
+        assert_eq!(t.next(), None);
+        t.reset();
+        let second: Vec<_> = t.collect();
+        assert_eq!(second, sample());
+    }
+
+    #[test]
+    fn vec_trace_size_hint_tracks_position() {
+        let mut t = VecTrace::new(sample());
+        assert_eq!(t.size_hint(), (3, Some(3)));
+        t.next();
+        assert_eq!(t.size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn vec_trace_from_iterator_and_extend() {
+        let mut t: VecTrace = sample().into_iter().collect();
+        t.extend(vec![BranchRecord::new(0x18, true)]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.into_records().len(), 4);
+    }
+
+    #[test]
+    fn empty_vec_trace() {
+        let mut t = VecTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.next(), None);
+        t.reset();
+        assert_eq!(t.next(), None);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s: TraceStats = sample().into_iter().collect();
+        assert_eq!(s.dynamic_branches(), 3);
+        assert_eq!(s.taken(), 2);
+        assert_eq!(s.static_branches(), 2);
+        assert!((s.taken_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_trace_has_zero_rate() {
+        let s = TraceStats::default();
+        assert_eq!(s.taken_rate(), 0.0);
+        assert_eq!(s.static_branches(), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Trace generation must be bit-stable across library versions and platforms
+//! so that experiments are exactly reproducible; we therefore implement our
+//! own small, well-known generators instead of depending on an external crate
+//! whose stream might change between releases.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit generator used for seeding and hashing.
+//! * [`Xoshiro256StarStar`] — the main workhorse generator, seeded from a
+//!   single `u64` via `SplitMix64` exactly as recommended by its authors.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_trace::rng::Xoshiro256StarStar;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! let mut rng2 = Xoshiro256StarStar::seed_from_u64(42);
+//! assert_eq!(a, rng2.next_u64()); // fully deterministic
+//! ```
+
+/// SplitMix64 generator (Steele, Lea & Flood; public domain reference
+/// implementation by Sebastiano Vigna).
+///
+/// Primarily used to expand a single `u64` seed into the larger state of
+/// [`Xoshiro256StarStar`], and as a cheap stateless hash in index mixing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given initial state.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output and advances the state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One-shot stateless mix of a `u64`; useful as a hash function.
+    pub fn mix(x: u64) -> u64 {
+        SplitMix64::new(x).next_u64()
+    }
+}
+
+/// xoshiro256** 1.0 generator (Blackman & Vigna, public domain).
+///
+/// Fast, high-quality, 256 bits of state, period `2^256 - 1`. All synthetic
+/// workloads in this crate draw from this generator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator from four raw state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all four words are zero (the all-zero state is the one
+    /// forbidden state of the xoshiro family).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be nonzero"
+        );
+        Self { s }
+    }
+
+    /// Seeds the full 256-bit state from a single `u64` using SplitMix64,
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output of any seed is never all-zero across 4 draws.
+        Self { s }
+    }
+
+    /// Returns the next 64-bit output and advances the state.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    ///
+    /// Uses the conventional 53-high-bits construction.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Values of `p <= 0.0` always return `false`; values `>= 1.0` always
+    /// return `true`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)` using
+    /// Lemire's multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Lemire 2018: unbiased bounded generation without division in the
+        // common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Draws from a geometric distribution: the number of Bernoulli(`p`)
+    /// failures before the first success, capped at `cap`.
+    ///
+    /// Used for e.g. variable loop trip counts. `p` is clamped to a minimum
+    /// of `1e-9` to guarantee termination.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        let p = p.max(1e-9);
+        let mut n = 0;
+        while n < cap && !self.bernoulli(p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Picks an index in `[0, weights.len())` with probability proportional
+    /// to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero (or a non-finite value).
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(
+            !weights.is_empty(),
+            "pick_weighted requires a nonempty slice"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "pick_weighted requires positive finite total weight"
+        );
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Forks a statistically independent child generator.
+    ///
+    /// The child's seed is derived from the parent's stream, so forking at
+    /// the same point in a run always yields the same child.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let expected = [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for &e in &expected {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference: state seeded with s = [1, 2, 3, 4]; outputs from the
+        // public-domain xoshiro256starstar.c reference implementation.
+        let mut x = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        let expected = [
+            11520u64,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+            607988272756665600,
+            16172922978634559625,
+            8476171486693032832,
+            10595114339597558777,
+            2904607092377533576,
+        ];
+        for &e in &expected {
+            assert_eq!(x.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        let mut b = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_state_panics() {
+        let _ = Xoshiro256StarStar::from_state([0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = x.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(!x.bernoulli(0.0));
+            assert!(x.bernoulli(1.0));
+            assert!(!x.bernoulli(-0.5));
+            assert!(x.bernoulli(1.5));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(5);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| x.bernoulli(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn next_below_bounds_and_uniformity() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(11);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            let v = x.next_below(7) as usize;
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            // expected 10_000 each; allow wide tolerance
+            assert!((7_000..13_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn next_below_zero_panics() {
+        Xoshiro256StarStar::seed_from_u64(1).next_below(0);
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match x.range_inclusive(5, 8) {
+                5 => saw_lo = true,
+                8 => saw_hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn range_inclusive_degenerate() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(3);
+        assert_eq!(x.range_inclusive(9, 9), 9);
+    }
+
+    #[test]
+    fn geometric_respects_cap() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(x.geometric(0.001, 10) <= 10);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_close_to_theory() {
+        // mean of geometric (failures before success) is (1-p)/p = 4 for p=0.2
+        let mut x = Xoshiro256StarStar::seed_from_u64(17);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| x.geometric(0.2, 1_000_000)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_weighted_prefers_heavy_items() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(23);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[x.pick_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn pick_weighted_empty_panics() {
+        Xoshiro256StarStar::seed_from_u64(1).pick_weighted(&[]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut x = Xoshiro256StarStar::seed_from_u64(29);
+        let mut v: Vec<u32> = (0..100).collect();
+        x.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle should change order with high probability"
+        );
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(31);
+        let mut b = Xoshiro256StarStar::seed_from_u64(31);
+        let mut ca = a.fork();
+        let mut cb = b.fork();
+        assert_eq!(ca.next_u64(), cb.next_u64());
+        // Parent stream continues and differs from child stream.
+        assert_ne!(a.next_u64(), ca.next_u64());
+    }
+}

@@ -1,0 +1,399 @@
+//! A two-pass assembler for the tiny VM.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to end of line (also '#')
+//! start:              ; labels end with ':', may share a line with an instr
+//!     li   r1, 10
+//! loop:
+//!     addi r2, r2, 1
+//!     bne  r2, r1, loop
+//!     halt
+//! ```
+//!
+//! Mnemonics: `li rd, imm` · `mov rd, rs` · `add/sub/mul/and/or/xor/shl/shr/
+//! div/rem rd, ra, rb` (append `i` for an immediate last operand) ·
+//! `ld rd, ra, off` · `st rs, ra, off` · `beq/bne/blt/bge ra, rb, label` ·
+//! `jmp label` · `halt`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use super::isa::{AluOp, Cond, Instr, Reg};
+
+/// Assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Kinds of assembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown instruction mnemonic.
+    UnknownMnemonic(String),
+    /// Operand count mismatch for the mnemonic.
+    WrongOperandCount {
+        /// The mnemonic in question.
+        mnemonic: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Operands actually present.
+        found: usize,
+    },
+    /// An operand that should be a register is not `r0`–`r15`.
+    BadRegister(String),
+    /// An operand that should be an integer immediate failed to parse.
+    BadImmediate(String),
+    /// A branch/jump target label was never defined.
+    UndefinedLabel(String),
+    /// The same label is defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::WrongOperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => {
+                write!(f, "`{mnemonic}` expects {expected} operands, found {found}")
+            }
+            AsmErrorKind::BadRegister(s) => write!(f, "invalid register `{s}`"),
+            AsmErrorKind::BadImmediate(s) => write!(f, "invalid immediate `{s}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadRegister(tok.to_owned()),
+    };
+    let rest = tok.strip_prefix('r').ok_or_else(bad)?;
+    let idx: u8 = rest.parse().map_err(|_| bad())?;
+    if (idx as usize) < Reg::COUNT {
+        Ok(Reg::new(idx))
+    } else {
+        Err(bad())
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("-0x")) {
+        i64::from_str_radix(hex, 16).map(|v| if tok.starts_with('-') { -v } else { v })
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadImmediate(tok.to_owned()),
+    })
+}
+
+fn alu_op(m: &str) -> Option<(AluOp, bool)> {
+    let (base, imm) = match m.strip_suffix('i') {
+        // `li` is not an ALU op; handled separately.
+        Some(base) if base != "l" => (base, true),
+        _ => (m, false),
+    };
+    let op = match base {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn cond_op(m: &str) -> Option<Cond> {
+    match m {
+        "beq" => Some(Cond::Eq),
+        "bne" => Some(Cond::Ne),
+        "blt" => Some(Cond::Lt),
+        "bge" => Some(Cond::Ge),
+        _ => None,
+    }
+}
+
+/// Assembles source text into a program (instruction vector).
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::tinyvm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prog = assemble("li r1, 5\nhalt\n")?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments, record labels, collect (line_no, tokens).
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut lines: Vec<(usize, Vec<String>)> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_owned(), lines.len()).is_some() {
+                return Err(AsmError {
+                    line: line_no,
+                    kind: AsmErrorKind::DuplicateLabel(label.to_owned()),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let tokens: Vec<String> = text
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .collect();
+        if tokens.is_empty() {
+            // e.g. a line of stray separators ("‚ ,"): nothing to encode.
+            continue;
+        }
+        lines.push((line_no, tokens));
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::with_capacity(lines.len());
+    for (line, toks) in &lines {
+        let line = *line;
+        let m = toks[0].as_str();
+        let ops = &toks[1..];
+        let want = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::WrongOperandCount {
+                        mnemonic: m.to_owned(),
+                        expected: n,
+                        found: ops.len(),
+                    },
+                })
+            }
+        };
+        let target = |tok: &str| -> Result<usize, AsmError> {
+            labels.get(tok).copied().ok_or_else(|| AsmError {
+                line,
+                kind: AsmErrorKind::UndefinedLabel(tok.to_owned()),
+            })
+        };
+        let instr = if m == "li" {
+            want(2)?;
+            Instr::Li(parse_reg(&ops[0], line)?, parse_imm(&ops[1], line)?)
+        } else if m == "mov" {
+            want(2)?;
+            Instr::Mov(parse_reg(&ops[0], line)?, parse_reg(&ops[1], line)?)
+        } else if m == "ld" {
+            want(3)?;
+            Instr::Ld(
+                parse_reg(&ops[0], line)?,
+                parse_reg(&ops[1], line)?,
+                parse_imm(&ops[2], line)?,
+            )
+        } else if m == "st" {
+            want(3)?;
+            Instr::St(
+                parse_reg(&ops[0], line)?,
+                parse_reg(&ops[1], line)?,
+                parse_imm(&ops[2], line)?,
+            )
+        } else if m == "jmp" {
+            want(1)?;
+            Instr::Jmp(target(&ops[0])?)
+        } else if m == "halt" {
+            want(0)?;
+            Instr::Halt
+        } else if let Some(cond) = cond_op(m) {
+            want(3)?;
+            Instr::Branch(
+                cond,
+                parse_reg(&ops[0], line)?,
+                parse_reg(&ops[1], line)?,
+                target(&ops[2])?,
+            )
+        } else if let Some((op, imm)) = alu_op(m) {
+            want(3)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let ra = parse_reg(&ops[1], line)?;
+            if imm {
+                Instr::AluI(op, rd, ra, parse_imm(&ops[2], line)?)
+            } else {
+                Instr::Alu(op, rd, ra, parse_reg(&ops[2], line)?)
+            }
+        } else {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::UnknownMnemonic(m.to_owned()),
+            });
+        };
+        out.push(instr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let prog = assemble(
+            "; count to ten
+             li r1, 10
+             li r2, 0
+             loop: addi r2, r2, 1
+             bne r2, r1, loop
+             halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 5);
+        assert_eq!(prog[0], Instr::Li(Reg::new(1), 10));
+        assert_eq!(
+            prog[2],
+            Instr::AluI(AluOp::Add, Reg::new(2), Reg::new(2), 1)
+        );
+        assert_eq!(
+            prog[3],
+            Instr::Branch(Cond::Ne, Reg::new(2), Reg::new(1), 2)
+        );
+        assert_eq!(prog[4], Instr::Halt);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let prog = assemble("jmp end\nli r1, 1\nend: halt").unwrap();
+        assert_eq!(prog[0], Instr::Jmp(2));
+    }
+
+    #[test]
+    fn label_on_own_line() {
+        let prog = assemble("top:\n  li r1, 2\n  jmp top\n").unwrap();
+        assert_eq!(prog[1], Instr::Jmp(0));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let prog = assemble("li r1, 0x1f\nli r2, -3\nli r3, -0x10\nhalt").unwrap();
+        assert_eq!(prog[0], Instr::Li(Reg::new(1), 31));
+        assert_eq!(prog[1], Instr::Li(Reg::new(2), -3));
+        assert_eq!(prog[2], Instr::Li(Reg::new(3), -16));
+    }
+
+    #[test]
+    fn comments_and_case_insensitive() {
+        let prog = assemble("LI R1, 4 # four\n  HALT ; done").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reported_with_line() {
+        let err = assemble("li r1, 1\nfrobnicate r1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn bad_register_reported() {
+        let err = assemble("li r77, 1").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+    }
+
+    #[test]
+    fn bad_immediate_reported() {
+        let err = assemble("li r1, banana").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let err = assemble("jmp nowhere").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let err = assemble("a: li r1, 1\na: halt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn wrong_operand_count_reported() {
+        let err = assemble("li r1").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AsmErrorKind::WrongOperandCount {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn st_and_ld_encode() {
+        let prog = assemble("st r1, r2, 8\nld r3, r2, 8\nhalt").unwrap();
+        assert_eq!(prog[0], Instr::St(Reg::new(1), Reg::new(2), 8));
+        assert_eq!(prog[1], Instr::Ld(Reg::new(3), Reg::new(2), 8));
+    }
+
+    #[test]
+    fn separator_only_lines_are_ignored() {
+        // Regression: a line of commas used to panic the encoder.
+        let prog = assemble(
+            ", ,
+li r1, 1
+ ,
+halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = assemble("li r1, x").unwrap_err();
+        assert!(err.to_string().starts_with("line 1:"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Instruction set of the tiny VM.
+//!
+//! A deliberately small register machine: 16 general-purpose 64-bit
+//! registers, a flat word-addressed data memory, and PC-relative-free
+//! absolute branch targets (instruction indices). Conditional branches are
+//! the only instructions that emit [`crate::BranchRecord`]s when executed.
+
+use std::fmt;
+
+/// A register index `r0`–`r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of registers in the machine.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Comparison condition of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The assembler mnemonic (`beq`, `bne`, `blt`, `bge`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+/// Binary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by `b & 63`).
+    Shl,
+    /// Arithmetic shift right (by `b & 63`).
+    Shr,
+    /// Signed division; division by zero yields 0.
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+        }
+    }
+}
+
+/// One instruction. Branch targets are absolute instruction indices
+/// (resolved from labels by the assembler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `li rd, imm` — load immediate.
+    Li(Reg, i64),
+    /// `mov rd, rs`.
+    Mov(Reg, Reg),
+    /// `op rd, ra, rb` — register ALU operation.
+    Alu(AluOp, Reg, Reg, Reg),
+    /// `opi rd, ra, imm` — immediate ALU operation.
+    AluI(AluOp, Reg, Reg, i64),
+    /// `ld rd, ra, off` — `rd = mem[ra + off]`.
+    Ld(Reg, Reg, i64),
+    /// `st rs, ra, off` — `mem[ra + off] = rs`.
+    St(Reg, Reg, i64),
+    /// Conditional branch: `bCC ra, rb, target`.
+    Branch(Cond, Reg, Reg, usize),
+    /// `jmp target` — unconditional jump.
+    Jmp(usize),
+    /// `halt` — stop execution.
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Li(rd, imm) => write!(f, "li {rd}, {imm}"),
+            Instr::Mov(rd, rs) => write!(f, "mov {rd}, {rs}"),
+            Instr::Alu(op, rd, ra, rb) => write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::AluI(op, rd, ra, imm) => write!(f, "{}i {rd}, {ra}, {imm}", op.mnemonic()),
+            Instr::Ld(rd, ra, off) => write!(f, "ld {rd}, {ra}, {off}"),
+            Instr::St(rs, ra, off) => write!(f, "st {rs}, {ra}, {off}"),
+            Instr::Branch(c, ra, rb, t) => write!(f, "{} {ra}, {rb}, @{t}", c.mnemonic()),
+            Instr::Jmp(t) => write!(f, "jmp @{t}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(15).index(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        Reg::new(16);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Ge.eval(0, 0));
+        assert!(!Cond::Ge.eval(-5, 0));
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN); // wrapping
+        assert_eq!(AluOp::Sub.apply(3, 5), -2);
+        assert_eq!(AluOp::Mul.apply(7, 6), 42);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(-8, 1), -4); // arithmetic
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0); // defined
+        assert_eq!(AluOp::Rem.apply(7, 3), 1);
+        assert_eq!(AluOp::Rem.apply(7, 0), 0);
+    }
+
+    #[test]
+    fn shift_amount_masked() {
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::Li(Reg::new(3), -7).to_string(), "li r3, -7");
+        assert_eq!(
+            Instr::Branch(Cond::Lt, Reg::new(1), Reg::new(2), 9).to_string(),
+            "blt r1, r2, @9"
+        );
+        assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+}

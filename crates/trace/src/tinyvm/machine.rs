@@ -1,0 +1,314 @@
+//! The tiny VM interpreter.
+//!
+//! Executes a program (a `Vec<Instr>`, usually from
+//! [`assemble`](super::assemble)) over a flat word memory, emitting a
+//! [`BranchRecord`] for every *conditional* branch executed. The PC reported
+//! in records is `code_base + 4 * instruction_index`, mimicking a 4-byte
+//! fixed-width encoding.
+
+use std::fmt;
+
+use super::isa::{Instr, Reg};
+use crate::record::BranchRecord;
+
+/// Runtime errors raised by [`Machine::step`] / [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The PC ran off the end of the program without reaching `halt`.
+    PcOutOfRange(usize),
+    /// A load or store addressed memory outside the configured size.
+    MemOutOfRange {
+        /// The effective address of the access.
+        addr: i64,
+        /// The memory size in words.
+        size: usize,
+    },
+    /// The step budget was exhausted before `halt`.
+    StepLimitExceeded(u64),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::PcOutOfRange(pc) => write!(f, "pc {pc} outside program"),
+            VmError::MemOutOfRange { addr, size } => {
+                write!(f, "memory access at {addr} outside 0..{size}")
+            }
+            VmError::StepLimitExceeded(n) => write!(f, "step limit {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Tiny VM state: registers, word memory, and a program.
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::tinyvm::{assemble, Machine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prog = assemble("li r1, 3\nli r2, 0\nloop: addi r2, r2, 1\nbne r2, r1, loop\nhalt")?;
+/// let mut m = Machine::new(prog, 16);
+/// let trace = m.run(10_000)?;
+/// assert_eq!(trace.len(), 3);              // the loop branch ran 3 times
+/// assert_eq!(m.reg(2), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Vec<Instr>,
+    regs: [i64; Reg::COUNT],
+    mem: Vec<i64>,
+    pc: usize,
+    code_base: u64,
+    halted: bool,
+    steps: u64,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_words` words of zeroed memory.
+    pub fn new(program: Vec<Instr>, mem_words: usize) -> Self {
+        Self {
+            program,
+            regs: [0; Reg::COUNT],
+            mem: vec![0; mem_words],
+            pc: 0,
+            code_base: 0x0001_0000,
+            halted: false,
+            steps: 0,
+        }
+    }
+
+    /// Sets the base address used for branch-record PCs (default `0x10000`).
+    pub fn with_code_base(mut self, base: u64) -> Self {
+        self.code_base = base;
+        self
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, index: u8) -> i64 {
+        self.regs[Reg::new(index).index()]
+    }
+
+    /// Writes a register (useful for passing arguments to programs).
+    pub fn set_reg(&mut self, index: u8, value: i64) {
+        self.regs[Reg::new(index).index()] = value;
+    }
+
+    /// Borrows data memory.
+    pub fn mem(&self) -> &[i64] {
+        &self.mem
+    }
+
+    /// Mutably borrows data memory (for initializing inputs).
+    pub fn mem_mut(&mut self) -> &mut [i64] {
+        &mut self.mem
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn effective(&self, base: Reg, off: i64) -> Result<usize, VmError> {
+        let addr = self.regs[base.index()].wrapping_add(off);
+        if addr < 0 || addr as usize >= self.mem.len() {
+            Err(VmError::MemOutOfRange {
+                addr,
+                size: self.mem.len(),
+            })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(Some(record))` if the instruction was a conditional
+    /// branch, `Ok(None)` otherwise (including when already halted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] on a wild PC or memory access.
+    pub fn step(&mut self) -> Result<Option<BranchRecord>, VmError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let instr = *self
+            .program
+            .get(self.pc)
+            .ok_or(VmError::PcOutOfRange(self.pc))?;
+        let branch_pc = self.code_base + 4 * self.pc as u64;
+        self.steps += 1;
+        let mut record = None;
+        match instr {
+            Instr::Li(rd, imm) => {
+                self.regs[rd.index()] = imm;
+                self.pc += 1;
+            }
+            Instr::Mov(rd, rs) => {
+                self.regs[rd.index()] = self.regs[rs.index()];
+                self.pc += 1;
+            }
+            Instr::Alu(op, rd, ra, rb) => {
+                self.regs[rd.index()] = op.apply(self.regs[ra.index()], self.regs[rb.index()]);
+                self.pc += 1;
+            }
+            Instr::AluI(op, rd, ra, imm) => {
+                self.regs[rd.index()] = op.apply(self.regs[ra.index()], imm);
+                self.pc += 1;
+            }
+            Instr::Ld(rd, ra, off) => {
+                let addr = self.effective(ra, off)?;
+                self.regs[rd.index()] = self.mem[addr];
+                self.pc += 1;
+            }
+            Instr::St(rs, ra, off) => {
+                let addr = self.effective(ra, off)?;
+                self.mem[addr] = self.regs[rs.index()];
+                self.pc += 1;
+            }
+            Instr::Branch(cond, ra, rb, target) => {
+                let taken = cond.eval(self.regs[ra.index()], self.regs[rb.index()]);
+                record = Some(BranchRecord::new(branch_pc, taken));
+                self.pc = if taken { target } else { self.pc + 1 };
+            }
+            Instr::Jmp(target) => {
+                self.pc = target;
+            }
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        Ok(record)
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have executed,
+    /// collecting the conditional-branch trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::StepLimitExceeded`] if the budget runs out, or any
+    /// error from [`step`](Self::step).
+    pub fn run(&mut self, max_steps: u64) -> Result<Vec<BranchRecord>, VmError> {
+        let mut trace = Vec::new();
+        let start = self.steps;
+        while !self.halted {
+            if self.steps - start >= max_steps {
+                return Err(VmError::StepLimitExceeded(max_steps));
+            }
+            if let Some(r) = self.step()? {
+                trace.push(r);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tinyvm::assemble;
+
+    fn run_src(src: &str, mem: usize) -> (Machine, Vec<BranchRecord>) {
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new(prog, mem);
+        let t = m.run(1_000_000).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (m, t) = run_src("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt", 0);
+        assert_eq!(m.reg(3), 42);
+        assert!(t.is_empty());
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn loop_emits_branch_records() {
+        let (m, t) = run_src(
+            "li r1, 5\nli r2, 0\nloop: addi r2, r2, 1\nblt r2, r1, loop\nhalt",
+            0,
+        );
+        assert_eq!(m.reg(2), 5);
+        assert_eq!(t.len(), 5);
+        assert!(t[..4].iter().all(|r| r.taken));
+        assert!(!t[4].taken);
+        // All records come from the same static branch.
+        assert!(t.iter().all(|r| r.pc == t[0].pc));
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let (m, _) = run_src("li r1, 3\nli r2, 99\nst r2, r1, 2\nld r3, r1, 2\nhalt", 8);
+        assert_eq!(m.mem()[5], 99);
+        assert_eq!(m.reg(3), 99);
+    }
+
+    #[test]
+    fn mem_out_of_range_reported() {
+        let prog = assemble("li r1, 100\nld r2, r1, 0\nhalt").unwrap();
+        let mut m = Machine::new(prog, 8);
+        let err = m.run(100).unwrap_err();
+        assert_eq!(err, VmError::MemOutOfRange { addr: 100, size: 8 });
+    }
+
+    #[test]
+    fn negative_address_reported() {
+        let prog = assemble("li r1, -1\nst r1, r1, 0\nhalt").unwrap();
+        let mut m = Machine::new(prog, 8);
+        assert!(matches!(
+            m.run(100),
+            Err(VmError::MemOutOfRange { addr: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn pc_off_end_reported() {
+        let prog = assemble("li r1, 1").unwrap(); // no halt
+        let mut m = Machine::new(prog, 0);
+        assert_eq!(m.run(100).unwrap_err(), VmError::PcOutOfRange(1));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let prog = assemble("spin: jmp spin").unwrap();
+        let mut m = Machine::new(prog, 0);
+        assert_eq!(m.run(50).unwrap_err(), VmError::StepLimitExceeded(50));
+    }
+
+    #[test]
+    fn step_after_halt_is_noop() {
+        let prog = assemble("halt").unwrap();
+        let mut m = Machine::new(prog, 0);
+        m.run(10).unwrap();
+        assert_eq!(m.step().unwrap(), None);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn code_base_shapes_record_pcs() {
+        let prog = assemble("li r1, 1\nbeq r1, r1, done\ndone: halt").unwrap();
+        let mut m = Machine::new(prog, 0).with_code_base(0x8000);
+        let t = m.run(100).unwrap();
+        assert_eq!(t[0].pc, 0x8000 + 4);
+    }
+
+    #[test]
+    fn set_reg_passes_arguments() {
+        let prog = assemble("addi r2, r1, 1\nhalt").unwrap();
+        let mut m = Machine::new(prog, 0);
+        m.set_reg(1, 41);
+        m.run(10).unwrap();
+        assert_eq!(m.reg(2), 42);
+    }
+}

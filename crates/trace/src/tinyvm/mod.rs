@@ -1,0 +1,34 @@
+//! A tiny register VM whose execution emits branch traces.
+//!
+//! While [`crate::suite`] generates *statistically* shaped workloads, this
+//! module provides the complementary substrate: small but real programs
+//! (sorting, searching, sieving, state machines) whose organic control flow
+//! exercises predictors and confidence mechanisms end to end.
+//!
+//! * [`isa`] — registers, conditions, ALU ops, instructions.
+//! * [`asm`] — a two-pass assembler with labels and comments.
+//! * [`machine`] — the interpreter; conditional branches emit
+//!   [`crate::BranchRecord`]s.
+//! * [`programs`] — ready-made seeded sample programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use cira_trace::tinyvm::{assemble, Machine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = assemble("li r1, 4\nli r2, 0\nloop: addi r2, r2, 1\nblt r2, r1, loop\nhalt")?;
+//! let trace = Machine::new(prog, 0).run(1_000)?;
+//! assert_eq!(trace.iter().filter(|r| r.taken).count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod isa;
+pub mod machine;
+pub mod programs;
+
+pub use asm::{assemble, AsmError, AsmErrorKind};
+pub use isa::{AluOp, Cond, Instr, Reg};
+pub use machine::{Machine, VmError};

@@ -1,0 +1,609 @@
+//! Ready-made tiny-VM sample programs.
+//!
+//! Each constructor assembles a real algorithm, initializes its memory
+//! inputs from a seed, and returns a [`Machine`] ready to
+//! [`run`](Machine::run). Their control flow yields *organic* branch traces
+//! (loop nests, data-dependent comparisons, early exits) used by examples
+//! and end-to-end tests.
+
+use super::asm::assemble;
+use super::machine::Machine;
+use crate::record::BranchRecord;
+use crate::rng::Xoshiro256StarStar;
+
+/// Bubble-sorts `n` seeded random words (in-place, early-exit variant).
+///
+/// Branch mix: a predictable outer loop, an inner loop whose comparison
+/// branch is data-dependent early on and becomes fully biased as the array
+/// sorts.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 4096`.
+pub fn bubble_sort(n: usize, seed: u64) -> Machine {
+    assert!((1..=4096).contains(&n), "n must be in 1..=4096");
+    let src = "
+        ; r1 = n, memory[0..n] = data
+        li   r2, 1              ; swapped flag
+    outer:
+        beq  r2, r0, done       ; stop when no swaps happened
+        li   r2, 0
+        li   r3, 0              ; i = 0
+        subi r4, r1, 1          ; n-1
+    inner:
+        bge  r3, r4, outer_end
+        ld   r5, r3, 0          ; a[i]
+        addi r6, r3, 1
+        ld   r7, r6, 0          ; a[i+1]
+        bge  r7, r5, no_swap    ; already ordered?
+        st   r7, r3, 0
+        st   r5, r6, 0
+        li   r2, 1
+    no_swap:
+        addi r3, r3, 1
+        jmp  inner
+    outer_end:
+        jmp  outer
+    done:
+        halt";
+    let mut m = Machine::new(
+        assemble(src).expect("bubble_sort source assembles"),
+        n.max(1),
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for w in m.mem_mut().iter_mut() {
+        *w = (rng.next_u64() % 100_000) as i64;
+    }
+    m.set_reg(1, n as i64);
+    m
+}
+
+/// Binary-searches a sorted array of `n` words for `queries` seeded keys.
+///
+/// Branch mix: the classic hard-to-predict mid-comparison plus a
+/// well-predicted search loop.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 4096`.
+pub fn binary_search(n: usize, queries: usize, seed: u64) -> Machine {
+    assert!((1..=4096).contains(&n), "n must be in 1..=4096");
+    let src = "
+        ; r1 = n, r2 = queries, mem[0..n] sorted data, mem[n..n+queries] keys
+        li   r3, 0              ; q = 0
+    next_query:
+        bge  r3, r2, done
+        add  r4, r1, r3
+        ld   r5, r4, 0          ; key
+        li   r6, 0              ; lo
+        mov  r7, r1             ; hi = n
+    search:
+        bge  r6, r7, not_found
+        add  r8, r6, r7
+        shri r8, r8, 1          ; mid
+        ld   r9, r8, 0
+        beq  r9, r5, found
+        blt  r9, r5, go_right
+        mov  r7, r8             ; hi = mid
+        jmp  search
+    go_right:
+        addi r6, r8, 1          ; lo = mid+1
+        jmp  search
+    found:
+    not_found:
+        addi r3, r3, 1
+        jmp  next_query
+    done:
+        halt";
+    let mut m = Machine::new(
+        assemble(src).expect("binary_search source assembles"),
+        n + queries,
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut data: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 10_000) as i64).collect();
+    data.sort_unstable();
+    for (i, v) in data.iter().enumerate() {
+        m.mem_mut()[i] = *v;
+    }
+    for q in 0..queries {
+        m.mem_mut()[n + q] = (rng.next_u64() % 10_000) as i64;
+    }
+    m.set_reg(1, n as i64);
+    m.set_reg(2, queries as i64);
+    m
+}
+
+/// Naive substring search of a random needle in a random haystack.
+///
+/// Branch mix: a mismatch-dominated inner comparison (strongly biased
+/// not-equal) with occasional partial-match runs.
+///
+/// # Panics
+///
+/// Panics if sizes are zero, `needle > hay`, or `hay > 4000`.
+pub fn string_match(hay: usize, needle: usize, seed: u64) -> Machine {
+    assert!(hay >= 1 && needle >= 1 && needle <= hay && hay <= 4000);
+    let src = "
+        ; r1 = hay len, r2 = needle len, mem[0..hay] text, mem[hay..] pattern
+        sub  r3, r1, r2         ; last start
+        li   r4, 0              ; start = 0
+        li   r15, 0             ; match count
+    outer:
+        blt  r3, r4, done       ; start > last?
+        li   r5, 0              ; j = 0
+    inner:
+        bge  r5, r2, hit        ; matched the whole needle
+        add  r6, r4, r5
+        ld   r7, r6, 0
+        add  r8, r1, r5
+        ld   r9, r8, 0
+        bne  r7, r9, miss
+        addi r5, r5, 1
+        jmp  inner
+    hit:
+        addi r15, r15, 1
+    miss:
+        addi r4, r4, 1
+        jmp  outer
+    done:
+        halt";
+    let mut m = Machine::new(
+        assemble(src).expect("string_match source assembles"),
+        hay + needle,
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for i in 0..hay {
+        m.mem_mut()[i] = (rng.next_u64() % 4) as i64; // small alphabet => partial matches
+    }
+    for j in 0..needle {
+        m.mem_mut()[hay + j] = (rng.next_u64() % 4) as i64;
+    }
+    m.set_reg(1, hay as i64);
+    m.set_reg(2, needle as i64);
+    m
+}
+
+/// Computes Collatz trajectory lengths for seeds `1..=n`.
+///
+/// Branch mix: the parity branch is effectively random — a classic
+/// hard-to-predict branch.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn collatz(n: u64) -> Machine {
+    assert!(n >= 1, "n must be positive");
+    let src = "
+        ; r1 = n
+        li   r2, 1              ; current seed
+        li   r15, 0             ; total steps
+    next_seed:
+        mov  r3, r2             ; x = seed
+    steps:
+        li   r4, 1
+        beq  r3, r4, seed_done  ; x == 1?
+        andi r5, r3, 1
+        beq  r5, r0, even
+        muli r3, r3, 3
+        addi r3, r3, 1
+        jmp  counted
+    even:
+        shri r3, r3, 1
+    counted:
+        addi r15, r15, 1
+        jmp  steps
+    seed_done:
+        addi r2, r2, 1
+        bge  r1, r2, next_seed  ; seed <= n?
+        halt";
+    let mut m = Machine::new(assemble(src).expect("collatz source assembles"), 0);
+    m.set_reg(1, n as i64);
+    m
+}
+
+/// Sieve of Eratosthenes up to `n`.
+///
+/// Branch mix: a strongly biased composite-check branch plus nested loops
+/// with data-dependent strides.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n > 8192`.
+pub fn sieve(n: usize) -> Machine {
+    assert!((4..=8192).contains(&n));
+    let src = "
+        ; r1 = n, mem[i] = 1 if composite
+        li   r2, 2              ; p = 2
+    next_p:
+        mul  r3, r2, r2
+        blt  r1, r3, done       ; p*p > n?
+        ld   r4, r2, 0
+        bne  r4, r0, skip       ; already composite?
+        mov  r5, r3             ; m = p*p
+    mark:
+        blt  r1, r5, skip       ; m > n?
+        li   r6, 1
+        st   r6, r5, 0
+        add  r5, r5, r2
+        jmp  mark
+    skip:
+        addi r2, r2, 1
+        jmp  next_p
+    done:
+        halt";
+    let mut m = Machine::new(assemble(src).expect("sieve source assembles"), n + 1);
+    m.set_reg(1, n as i64);
+    m
+}
+
+/// A token-driven finite state machine over a seeded input tape.
+///
+/// Branch mix: dispatch-style equality chains whose bias follows the token
+/// distribution — a stand-in for interpreter loops.
+///
+/// # Panics
+///
+/// Panics if `tokens == 0` or `tokens > 8192`.
+pub fn fsm(tokens: usize, seed: u64) -> Machine {
+    assert!((1..=8192).contains(&tokens));
+    let src = "
+        ; r1 = token count, mem[0..count] tokens in 0..=3, r15 = state
+        li   r2, 0              ; i
+        li   r15, 0
+    next_tok:
+        bge  r2, r1, done
+        ld   r3, r2, 0
+        li   r4, 0
+        beq  r3, r4, t0
+        li   r4, 1
+        beq  r3, r4, t1
+        li   r4, 2
+        beq  r3, r4, t2
+        ; token 3: reset state
+        li   r15, 0
+        jmp  advance
+    t0: addi r15, r15, 1
+        jmp advance
+    t1: muli r15, r15, 2
+        andi r15, r15, 255
+        jmp advance
+    t2: subi r15, r15, 1
+        jmp advance
+    advance:
+        addi r2, r2, 1
+        jmp next_tok
+    done:
+        halt";
+    let mut m = Machine::new(assemble(src).expect("fsm source assembles"), tokens);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for w in m.mem_mut().iter_mut() {
+        // Skewed token distribution: t0 common, t3 rare.
+        *w = rng.pick_weighted(&[0.5, 0.25, 0.2, 0.05]) as i64;
+    }
+    m.set_reg(1, tokens as i64);
+    m
+}
+
+/// Iterative quicksort over `n` seeded words, using an explicit stack in
+/// the upper half of memory.
+///
+/// Branch mix: data-dependent partition comparisons whose bias drifts as
+/// subarrays shrink, plus stack-management branches.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 1500`.
+pub fn quicksort(n: usize, seed: u64) -> Machine {
+    assert!((1..=1500).contains(&n), "n must be in 1..=1500");
+    // Memory layout: [0..n) data, [n..) stack of (lo, hi) pairs. r1 = n.
+    let src = "
+        ; push initial range (0, n-1)
+        mov  r2, r1             ; sp = n
+        li   r3, 0
+        st   r3, r2, 0          ; lo
+        subi r4, r1, 1
+        st   r4, r2, 1          ; hi
+        addi r2, r2, 2
+    pop:
+        beq  r2, r1, done       ; stack empty?
+        subi r2, r2, 2
+        ld   r3, r2, 0          ; lo
+        ld   r4, r2, 1          ; hi
+        bge  r3, r4, pop        ; trivial range
+        ; partition around pivot = a[hi]
+        ld   r5, r4, 0          ; pivot
+        mov  r6, r3             ; i = lo
+        mov  r7, r3             ; j = lo
+    part:
+        bge  r7, r4, part_done
+        ld   r8, r7, 0
+        bge  r8, r5, no_swap
+        ld   r9, r6, 0          ; swap a[i], a[j]
+        st   r8, r6, 0
+        st   r9, r7, 0
+        addi r6, r6, 1
+    no_swap:
+        addi r7, r7, 1
+        jmp  part
+    part_done:
+        ld   r9, r6, 0          ; swap a[i], a[hi]
+        st   r5, r6, 0
+        st   r9, r4, 0
+        ; push (lo, i-1) and (i+1, hi)
+        subi r8, r6, 1
+        st   r3, r2, 0
+        st   r8, r2, 1
+        addi r2, r2, 2
+        addi r8, r6, 1
+        st   r8, r2, 0
+        st   r4, r2, 1
+        addi r2, r2, 2
+        jmp  pop
+    done:
+        halt";
+    // Worst-case stack depth: 2 words per partition, bounded by 2n pairs.
+    let mut m = Machine::new(
+        assemble(src).expect("quicksort source assembles"),
+        n * 5 + 8,
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for i in 0..n {
+        m.mem_mut()[i] = (rng.next_u64() % 100_000) as i64;
+    }
+    m.set_reg(1, n as i64);
+    m
+}
+
+/// Dense matrix multiply `C = A × B` of seeded `k × k` matrices.
+///
+/// Branch mix: a perfectly regular triple loop nest — the most predictable
+/// control flow a program can have (every branch is a counted loop).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 36`.
+pub fn matmul(k: usize, seed: u64) -> Machine {
+    assert!((1..=36).contains(&k), "k must be in 1..=36");
+    // Memory: A at 0, B at k*k, C at 2k*k. r1 = k.
+    let src = "
+        mul  r2, r1, r1         ; k*k
+        li   r3, 0              ; i
+    li_loop:
+        bge  r3, r1, done
+        li   r4, 0              ; j
+    lj_loop:
+        bge  r4, r1, li_next
+        li   r5, 0              ; acc
+        li   r6, 0              ; l
+    lk_loop:
+        bge  r6, r1, lk_done
+        mul  r7, r3, r1
+        add  r7, r7, r6         ; A index i*k+l
+        ld   r8, r7, 0
+        mul  r9, r6, r1
+        add  r9, r9, r4
+        add  r9, r9, r2         ; B index k*k + l*k+j
+        ld   r10, r9, 0
+        mul  r8, r8, r10
+        add  r5, r5, r8
+        addi r6, r6, 1
+        jmp  lk_loop
+    lk_done:
+        mul  r7, r3, r1
+        add  r7, r7, r4
+        add  r7, r7, r2
+        add  r7, r7, r2         ; C index 2k*k + i*k+j
+        st   r5, r7, 0
+        addi r4, r4, 1
+        jmp  lj_loop
+    li_next:
+        addi r3, r3, 1
+        jmp  li_loop
+    done:
+        halt";
+    let mut m = Machine::new(assemble(src).expect("matmul source assembles"), 3 * k * k);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for i in 0..2 * k * k {
+        m.mem_mut()[i] = (rng.next_u64() % 16) as i64;
+    }
+    m.set_reg(1, k as i64);
+    m
+}
+
+/// Linear-probing hash-table inserts and lookups over seeded keys.
+///
+/// Branch mix: probe-loop branches whose trip count depends on table load —
+/// increasingly unpredictable as the table fills.
+///
+/// # Panics
+///
+/// Panics if `table` is not a power of two in `8..=2048`, or `ops == 0`.
+pub fn hash_probe(table: usize, ops: usize, seed: u64) -> Machine {
+    assert!(
+        (8..=2048).contains(&table) && table.is_power_of_two(),
+        "table must be a power of two in 8..=2048"
+    );
+    assert!(ops >= 1, "ops must be positive");
+    // Memory: [0..table) slots (0 = empty), [table..table+ops) keys.
+    // r1 = table size, r2 = ops, r13 = table-1 mask.
+    let src = "
+        subi r13, r1, 1         ; mask
+        li   r3, 0              ; op index
+    next_op:
+        bge  r3, r2, done
+        add  r4, r1, r3
+        ld   r5, r4, 0          ; key (nonzero)
+        and  r6, r5, r13        ; slot = key & mask
+    probe:
+        ld   r7, r6, 0
+        beq  r7, r0, insert     ; empty slot?
+        beq  r7, r5, found      ; already present?
+        addi r6, r6, 1
+        and  r6, r6, r13        ; wrap
+        jmp  probe
+    insert:
+        st   r5, r6, 0
+    found:
+        addi r3, r3, 1
+        jmp  next_op
+    done:
+        halt";
+    let mut m = Machine::new(
+        assemble(src).expect("hash_probe source assembles"),
+        table + ops,
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for i in 0..ops {
+        // Nonzero keys; duplicates on purpose (lookup hits).
+        m.mem_mut()[table + i] = 1 + (rng.next_u64() % (table as u64 / 2)) as i64;
+    }
+    m.set_reg(1, table as i64);
+    m.set_reg(2, ops as i64);
+    m
+}
+
+/// Runs every sample program with small inputs and concatenates their
+/// traces — a convenient mixed "real control flow" trace for tests.
+pub fn mixed_sample_trace(seed: u64) -> Vec<BranchRecord> {
+    let mut out = Vec::new();
+    let budget = 2_000_000;
+    let mut machines = [
+        bubble_sort(64, seed).with_code_base(0x1_0000),
+        binary_search(256, 64, seed ^ 1).with_code_base(0x2_0000),
+        string_match(512, 4, seed ^ 2).with_code_base(0x3_0000),
+        collatz(60).with_code_base(0x4_0000),
+        sieve(1000).with_code_base(0x5_0000),
+        fsm(1000, seed ^ 3).with_code_base(0x6_0000),
+        quicksort(200, seed ^ 4).with_code_base(0x7_0000),
+        matmul(12, seed ^ 5).with_code_base(0x8_0000),
+        hash_probe(128, 80, seed ^ 6).with_code_base(0x9_0000),
+    ];
+    for m in &mut machines {
+        out.extend(m.run(budget).expect("sample programs terminate"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let mut m = bubble_sort(50, 7);
+        m.run(10_000_000).unwrap();
+        let mem = m.mem();
+        assert!(mem.windows(2).all(|w| w[0] <= w[1]), "not sorted: {mem:?}");
+    }
+
+    #[test]
+    fn binary_search_terminates_and_branches() {
+        let mut m = binary_search(128, 32, 9);
+        let t = m.run(1_000_000).unwrap();
+        assert!(m.halted());
+        assert!(t.len() > 32 * 3, "too few branches: {}", t.len());
+    }
+
+    #[test]
+    fn string_match_counts_matches() {
+        let mut m = string_match(200, 2, 11);
+        m.run(1_000_000).unwrap();
+        // r15 holds the match count; small alphabet makes matches likely.
+        assert!(m.reg(15) >= 0);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn collatz_total_steps_known_value() {
+        // Trajectory lengths for 1..=6: 0+1+7+2+5+8 = 23
+        let mut m = collatz(6);
+        m.run(100_000).unwrap();
+        assert_eq!(m.reg(15), 23);
+    }
+
+    #[test]
+    fn sieve_marks_composites_only() {
+        let mut m = sieve(100);
+        m.run(1_000_000).unwrap();
+        let mem = m.mem();
+        let primes: Vec<usize> = (2..=100).filter(|&i| mem[i] == 0).collect();
+        assert_eq!(&primes[..8], &[2, 3, 5, 7, 11, 13, 17, 19]);
+        assert_eq!(primes.len(), 25);
+    }
+
+    #[test]
+    fn fsm_consumes_all_tokens() {
+        let mut m = fsm(500, 3);
+        let t = m.run(1_000_000).unwrap();
+        assert!(m.halted());
+        assert!(t.len() >= 500, "each token should produce branches");
+    }
+
+    #[test]
+    fn mixed_trace_is_deterministic_and_multiprogram() {
+        let a = mixed_sample_trace(1);
+        let b = mixed_sample_trace(1);
+        assert_eq!(a, b);
+        let bases: std::collections::BTreeSet<u64> = a.iter().map(|r| r.pc >> 16).collect();
+        assert!(
+            bases.len() >= 9,
+            "expected all nine programs, got {bases:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bubble_sort_rejects_zero() {
+        bubble_sort(0, 0);
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        let mut m = quicksort(300, 13);
+        m.run(10_000_000).unwrap();
+        let data = &m.mem()[..300];
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+    }
+
+    #[test]
+    fn quicksort_matches_bubble_sort_result() {
+        let mut q = quicksort(100, 21);
+        q.run(10_000_000).unwrap();
+        let mut b = bubble_sort(100, 21);
+        b.run(10_000_000).unwrap();
+        assert_eq!(&q.mem()[..100], &b.mem()[..100]);
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let k = 5;
+        let mut m = matmul(k, 3);
+        m.run(10_000_000).unwrap();
+        let mem = m.mem();
+        let (a, rest) = mem.split_at(k * k);
+        let (b, c) = rest.split_at(k * k);
+        for i in 0..k {
+            for j in 0..k {
+                let expected: i64 = (0..k).map(|l| a[i * k + l] * b[l * k + j]).sum();
+                assert_eq!(c[i * k + j], expected, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_probe_inserts_all_distinct_keys() {
+        let mut m = hash_probe(256, 100, 5);
+        m.run(10_000_000).unwrap();
+        // Every key from the input block must be present in the table.
+        let (table, keys) = m.mem().split_at(256);
+        for &k in keys {
+            assert!(table.contains(&k), "key {k} missing from table");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hash_probe_rejects_non_power_of_two() {
+        hash_probe(100, 10, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Trace transformations: rebasing, concatenation, interleaving, and
+//! sampling.
+//!
+//! These are the utility operations a trace-driven methodology needs
+//! around the raw record streams: build multiprogrammed (SMT-style)
+//! workloads by interleaving per-thread traces, relocate PC ranges so
+//! concatenated programs do not alias, and thin traces for quick looks.
+
+use crate::record::BranchRecord;
+
+/// Shifts every PC by a signed offset (wrapping).
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::{transform::offset_pcs, BranchRecord};
+///
+/// let t = vec![BranchRecord::new(0x100, true)];
+/// let shifted: Vec<_> = offset_pcs(t, 0x1000).collect();
+/// assert_eq!(shifted[0].pc, 0x1100);
+/// ```
+pub fn offset_pcs<I>(trace: I, offset: i64) -> impl Iterator<Item = BranchRecord>
+where
+    I: IntoIterator<Item = BranchRecord>,
+{
+    trace
+        .into_iter()
+        .map(move |r| BranchRecord::new(r.pc.wrapping_add(offset as u64), r.taken))
+}
+
+/// Concatenates traces, relocating each input to its own `region_size`-
+/// aligned PC region so static branches never collide across inputs.
+///
+/// # Panics
+///
+/// Panics if `region_size` is zero.
+pub fn concat_rebased(traces: Vec<Vec<BranchRecord>>, region_size: u64) -> Vec<BranchRecord> {
+    assert!(region_size > 0, "region_size must be positive");
+    let mut out = Vec::with_capacity(traces.iter().map(Vec::len).sum());
+    for (i, t) in traces.into_iter().enumerate() {
+        let base = region_size * i as u64;
+        out.extend(
+            t.into_iter()
+                .map(|r| BranchRecord::new(base + (r.pc % region_size), r.taken)),
+        );
+    }
+    out
+}
+
+/// Round-robin interleaves several traces in fixed quanta — a
+/// multiprogrammed (context-switching) workload from per-program traces.
+///
+/// Each input contributes `quantum` consecutive records per turn until all
+/// are exhausted; shorter inputs simply drop out.
+///
+/// # Panics
+///
+/// Panics if `quantum` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cira_trace::{transform::interleave, BranchRecord};
+///
+/// let a = vec![BranchRecord::new(0, true); 4];
+/// let b = vec![BranchRecord::new(4, false); 2];
+/// let mixed = interleave(vec![a, b], 2);
+/// assert_eq!(mixed.len(), 6);
+/// assert_eq!(mixed[2].pc, 4); // b's quantum follows a's
+/// ```
+pub fn interleave(traces: Vec<Vec<BranchRecord>>, quantum: usize) -> Vec<BranchRecord> {
+    assert!(quantum > 0, "quantum must be positive");
+    let total = traces.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors: Vec<(std::vec::IntoIter<BranchRecord>, bool)> =
+        traces.into_iter().map(|t| (t.into_iter(), true)).collect();
+    while cursors.iter().any(|(_, alive)| *alive) {
+        for (iter, alive) in cursors.iter_mut() {
+            if !*alive {
+                continue;
+            }
+            let mut took = 0;
+            for r in iter.by_ref().take(quantum) {
+                out.push(r);
+                took += 1;
+            }
+            if took < quantum {
+                *alive = false;
+            }
+        }
+    }
+    out
+}
+
+/// Keeps every `n`-th record (systematic sampling) — useful for quick
+/// statistical looks at long traces. Note that sampled traces are *not*
+/// valid predictor inputs (history continuity is broken); use them for
+/// bias/footprint statistics only.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn sample_every<I>(trace: I, n: usize) -> impl Iterator<Item = BranchRecord>
+where
+    I: IntoIterator<Item = BranchRecord>,
+{
+    assert!(n > 0, "n must be positive");
+    trace.into_iter().step_by(n)
+}
+
+/// Splits a trace at PC `boundary`: records below it go left, the rest
+/// right. Used with [`crate::suite::Benchmark::kernel_start_pc`] to
+/// separate user and kernel streams.
+pub fn split_at_pc(
+    trace: impl IntoIterator<Item = BranchRecord>,
+    boundary: u64,
+) -> (Vec<BranchRecord>, Vec<BranchRecord>) {
+    trace.into_iter().partition(|r| r.pc < boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u64) -> BranchRecord {
+        BranchRecord::new(pc, pc.is_multiple_of(2))
+    }
+
+    #[test]
+    fn offset_wraps() {
+        let out: Vec<_> = offset_pcs(vec![rec(4), rec(u64::MAX)], 1).collect();
+        assert_eq!(out[0].pc, 5);
+        assert_eq!(out[1].pc, 0);
+        let back: Vec<_> = offset_pcs(out, -1).collect();
+        assert_eq!(back[0].pc, 4);
+    }
+
+    #[test]
+    fn concat_rebased_separates_regions() {
+        let a = vec![rec(0x10), rec(0x20)];
+        let b = vec![rec(0x10), rec(0x30)];
+        let out = concat_rebased(vec![a, b], 0x1000);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].pc, 0x10);
+        assert_eq!(out[2].pc, 0x1010);
+        // No PC collisions across inputs despite identical originals.
+        assert_ne!(out[0].pc, out[2].pc);
+    }
+
+    #[test]
+    fn concat_rebased_wraps_large_pcs_into_region() {
+        let a = vec![rec(0x12345)];
+        let out = concat_rebased(vec![a], 0x100);
+        assert!(out[0].pc < 0x100);
+    }
+
+    #[test]
+    fn interleave_round_robin_order() {
+        let a = vec![rec(0), rec(4), rec(8), rec(12)];
+        let b = vec![rec(100), rec(104)];
+        let out = interleave(vec![a, b], 2);
+        let pcs: Vec<u64> = out.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0, 4, 100, 104, 8, 12]);
+    }
+
+    #[test]
+    fn interleave_preserves_every_record() {
+        let a: Vec<_> = (0..13).map(|i| rec(i * 4)).collect();
+        let b: Vec<_> = (0..7).map(|i| rec(1000 + i * 4)).collect();
+        let c: Vec<_> = (0..1).map(|i| rec(2000 + i * 4)).collect();
+        let out = interleave(vec![a.clone(), b.clone(), c.clone()], 3);
+        assert_eq!(out.len(), a.len() + b.len() + c.len());
+        // Per-input subsequences keep their order.
+        let a_out: Vec<_> = out.iter().filter(|r| r.pc < 1000).copied().collect();
+        assert_eq!(a_out, a);
+    }
+
+    #[test]
+    fn interleave_empty_inputs() {
+        assert!(interleave(vec![], 4).is_empty());
+        assert!(interleave(vec![vec![], vec![]], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn interleave_zero_quantum_panics() {
+        interleave(vec![vec![rec(0)]], 0);
+    }
+
+    #[test]
+    fn sampling_takes_every_nth() {
+        let t: Vec<_> = (0..10).map(|i| rec(i * 4)).collect();
+        let s: Vec<_> = sample_every(t, 3).collect();
+        let pcs: Vec<u64> = s.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0, 12, 24, 36]);
+    }
+
+    #[test]
+    fn split_at_pc_partitions() {
+        let t = vec![rec(0x10), rec(0x1000), rec(0x20)];
+        let (user, kernel) = split_at_pc(t, 0x100);
+        assert_eq!(user.len(), 2);
+        assert_eq!(kernel.len(), 1);
+        assert!(user.iter().all(|r| r.pc < 0x100));
+    }
+}

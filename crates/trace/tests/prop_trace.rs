@@ -1,0 +1,154 @@
+//! Property tests for the trace substrate.
+
+use cira_trace::model::TripCount;
+use cira_trace::rng::Xoshiro256StarStar;
+use cira_trace::suite::suite_profiles;
+use cira_trace::tinyvm::{assemble, Machine};
+use cira_trace::{codec, BranchRecord, TraceSource, VecTrace};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn next_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_range(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pick_weighted_never_picks_zero_weight(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..10.0, 1..8)
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = rng.pick_weighted(&weights);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn trip_count_samples_within_bounds(
+        seed in any::<u64>(),
+        lo in 0u32..50,
+        span in 0u32..50
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let t = TripCount::Uniform(lo, lo + span);
+        for _ in 0..30 {
+            let v = t.sample(&mut rng);
+            prop_assert!((lo..=lo + span).contains(&v));
+        }
+    }
+
+    #[test]
+    fn geometric_trips_respect_cap(seed in any::<u64>(), mean in 0.1f64..50.0, cap in 1u32..200) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let t = TripCount::Geometric { mean, cap };
+        for _ in 0..30 {
+            prop_assert!(t.sample(&mut rng) <= cap);
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_read(
+        records in proptest::collection::vec(
+            (any::<u64>(), any::<bool>()).prop_map(|(pc, t)| BranchRecord::new(pc, t)),
+            0..300
+        )
+    ) {
+        let mut buf = Vec::new();
+        codec::write_trace(&mut buf, records.iter().copied()).unwrap();
+        let bulk = codec::read_trace(&buf[..]).unwrap();
+        let streamed: Result<Vec<_>, _> = codec::TraceReader::new(&buf[..]).unwrap().collect();
+        prop_assert_eq!(&bulk, &records);
+        prop_assert_eq!(streamed.unwrap(), records);
+    }
+
+    #[test]
+    fn vec_trace_reset_is_idempotent(
+        records in proptest::collection::vec(
+            (any::<u64>(), any::<bool>()).prop_map(|(pc, t)| BranchRecord::new(pc, t)),
+            0..100
+        ),
+        advance in 0usize..120
+    ) {
+        let mut t = VecTrace::new(records.clone());
+        for _ in 0..advance {
+            t.next();
+        }
+        t.reset();
+        let replay: Vec<_> = t.collect();
+        prop_assert_eq!(replay, records);
+    }
+
+    #[test]
+    fn walkers_are_deterministic_for_any_seed(seed in any::<u64>()) {
+        let program = suite_profiles()[3].build(); // jpeg-shaped program
+        let a: Vec<_> = program.walker(seed).take(300).collect();
+        let b: Vec<_> = program.walker(seed).take(300).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vm_loop_counts_match_assembly(n in 1i64..60) {
+        let src = format!(
+            "li r1, {n}\nli r2, 0\nloop: addi r2, r2, 1\nblt r2, r1, loop\nhalt"
+        );
+        let mut m = Machine::new(assemble(&src).unwrap(), 0);
+        let trace = m.run(100_000).unwrap();
+        prop_assert_eq!(m.reg(2), n);
+        prop_assert_eq!(trace.len() as i64, n);
+        prop_assert_eq!(trace.iter().filter(|r| r.taken).count() as i64, n - 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn assembler_never_panics_on_arbitrary_text(src in ".{0,200}") {
+        // Any input must produce Ok or a structured error, never a panic.
+        let _ = assemble(&src);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "li", "mov", "add", "addi", "beq", "bne", "jmp", "halt", "ld", "st",
+                "r0", "r1", "r15", "r16", "42", "-7", "0x1f", "loop:", "loop", ",", ";x",
+            ]),
+            0..30
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = assemble(&src);
+    }
+
+    #[test]
+    fn machine_never_panics_on_valid_programs(
+        n in 1i64..20,
+        mem in 0usize..64,
+        budget in 0u64..5000
+    ) {
+        // A structurally valid program must either halt, exhaust the
+        // budget, or report a structured VM error — never panic.
+        let src = format!(
+            "li r1, {n}\nli r2, 0\nloop: addi r2, r2, 1\nld r3, r2, 0\nblt r2, r1, loop\nhalt"
+        );
+        let mut m = Machine::new(assemble(&src).unwrap(), mem);
+        let _ = m.run(budget);
+    }
+}

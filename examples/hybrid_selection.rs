@@ -1,0 +1,55 @@
+//! Confidence-driven hybrid predictor selection (application 3 of the
+//! paper): compare a gshare+bimodal hybrid driven by the classic McFarling
+//! chooser against one driven by explicit per-component confidence tables.
+//!
+//! Run with: `cargo run --release --example hybrid_selection`
+
+use cira::apps::ConfidenceSelector;
+use cira::prelude::*;
+
+fn main() {
+    let suite = ibs_like_suite();
+    let n = 500_000usize;
+    println!(
+        "{:<12} {:>9} {:>9} {:>10} {:>12}",
+        "benchmark", "gshare", "bimodal", "mcfarling", "conf-select"
+    );
+    let mut sums = [0.0f64; 4];
+    for bench in &suite {
+        let g = run_predictor(bench.walker().take(n), &mut Gshare::new(12, 12));
+        let b = run_predictor(bench.walker().take(n), &mut Bimodal::new(12));
+        let h = run_predictor(
+            bench.walker().take(n),
+            &mut Hybrid::new(Gshare::new(12, 12), Bimodal::new(12), 12),
+        );
+        let c = run_predictor(
+            bench.walker().take(n),
+            &mut ConfidenceSelector::new(Gshare::new(12, 12), Bimodal::new(12), 12),
+        );
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>9.2}% {:>11.2}%",
+            bench.name(),
+            100.0 * g.miss_rate(),
+            100.0 * b.miss_rate(),
+            100.0 * h.miss_rate(),
+            100.0 * c.miss_rate()
+        );
+        for (s, r) in sums.iter_mut().zip([g, b, h, c]) {
+            *s += r.miss_rate();
+        }
+    }
+    let n_b = suite.len() as f64;
+    println!(
+        "{:<12} {:>8.2}% {:>8.2}% {:>9.2}% {:>11.2}%",
+        "average",
+        100.0 * sums[0] / n_b,
+        100.0 * sums[1] / n_b,
+        100.0 * sums[2] / n_b,
+        100.0 * sums[3] / n_b
+    );
+    println!();
+    println!(
+        "paper (§6): \"we are optimistic that work on branch confidence will lead to a\n\
+         systematic way of developing near-optimal selectors\""
+    );
+}

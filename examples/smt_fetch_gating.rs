@@ -1,0 +1,65 @@
+//! Confidence-guided SMT instruction fetch (application 2 of the paper):
+//! four threads share a 4-wide fetch unit; compare round-robin, ICOUNT-like,
+//! and confidence-gated fetch policies on wasted wrong-path fetches.
+//!
+//! Run with: `cargo run --release --example smt_fetch_gating`
+
+use cira::apps::smt_fetch::{simulate_smt_fetch, FetchPolicy, SmtConfig, ThreadSpec};
+use cira::prelude::*;
+
+fn make_threads(suite: &[Benchmark]) -> Vec<ThreadSpec<'static>> {
+    // Four dissimilar workloads sharing the core.
+    ["gcc", "jpeg", "sdet", "verilog"]
+        .iter()
+        .map(|name| {
+            let bench = suite
+                .iter()
+                .find(|b| b.name() == *name)
+                .expect("suite benchmark")
+                .clone();
+            ThreadSpec {
+                trace: Box::new(bench.walker().take(10_000_000)),
+                predictor: Box::new(Gshare::paper_large()),
+                estimator: Box::new(ThresholdEstimator::new(
+                    ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16)),
+                    LowRule::KeyBelow(8),
+                )),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let suite = ibs_like_suite();
+    let config = SmtConfig {
+        fetch_width: 4,
+        resolve_delay: 6,
+        cycles: 60_000,
+    };
+    println!(
+        "SMT fetch model: 4 threads, width {}, resolve delay {} blocks, {} cycles",
+        config.fetch_width, config.resolve_delay, config.cycles
+    );
+    println!();
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>8}",
+        "policy", "fetched", "wasted", "useful/cyc", "useful%"
+    );
+    for (name, policy) in [
+        ("round-robin", FetchPolicy::RoundRobin),
+        ("fewest-outstanding", FetchPolicy::FewestOutstanding),
+        ("confidence-gated", FetchPolicy::ConfidenceGated),
+    ] {
+        let report = simulate_smt_fetch(make_threads(&suite), policy, config);
+        println!(
+            "{:<22} {:>10} {:>10} {:>10.2} {:>7.1}%",
+            name,
+            report.fetched_blocks,
+            report.wasted_blocks,
+            report.useful_throughput(config.cycles),
+            100.0 * report.useful_fraction()
+        );
+    }
+    println!();
+    println!("paper (§1): prioritizing high-confidence threads reduces wasted fetches");
+}

@@ -1,0 +1,66 @@
+//! # cira — branch prediction confidence estimation
+//!
+//! A full reproduction of Jacobsen, Rotenberg & Smith, *"Assigning
+//! Confidence to Conditional Branch Predictions"* (MICRO-29, 1996), as a
+//! Rust workspace. This umbrella crate re-exports the component crates:
+//!
+//! * [`trace`] — branch traces: synthetic IBS-like workloads, a tiny VM,
+//!   deterministic PRNGs, and a binary trace codec.
+//! * [`predictor`] — gshare and baseline branch predictors.
+//! * [`core`] — the paper's contribution: CIR tables, one- and two-level
+//!   confidence mechanisms, reduction functions, initialization policies.
+//! * [`analysis`] — simulation drivers, bucket statistics, coverage
+//!   curves, confusion metrics, Table-1 renderers, CSV/ASCII export.
+//! * [`apps`] — the four motivating applications: dual-path execution,
+//!   SMT fetch gating, hybrid selection, and prediction reversal.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cira::prelude::*;
+//!
+//! // Paper setup: 64K gshare + a resetting-counter confidence table.
+//! let bench = &ibs_like_suite()[3]; // jpeg
+//! let mut predictor = Gshare::paper_large();
+//! let mut mechanism = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16));
+//! let stats = collect_mechanism_buckets(
+//!     bench.walker().take(50_000),
+//!     &mut predictor,
+//!     &mut mechanism,
+//! );
+//! let curve = CoverageCurve::from_buckets(&stats);
+//! // Low-confidence sets concentrate mispredictions:
+//! assert!(curve.coverage_at(20.0) > 40.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cira_analysis as analysis;
+pub use cira_apps as apps;
+pub use cira_core as core;
+pub use cira_predictor as predictor;
+pub use cira_trace as trace;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use cira_analysis::runner::{
+        collect_mechanism_buckets, collect_static_buckets, run_estimator, run_predictor,
+    };
+    pub use cira_analysis::{
+        BucketStats, ConfusionCounts, CounterTable, CoverageCurve, PredictorRun,
+    };
+    pub use cira_core::one_level::{
+        MappedKey, OneLevelCir, ResettingConfidence, SaturatingConfidence,
+    };
+    pub use cira_core::two_level::TwoLevelCir;
+    pub use cira_core::{
+        Cir, Confidence, ConfidenceEstimator, ConfidenceMechanism, IndexSpec, InitPolicy, LowRule,
+        StaticConfidence, ThresholdEstimator,
+    };
+    pub use cira_predictor::{
+        Bimodal, BranchPredictor, GSelect, Gshare, HistoryRegister, Hybrid, LocalTwoLevel,
+        StaticDirection,
+    };
+    pub use cira_trace::suite::{ibs_like_suite, Benchmark, WorkloadProfile};
+    pub use cira_trace::{BranchRecord, TraceSource, TraceStats, VecTrace};
+}

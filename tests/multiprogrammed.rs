@@ -1,0 +1,95 @@
+//! Multiprogrammed-workload integration: interleaved traces (context
+//! switching) interact with confidence-table flushing exactly as §5.4
+//! anticipates.
+
+use cira::prelude::*;
+use cira::trace::transform::{interleave, split_at_pc};
+use cira_analysis::runner::{collect_mechanism_buckets, collect_mechanism_buckets_with_flush};
+
+fn mixed_workload(per_program: usize, quantum: usize) -> Vec<BranchRecord> {
+    let suite = ibs_like_suite();
+    let traces: Vec<Vec<BranchRecord>> = ["gcc", "jpeg", "sdet"]
+        .iter()
+        .map(|name| {
+            suite
+                .iter()
+                .find(|b| b.name() == *name)
+                .expect("benchmark exists")
+                .walker()
+                .take(per_program)
+                .collect()
+        })
+        .collect();
+    interleave(traces, quantum)
+}
+
+#[test]
+fn interleaving_preserves_per_program_streams() {
+    let per = 30_000;
+    let mixed = mixed_workload(per, 1_000);
+    assert_eq!(mixed.len(), 3 * per);
+    // Each program's subsequence is its original trace (PC ranges are
+    // disjoint across suite benchmarks by construction).
+    let suite = ibs_like_suite();
+    let gcc = suite.iter().find(|b| b.name() == "gcc").unwrap();
+    let gcc_original: Vec<BranchRecord> = gcc.walker().take(per).collect();
+    let gcc_lo = gcc_original.iter().map(|r| r.pc).min().unwrap();
+    let gcc_hi = gcc_original.iter().map(|r| r.pc).max().unwrap();
+    let gcc_mixed: Vec<BranchRecord> = mixed
+        .iter()
+        .filter(|r| (gcc_lo..=gcc_hi).contains(&r.pc))
+        .copied()
+        .collect();
+    assert_eq!(gcc_mixed, gcc_original);
+}
+
+#[test]
+fn context_switching_degrades_confidence_but_flush_matches_quantum() {
+    // A mixed workload with coarse quanta behaves like the isolated runs;
+    // the same programs with tiny quanta (rapid context switching among
+    // address spaces that share the CT) degrade coverage.
+    let coarse = {
+        let mut predictor = Gshare::paper_large();
+        let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16));
+        let stats =
+            collect_mechanism_buckets(mixed_workload(60_000, 20_000), &mut predictor, &mut mech);
+        CoverageCurve::from_buckets(&stats).coverage_at(20.0)
+    };
+    assert!(coarse > 55.0, "coarse-quantum coverage {coarse:.1}");
+}
+
+#[test]
+fn flushing_at_switch_boundaries_is_sane() {
+    // Flushing the CT exactly at quantum boundaries (the §5.4 scenario)
+    // must still leave a working mechanism: coverage above the diagonal
+    // and total accounting intact.
+    let quantum = 10_000u64;
+    let trace = mixed_workload(40_000, quantum as usize);
+    let n = trace.len() as f64;
+    let mut predictor = Gshare::paper_large();
+    let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16));
+    let stats = collect_mechanism_buckets_with_flush(trace, &mut predictor, &mut mech, quantum);
+    assert_eq!(stats.total_refs(), n);
+    let curve = CoverageCurve::from_buckets(&stats);
+    assert!(
+        curve.coverage_at(30.0) > 35.0,
+        "flushed coverage at 30%: {:.1}",
+        curve.coverage_at(30.0)
+    );
+}
+
+#[test]
+fn kernel_split_separates_streams() {
+    let suite = ibs_like_suite();
+    let sdet = suite.iter().find(|b| b.name() == "sdet").unwrap();
+    let trace: Vec<BranchRecord> = sdet.walker().take(100_000).collect();
+    let (user, kernel) = split_at_pc(trace.iter().copied(), sdet.kernel_start_pc());
+    assert_eq!(user.len() + kernel.len(), trace.len());
+    assert!(!user.is_empty() && !kernel.is_empty());
+    // sdet is the OS-heavy workload: a substantial kernel share.
+    let share = kernel.len() as f64 / trace.len() as f64;
+    assert!(
+        (0.05..0.6).contains(&share),
+        "sdet kernel share {share:.2} out of expected range"
+    );
+}

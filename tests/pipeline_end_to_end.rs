@@ -1,0 +1,160 @@
+//! End-to-end integration: traces flow through files, predictors,
+//! confidence mechanisms, estimators, and analyses consistently.
+
+use cira::prelude::*;
+use cira::trace::codec;
+use cira::trace::tinyvm::programs;
+use cira_analysis::runner;
+
+#[test]
+fn codec_round_trip_preserves_simulation_results() {
+    let bench = &ibs_like_suite()[1];
+    let original: Vec<BranchRecord> = bench.walker().take(50_000).collect();
+
+    let mut encoded = Vec::new();
+    codec::write_trace(&mut encoded, original.iter().copied()).unwrap();
+    let decoded = codec::read_trace(&encoded[..]).unwrap();
+    assert_eq!(decoded, original);
+
+    // Identical traces must produce identical predictor results.
+    let a = runner::run_predictor(original, &mut Gshare::paper_small());
+    let b = runner::run_predictor(decoded, &mut Gshare::paper_small());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn estimator_agrees_with_bucket_analysis() {
+    // A KeyBelow(t) estimator must flag exactly the branches whose bucket
+    // key is below t — so its low fraction equals the bucket mass below t.
+    let bench = &ibs_like_suite()[2];
+    let len = 60_000;
+    let threshold = 8u64;
+
+    let mut mech = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12));
+    let stats = runner::collect_mechanism_buckets(
+        bench.walker().take(len),
+        &mut Gshare::paper_small(),
+        &mut mech,
+    );
+    let expected_low: f64 = stats
+        .iter()
+        .filter(|(k, _)| *k < threshold)
+        .map(|(_, c)| c.refs)
+        .sum::<f64>()
+        / stats.total_refs();
+
+    let mut est = ThresholdEstimator::new(
+        ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(12)),
+        LowRule::KeyBelow(threshold),
+    );
+    let counts = runner::run_estimator(
+        bench.walker().take(len),
+        &mut Gshare::paper_small(),
+        &mut est,
+    );
+    assert!(
+        (counts.low_fraction() - expected_low).abs() < 1e-9,
+        "estimator low fraction {} vs bucket mass {}",
+        counts.low_fraction(),
+        expected_low
+    );
+    assert_eq!(counts.total(), len as u64);
+}
+
+#[test]
+fn tinyvm_programs_flow_through_the_full_stack() {
+    let trace = programs::mixed_sample_trace(3);
+    assert!(trace.len() > 5_000);
+
+    let mut mech = OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(12));
+    let stats = runner::collect_mechanism_buckets(
+        trace.iter().copied(),
+        &mut Gshare::new(12, 12),
+        &mut mech,
+    );
+    assert_eq!(stats.total_refs(), trace.len() as f64);
+
+    let curve = CoverageCurve::from_buckets(&stats);
+    // Confidence must do better than chance (the diagonal) on real control
+    // flow, even if VM programs are branchy.
+    assert!(
+        curve.coverage_at(30.0) > 35.0,
+        "coverage at 30%: {:.1}",
+        curve.coverage_at(30.0)
+    );
+}
+
+#[test]
+fn static_confidence_estimator_matches_profile() {
+    // Build a static low-confidence set from profiling, then check the
+    // estimator flags exactly those PCs' executions.
+    let bench = &ibs_like_suite()[0];
+    let len = 40_000;
+    let stats =
+        runner::collect_static_buckets(bench.walker().take(len), &mut Gshare::paper_small());
+    let curve = CoverageCurve::from_buckets(&stats);
+    let (low_pcs, point) = curve
+        .low_set_for_branch_budget(25.0)
+        .expect("nonempty static curve");
+    let est = StaticConfidence::from_low_pcs(low_pcs.iter().copied());
+
+    let mut low = 0u64;
+    for r in bench.walker().take(len) {
+        if est.estimate(r.pc, 0).is_low() {
+            low += 1;
+        }
+    }
+    let measured = 100.0 * low as f64 / len as f64;
+    assert!(
+        (measured - point.pct_branches).abs() < 0.5,
+        "estimator flags {measured:.2}% vs curve point {:.2}%",
+        point.pct_branches
+    );
+}
+
+#[test]
+fn suite_benchmarks_are_statistically_distinct() {
+    // Different benchmarks must exercise different PC ranges and rates —
+    // guards against suite construction regressions.
+    let suite = ibs_like_suite();
+    let mut rates = Vec::new();
+    for bench in suite.iter().take(4) {
+        let run = runner::run_predictor(bench.walker().take(80_000), &mut Gshare::paper_large());
+        rates.push(run.miss_rate());
+    }
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    let max = rates.iter().cloned().fold(0.0, f64::max);
+    assert!(max > 1.5 * min, "rates too uniform: {rates:?}");
+}
+
+#[test]
+fn mapped_ones_count_is_popcount_of_cir_keys() {
+    let bench = &ibs_like_suite()[3];
+    let len = 30_000;
+    let mk = || OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(10));
+    let mut plain = mk();
+    let raw = runner::collect_mechanism_buckets(
+        bench.walker().take(len),
+        &mut Gshare::new(10, 10),
+        &mut plain,
+    );
+    let mut mapped = MappedKey::ones_count(mk());
+    let ones = runner::collect_mechanism_buckets(
+        bench.walker().take(len),
+        &mut Gshare::new(10, 10),
+        &mut mapped,
+    );
+    // Summing raw CIR buckets by popcount must reproduce the mapped stats.
+    for count in 0..=16u32 {
+        let expected: f64 = raw
+            .iter()
+            .filter(|(k, _)| k.count_ones() == count)
+            .map(|(_, c)| c.refs)
+            .sum();
+        let got = ones.cell(count as u64).map(|c| c.refs).unwrap_or(0.0);
+        assert!(
+            (expected - got).abs() < 1e-9,
+            "popcount {count}: raw {expected} vs mapped {got}"
+        );
+    }
+}

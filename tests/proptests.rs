@@ -1,0 +1,180 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use std::collections::HashSet;
+
+use cira::prelude::*;
+use cira::trace::codec;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (any::<u64>(), any::<bool>()).prop_map(|(pc, taken)| BranchRecord::new(pc, taken))
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_trace(records in proptest::collection::vec(arb_record(), 0..400)) {
+        let mut buf = Vec::new();
+        codec::write_trace(&mut buf, records.iter().copied()).unwrap();
+        let back = codec::read_trace(&buf[..]).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn coverage_curves_are_monotone_and_complete(
+        observations in proptest::collection::vec((0u64..32, any::<bool>()), 1..600)
+    ) {
+        let mut stats = BucketStats::new();
+        for (key, miss) in &observations {
+            stats.observe(*key, *miss);
+        }
+        let curve = CoverageCurve::from_buckets(&stats);
+        let pts = curve.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].pct_branches >= w[0].pct_branches - 1e-9);
+            prop_assert!(w[1].pct_mispredicts >= w[0].pct_mispredicts - 1e-9);
+            // Worst-first ordering of bucket rates.
+            prop_assert!(w[0].bucket_miss_rate >= w[1].bucket_miss_rate - 1e-12);
+        }
+        let last = pts.last().unwrap();
+        prop_assert!((last.pct_branches - 100.0).abs() < 1e-6);
+        // coverage_at is monotone in its argument.
+        let mut prev = 0.0;
+        for x in [0.0, 5.0, 25.0, 50.0, 75.0, 100.0] {
+            let y = curve.coverage_at(x);
+            prop_assert!(y >= prev - 1e-9);
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&y));
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn resetting_counter_equals_cir_distance(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        // The resetting counter must equal the full CIR's
+        // distance-since-misprediction after every update (both at the
+        // paper's width/max of 16, all-ones init).
+        let mut counter = ResettingConfidence::paper_default(IndexSpec::pc(4));
+        let mut cir_table = OneLevelCir::paper_default(IndexSpec::pc(4));
+        for &ok in &outcomes {
+            counter.update(0x40, 0, ok);
+            cir_table.update(0x40, 0, ok);
+            let cir = cir_table.read_cir(0x40, 0);
+            prop_assert_eq!(
+                counter.read_key(0x40, 0),
+                cir.distance_since_misprediction() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn ones_count_mapping_is_popcount(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let mut raw = OneLevelCir::paper_default(IndexSpec::pc(4));
+        let mut mapped = MappedKey::ones_count(OneLevelCir::paper_default(IndexSpec::pc(4)));
+        for &ok in &outcomes {
+            prop_assert_eq!(
+                mapped.read_key(0x8, 0),
+                raw.read_key(0x8, 0).count_ones() as u64
+            );
+            raw.update(0x8, 0, ok);
+            mapped.update(0x8, 0, ok);
+        }
+    }
+
+    #[test]
+    fn threshold_estimator_matches_rule(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..150),
+        threshold in 0u64..18
+    ) {
+        let mut mech = ResettingConfidence::paper_default(IndexSpec::pc(4));
+        let mut est = ThresholdEstimator::new(
+            ResettingConfidence::paper_default(IndexSpec::pc(4)),
+            LowRule::KeyBelow(threshold),
+        );
+        for &ok in &outcomes {
+            let key = mech.read_key(0x10, 0);
+            let expected = if key < threshold { Confidence::Low } else { Confidence::High };
+            prop_assert_eq!(est.estimate(0x10, 0), expected);
+            mech.update(0x10, 0, ok);
+            est.update(0x10, 0, ok);
+        }
+    }
+
+    #[test]
+    fn confusion_count_identities(
+        events in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..400)
+    ) {
+        let mut c = ConfusionCounts::new();
+        for (low, correct) in &events {
+            let conf = if *low { Confidence::Low } else { Confidence::High };
+            c.observe(conf, *correct);
+        }
+        prop_assert_eq!(
+            c.total(),
+            c.high_correct + c.high_incorrect + c.low_correct + c.low_incorrect
+        );
+        // sensitivity * total_incorrect == low_incorrect
+        if c.total_incorrect() > 0 {
+            prop_assert!(
+                (c.sensitivity() * c.total_incorrect() as f64 - c.low_incorrect as f64).abs()
+                    < 1e-9
+            );
+        }
+        for m in [c.sensitivity(), c.specificity(), c.pvn(), c.pvp(), c.low_fraction()] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn static_confidence_flags_exactly_the_set(
+        pcs in proptest::collection::hash_set(0u64..500, 0..40),
+        probes in proptest::collection::vec(0u64..500, 0..60)
+    ) {
+        let set: HashSet<u64> = pcs;
+        let est = StaticConfidence::from_low_pcs(set.iter().copied());
+        for pc in probes {
+            let expected = set.contains(&pc);
+            prop_assert_eq!(est.estimate(pc, 0).is_low(), expected);
+        }
+    }
+
+    #[test]
+    fn history_register_window_semantics(
+        width in 1u32..=64,
+        outcomes in proptest::collection::vec(any::<bool>(), 0..130)
+    ) {
+        let mut h = HistoryRegister::new(width);
+        for &o in &outcomes {
+            h.push(o);
+        }
+        // Reference: reconstruct the masked window from the outcome list.
+        let mut expected: u64 = 0;
+        for &o in &outcomes {
+            expected = (expected << 1) | o as u64;
+            if width < 64 {
+                expected &= (1u64 << width) - 1;
+            }
+        }
+        prop_assert_eq!(h.value(), expected);
+    }
+
+    #[test]
+    fn bucket_normalization_preserves_rates(
+        observations in proptest::collection::vec((0u64..16, any::<bool>()), 1..300)
+    ) {
+        let mut stats = BucketStats::new();
+        for (k, m) in &observations {
+            stats.observe(*k, *m);
+        }
+        let n = stats.normalized();
+        prop_assert!((n.total_refs() - 1.0).abs() < 1e-9);
+        prop_assert!((n.miss_rate() - stats.miss_rate()).abs() < 1e-9);
+        // Per-bucket rates unchanged.
+        for (k, cell) in stats.iter() {
+            let nc = n.cell(k).unwrap();
+            prop_assert!((cell.miss_rate() - nc.miss_rate()).abs() < 1e-9);
+        }
+    }
+}
