@@ -82,6 +82,32 @@ impl BucketStats {
         }
     }
 
+    /// Records a pre-aggregated batch of unit-weight observations for one
+    /// key: `refs` dynamic branches of which `mispredicts` missed.
+    ///
+    /// Integer counts below 2^53 are exact in `f64`, so folding per-key
+    /// totals in any order produces bit-identical statistics to calling
+    /// [`observe`](Self::observe) once per branch — the property the
+    /// execution engine's batched replay kernel relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mispredicts > refs`.
+    pub fn record_batch(&mut self, key: u64, refs: u64, mispredicts: u64) {
+        assert!(
+            mispredicts <= refs,
+            "mispredicts ({mispredicts}) cannot exceed refs ({refs})"
+        );
+        if refs == 0 {
+            return;
+        }
+        let cell = self.cells.entry(key).or_default();
+        cell.refs += refs as f64;
+        cell.mispredicts += mispredicts as f64;
+        self.total_refs += refs as f64;
+        self.total_miss += mispredicts as f64;
+    }
+
     /// The cell for `key`, if any branch ever read it.
     pub fn cell(&self, key: u64) -> Option<&BucketCell> {
         self.cells.get(&key)
@@ -249,6 +275,36 @@ mod tests {
         assert_eq!(a.cell(3).unwrap().refs, 3.0);
         assert_eq!(a.cell(4).unwrap().mispredicts, 2.0);
         assert_eq!(a.total_refs(), 5.0);
+    }
+
+    #[test]
+    fn record_batch_matches_per_branch_observation() {
+        let mut a = BucketStats::new();
+        for i in 0..1000 {
+            a.observe(i % 5, i % 7 == 0);
+        }
+        let mut b = BucketStats::new();
+        for key in 0..5u64 {
+            let refs = (0..1000u64).filter(|i| i % 5 == key).count() as u64;
+            let miss = (0..1000u64)
+                .filter(|i| i % 5 == key && i % 7 == 0)
+                .count() as u64;
+            b.record_batch(key, refs, miss);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_batch_zero_refs_is_noop() {
+        let mut s = BucketStats::new();
+        s.record_batch(3, 0, 0);
+        assert_eq!(s.distinct_keys(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn record_batch_rejects_excess_misses() {
+        BucketStats::new().record_batch(0, 1, 2);
     }
 
     #[test]

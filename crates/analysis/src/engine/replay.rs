@@ -1,0 +1,329 @@
+//! Batched replay kernel over materialized traces.
+//!
+//! The §1.2 loop shape is preserved exactly — predict, score, update, push
+//! history, with every component seeing the pre-branch BHR — but the loop
+//! is restructured for throughput:
+//!
+//! * the trace comes from a [`PackedTrace`] (no regeneration, no iterator
+//!   plumbing in the hot path);
+//! * records are processed in chunks: one monomorphized pass drives the
+//!   predictor and records `(pc, history, correct)` into flat buffers,
+//!   then each mechanism consumes the whole chunk in its own tight loop —
+//!   hoisting the `&mut dyn ConfidenceMechanism` dispatch pattern out of
+//!   the per-record interleave (mechanisms are independent observers, so
+//!   per-mechanism chunk loops produce bit-identical statistics to the
+//!   per-record interleave of [`crate::runner`]);
+//! * per-key counts accumulate in dense integer arrays when the mechanism
+//!   exposes a small [`key_space`](cira_core::ConfidenceMechanism::key_space),
+//!   instead of a hash-map probe per record, and are folded into
+//!   [`BucketStats`] once at the end (exact: integer counts in `f64`).
+
+use std::collections::HashMap;
+
+use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
+use cira_predictor::{BranchPredictor, HistoryRegister};
+use cira_trace::codec::PackedTrace;
+
+use crate::buckets::BucketStats;
+use crate::metrics::ConfusionCounts;
+use crate::runner::{PredictorRun, DRIVER_BHR_WIDTH};
+
+/// Records per chunk: large enough to amortize the per-mechanism loop
+/// switch, small enough that the chunk buffers stay cache-resident.
+const CHUNK: usize = 4096;
+
+/// Largest `key_space` accumulated in a dense array (16 MiB of counters);
+/// anything larger (or unbounded) falls back to a hash map.
+const DENSE_MAX: u64 = 1 << 20;
+
+/// Per-key `(refs, mispredicts)` accumulator, dense when the key space is
+/// small and enumerable.
+enum KeyCounts {
+    /// `(refs, mispredicts)` per key — one indexed access per record.
+    Dense(Vec<(u64, u64)>),
+    Sparse(HashMap<u64, (u64, u64)>),
+}
+
+impl KeyCounts {
+    fn for_key_space(key_space: Option<u64>) -> Self {
+        match key_space {
+            Some(n) if n <= DENSE_MAX => KeyCounts::Dense(vec![(0, 0); n as usize]),
+            _ => KeyCounts::Sparse(HashMap::new()),
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, key: u64, mispredicted: bool) {
+        match self {
+            KeyCounts::Dense(cells) => match cells.get_mut(key as usize) {
+                Some(cell) => {
+                    cell.0 += 1;
+                    cell.1 += mispredicted as u64;
+                }
+                // A mechanism whose keys exceed its declared key_space is a
+                // bug upstream, but losing the sample would be worse.
+                None => panic!("key {key} outside declared key_space"),
+            },
+            KeyCounts::Sparse(map) => {
+                let e = map.entry(key).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += mispredicted as u64;
+            }
+        }
+    }
+
+    /// Folds the counts into `BucketStats` in ascending key order.
+    fn into_stats(self) -> BucketStats {
+        let mut stats = BucketStats::new();
+        match self {
+            KeyCounts::Dense(cells) => {
+                for (key, (r, m)) in cells.into_iter().enumerate() {
+                    stats.record_batch(key as u64, r, m);
+                }
+            }
+            KeyCounts::Sparse(map) => {
+                let mut keys: Vec<(u64, (u64, u64))> = map.into_iter().collect();
+                keys.sort_unstable_by_key(|&(k, _)| k);
+                for (k, (r, m)) in keys {
+                    stats.record_batch(k, r, m);
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Reusable chunk buffers for the predictor pass.
+struct ChunkBufs {
+    pcs: Vec<u64>,
+    hists: Vec<u64>,
+    correct: Vec<bool>,
+}
+
+impl ChunkBufs {
+    fn new() -> Self {
+        Self {
+            pcs: vec![0; CHUNK],
+            hists: vec![0; CHUNK],
+            correct: vec![false; CHUNK],
+        }
+    }
+}
+
+/// Drives `predictor` over the first `len` records of `trace`, filling the
+/// chunk buffers and invoking `consume(chunk_len, bufs)` after each chunk.
+fn drive_chunks<P: BranchPredictor>(
+    trace: &PackedTrace,
+    len: usize,
+    predictor: &mut P,
+    mut consume: impl FnMut(usize, &ChunkBufs),
+) -> PredictorRun {
+    let n = trace.len().min(len);
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut bufs = ChunkBufs::new();
+    let mut run = PredictorRun::default();
+    let mut start = 0;
+    while start < n {
+        let c = CHUNK.min(n - start);
+        for (j, slot) in (start..start + c).enumerate() {
+            let pc = trace.site_pc(trace.site_index_at(slot));
+            let taken = trace.taken_at(slot);
+            let h = bhr.value();
+            let correct = predictor.predict_train(pc, h, taken) == taken;
+            bufs.pcs[j] = pc;
+            bufs.hists[j] = h;
+            bufs.correct[j] = correct;
+            run.mispredicts += !correct as u64;
+            bhr.push(taken);
+        }
+        run.branches += c as u64;
+        consume(c, &bufs);
+        start += c;
+    }
+    run
+}
+
+/// Replays the first `len` records for one predictor plus several
+/// confidence mechanisms, returning one [`BucketStats`] per mechanism —
+/// bit-identical to [`crate::runner::collect_many_buckets`] over the same
+/// records.
+pub fn replay_mechanisms<P: BranchPredictor>(
+    trace: &PackedTrace,
+    len: usize,
+    predictor: &mut P,
+    mechanisms: &mut [&mut dyn ConfidenceMechanism],
+) -> Vec<BucketStats> {
+    let mut counts: Vec<KeyCounts> = mechanisms
+        .iter()
+        .map(|m| KeyCounts::for_key_space(m.key_space()))
+        .collect();
+    let mut keys = vec![0u64; CHUNK];
+    drive_chunks(trace, len, predictor, |c, bufs| {
+        for (m, acc) in mechanisms.iter_mut().zip(counts.iter_mut()) {
+            // One virtual call per chunk; the mechanism's batch loop
+            // computes each record's table slot once for read + update.
+            m.observe_batch(
+                &bufs.pcs[..c],
+                &bufs.hists[..c],
+                &bufs.correct[..c],
+                &mut keys[..c],
+            );
+            for (key, correct) in keys[..c].iter().zip(&bufs.correct[..c]) {
+                acc.observe(*key, !correct);
+            }
+        }
+    });
+    counts.into_iter().map(KeyCounts::into_stats).collect()
+}
+
+/// Replays the first `len` records bucketing by static PC — bit-identical
+/// to [`crate::runner::collect_static_buckets`]. Counts accumulate densely
+/// by packed site index and are keyed back to PCs at the end.
+pub fn replay_static<P: BranchPredictor>(
+    trace: &PackedTrace,
+    len: usize,
+    predictor: &mut P,
+) -> BucketStats {
+    let n = trace.len().min(len);
+    let mut refs = vec![0u64; trace.sites()];
+    let mut miss = vec![0u64; trace.sites()];
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    for i in 0..n {
+        let site = trace.site_index_at(i);
+        let pc = trace.site_pc(site);
+        let taken = trace.taken_at(i);
+        let h = bhr.value();
+        let predicted = predictor.predict_train(pc, h, taken);
+        refs[site as usize] += 1;
+        if predicted != taken {
+            miss[site as usize] += 1;
+        }
+        bhr.push(taken);
+    }
+    let mut stats = BucketStats::new();
+    for site in 0..trace.sites() {
+        stats.record_batch(trace.site_pc(site as u32), refs[site], miss[site]);
+    }
+    stats
+}
+
+/// Replays the first `len` records through an online estimator —
+/// bit-identical to [`crate::runner::run_estimator`].
+pub fn replay_estimator<P: BranchPredictor, E: ConfidenceEstimator>(
+    trace: &PackedTrace,
+    len: usize,
+    predictor: &mut P,
+    estimator: &mut E,
+) -> ConfusionCounts {
+    let n = trace.len().min(len);
+    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mut counts = ConfusionCounts::new();
+    for i in 0..n {
+        let pc = trace.site_pc(trace.site_index_at(i));
+        let taken = trace.taken_at(i);
+        let h = bhr.value();
+        let predicted = predictor.predict(pc, h);
+        let correct = predicted == taken;
+        let confidence = estimator.estimate(pc, h);
+        counts.observe(confidence, correct);
+        estimator.update(pc, h, correct);
+        predictor.update(pc, h, taken);
+        bhr.push(taken);
+    }
+    counts
+}
+
+/// Replays the first `len` records through a bare predictor —
+/// bit-identical to [`crate::runner::run_predictor`].
+pub fn replay_predictor<P: BranchPredictor>(
+    trace: &PackedTrace,
+    len: usize,
+    predictor: &mut P,
+) -> PredictorRun {
+    drive_chunks(trace, len, predictor, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use cira_core::one_level::{OneLevelCir, ResettingConfidence};
+    use cira_core::{IndexSpec, InitPolicy, LowRule, ThresholdEstimator};
+    use cira_predictor::Gshare;
+    use cira_trace::suite::ibs_like_suite;
+
+    fn packed(bench_idx: usize, len: usize) -> PackedTrace {
+        ibs_like_suite()[bench_idx].walker().take(len).collect()
+    }
+
+    #[test]
+    fn mechanisms_match_sequential_runner() {
+        let trace = packed(0, 30_000);
+        let records: Vec<_> = trace.iter().collect();
+
+        let mut p = Gshare::new(12, 12);
+        let mut a = ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes);
+        let mut b = OneLevelCir::new(IndexSpec::pc(12), 16, InitPolicy::AllOnes);
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut a, &mut b];
+        let legacy = runner::collect_many_buckets(records.iter().copied(), &mut p, &mut refs);
+
+        let mut p2 = Gshare::new(12, 12);
+        let mut a2 = ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes);
+        let mut b2 = OneLevelCir::new(IndexSpec::pc(12), 16, InitPolicy::AllOnes);
+        let mut refs2: Vec<&mut dyn ConfidenceMechanism> = vec![&mut a2, &mut b2];
+        let batched = replay_mechanisms(&trace, 30_000, &mut p2, &mut refs2);
+
+        assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn static_matches_sequential_runner() {
+        let trace = packed(1, 20_000);
+        let legacy = runner::collect_static_buckets(trace.iter(), &mut Gshare::new(10, 10));
+        let batched = replay_static(&trace, 20_000, &mut Gshare::new(10, 10));
+        assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn estimator_matches_sequential_runner() {
+        let trace = packed(2, 20_000);
+        let mk_est = || {
+            ThresholdEstimator::new(
+                ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes),
+                LowRule::KeyBelow(8),
+            )
+        };
+        let legacy =
+            runner::run_estimator(trace.iter(), &mut Gshare::new(10, 10), &mut mk_est());
+        let batched = replay_estimator(&trace, 20_000, &mut Gshare::new(10, 10), &mut mk_est());
+        assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn predictor_matches_sequential_runner() {
+        let trace = packed(3, 25_000);
+        let legacy = runner::run_predictor(trace.iter(), &mut Gshare::new(12, 12));
+        let batched = replay_predictor(&trace, 25_000, &mut Gshare::new(12, 12));
+        assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn shorter_len_replays_prefix() {
+        let trace = packed(0, 10_000);
+        let prefix: Vec<_> = trace.iter().take(4_000).collect();
+        let legacy = runner::run_predictor(prefix, &mut Gshare::new(10, 10));
+        let batched = replay_predictor(&trace, 4_000, &mut Gshare::new(10, 10));
+        assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_stats() {
+        let trace = PackedTrace::new();
+        let mut mech =
+            ResettingConfidence::new(IndexSpec::pc(8), 16, InitPolicy::AllOnes);
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut mech];
+        let out = replay_mechanisms(&trace, 1_000, &mut Gshare::new(8, 8), &mut refs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].total_refs(), 0.0);
+    }
+}

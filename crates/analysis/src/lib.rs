@@ -43,6 +43,7 @@
 
 pub mod buckets;
 pub mod curve;
+pub mod engine;
 pub mod export;
 pub mod metrics;
 pub mod runner;
@@ -52,6 +53,7 @@ pub mod table;
 
 pub use buckets::{BucketCell, BucketStats};
 pub use curve::{CoverageCurve, CurvePoint};
+pub use engine::Engine;
 pub use metrics::ConfusionCounts;
 pub use runner::PredictorRun;
 pub use suite_run::SuiteBuckets;

@@ -4,8 +4,15 @@
 //! benchmark to contribute the same number of dynamic branches (§1.2).
 //! These helpers run a factory-constructed predictor + mechanism pair per
 //! benchmark (fresh tables per benchmark, exactly like simulating each
-//! trace separately), in parallel across benchmarks, then combine with
+//! trace separately), then combine with
 //! [`BucketStats::combine_equal_weight`].
+//!
+//! Execution goes through the shared [`Engine`]:
+//! benchmark traces are materialized once into packed buffers and replayed
+//! by the batched kernel on the process-wide work-stealing pool. Results
+//! are bit-identical to driving [`crate::runner`] sequentially per
+//! benchmark (the engine's golden-equivalence tests assert this) and
+//! independent of the worker count.
 
 use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
 use cira_predictor::BranchPredictor;
@@ -13,6 +20,7 @@ use cira_trace::suite::Benchmark;
 
 use crate::buckets::BucketStats;
 use crate::curve::CoverageCurve;
+use crate::engine::Engine;
 use crate::metrics::ConfusionCounts;
 use crate::runner;
 
@@ -42,7 +50,7 @@ impl SuiteBuckets {
 }
 
 /// Runs `make_predictor()` + `make_mechanism()` over every benchmark
-/// (`trace_len` dynamic branches each), in parallel across benchmarks.
+/// (`trace_len` dynamic branches each) on the shared engine.
 pub fn run_suite_mechanism<P, M>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -51,23 +59,13 @@ pub fn run_suite_mechanism<P, M>(
 ) -> SuiteBuckets
 where
     P: BranchPredictor + Send,
-    M: ConfidenceMechanism + Send,
+    M: ConfidenceMechanism + Send + 'static,
 {
-    let per_benchmark = parallel_map(suite, |bench| {
-        let mut predictor = make_predictor();
-        let mut mechanism = make_mechanism();
-        let stats = runner::collect_mechanism_buckets(
-            bench.walker().take(trace_len as usize),
-            &mut predictor,
-            &mut mechanism,
-        );
-        (bench.name().to_owned(), stats)
-    });
-    let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
-    SuiteBuckets {
-        per_benchmark,
-        combined,
-    }
+    run_suite_mechanisms(suite, trace_len, make_predictor, || {
+        vec![Box::new(make_mechanism()) as Box<dyn ConfidenceMechanism>]
+    })
+    .pop()
+    .expect("one mechanism, one result")
 }
 
 /// Runs several mechanism configurations over the suite, driving the
@@ -82,34 +80,7 @@ pub fn run_suite_mechanisms<P>(
 where
     P: BranchPredictor + Send,
 {
-    let per_bench: Vec<(String, Vec<BucketStats>)> = parallel_map(suite, |bench| {
-        let mut predictor = make_predictor();
-        let mut mechanisms = make_mechanisms();
-        let mut refs: Vec<&mut dyn ConfidenceMechanism> = mechanisms
-            .iter_mut()
-            .map(|m| m.as_mut() as &mut dyn ConfidenceMechanism)
-            .collect();
-        let stats = runner::collect_many_buckets(
-            bench.walker().take(trace_len as usize),
-            &mut predictor,
-            &mut refs,
-        );
-        (bench.name().to_owned(), stats)
-    });
-    let n_mechs = per_bench.first().map(|(_, v)| v.len()).unwrap_or(0);
-    (0..n_mechs)
-        .map(|i| {
-            let per_benchmark: Vec<(String, BucketStats)> = per_bench
-                .iter()
-                .map(|(name, v)| (name.clone(), v[i].clone()))
-                .collect();
-            let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
-            SuiteBuckets {
-                per_benchmark,
-                combined,
-            }
-        })
-        .collect()
+    Engine::global().run_suite_mechanisms(suite, trace_len, make_predictor, make_mechanisms)
 }
 
 /// Runs the §2 static analysis (bucket = static PC) over the suite.
@@ -121,17 +92,7 @@ pub fn run_suite_static<P>(
 where
     P: BranchPredictor + Send,
 {
-    let per_benchmark = parallel_map(suite, |bench| {
-        let mut predictor = make_predictor();
-        let stats =
-            runner::collect_static_buckets(bench.walker().take(trace_len as usize), &mut predictor);
-        (bench.name().to_owned(), stats)
-    });
-    let combined = BucketStats::combine_equal_weight(per_benchmark.iter().map(|(_, s)| s));
-    SuiteBuckets {
-        per_benchmark,
-        combined,
-    }
+    Engine::global().run_suite_static(suite, trace_len, make_predictor)
 }
 
 /// Runs an online estimator over the suite, returning per-benchmark counts
@@ -147,21 +108,7 @@ where
     P: BranchPredictor + Send,
     E: ConfidenceEstimator + Send,
 {
-    let per = parallel_map(suite, |bench| {
-        let mut predictor = make_predictor();
-        let mut estimator = make_estimator();
-        let counts = runner::run_estimator(
-            bench.walker().take(trace_len as usize),
-            &mut predictor,
-            &mut estimator,
-        );
-        (bench.name().to_owned(), counts)
-    });
-    let mut total = ConfusionCounts::new();
-    for (_, c) in &per {
-        total.merge(c);
-    }
-    (per, total)
+    Engine::global().run_suite_estimator(suite, trace_len, make_predictor, make_estimator)
 }
 
 /// Per-benchmark predictor accuracy (no confidence structures) — used by
@@ -174,22 +121,7 @@ pub fn run_suite_predictor<P>(
 where
     P: BranchPredictor + Send,
 {
-    parallel_map(suite, |bench| {
-        let mut predictor = make_predictor();
-        let run = runner::run_predictor(bench.walker().take(trace_len as usize), &mut predictor);
-        (bench.name().to_owned(), run)
-    })
-}
-
-/// Maps `f` over the benchmarks on scoped threads, preserving order.
-fn parallel_map<R: Send>(suite: &[Benchmark], f: impl Fn(&Benchmark) -> R + Sync) -> Vec<R> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = suite.iter().map(|bench| scope.spawn(|| f(bench))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("suite worker panicked"))
-            .collect()
-    })
+    Engine::global().run_suite_predictor(suite, trace_len, make_predictor)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! reduction), flushed every `interval` branches with each initialization
 //! policy, across the suite.
 
+use cira_analysis::engine::Engine;
 use cira_analysis::runner::collect_mechanism_buckets_with_flush;
 use cira_analysis::{BucketStats, CoverageCurve};
 use cira_bench::{banner, trace_len};
@@ -20,23 +21,18 @@ use cira_predictor::Gshare;
 use cira_trace::suite::{ibs_like_suite, Benchmark};
 
 fn run_config(suite: &[Benchmark], len: u64, init: InitPolicy, interval: u64) -> f64 {
-    let per: Vec<BucketStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|bench| {
-                scope.spawn(move || {
-                    let mut predictor = Gshare::paper_large();
-                    let mut mech = OneLevelCir::new(IndexSpec::pc_xor_bhr(16), 16, init);
-                    collect_mechanism_buckets_with_flush(
-                        bench.walker().take(len as usize),
-                        &mut predictor,
-                        &mut mech,
-                        interval,
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    // Shared engine: the 12 (policy, interval) sweep points replay one
+    // cached materialization per benchmark instead of regenerating the
+    // synthetic trace 12 times each, and the pool bounds thread count.
+    let per: Vec<BucketStats> = Engine::global().map_suite(suite, len, |_, trace| {
+        let mut predictor = Gshare::paper_large();
+        let mut mech = OneLevelCir::new(IndexSpec::pc_xor_bhr(16), 16, init);
+        collect_mechanism_buckets_with_flush(
+            trace.iter().take(len as usize),
+            &mut predictor,
+            &mut mech,
+            interval,
+        )
     });
     let combined = BucketStats::combine_equal_weight(per.iter());
     CoverageCurve::from_buckets(&combined).coverage_at(20.0)

@@ -1,0 +1,164 @@
+//! Perf smoke test for the shared execution engine.
+//!
+//! Times the fixed grid — the IBS-like suite × 8 resetting-counter
+//! configurations × `CIRA_TRACE_LEN` (default 1M) branches — two ways:
+//!
+//! * **legacy**: the pre-engine path, reproduced verbatim — every
+//!   configuration regenerates each benchmark's synthetic trace and drives
+//!   the per-record [`cira_analysis::runner`] loop, one scoped thread per
+//!   benchmark (parallelism capped at the suite size);
+//! * **engine**: [`Engine::run_grid`] — each trace materialized once into a
+//!   packed buffer shared across configurations, the config × benchmark
+//!   grid scheduled on the work-stealing pool, and the batched replay
+//!   kernel folding counts through dense accumulators.
+//!
+//! Both paths compute identical statistics (asserted below) — this binary
+//! measures only how fast they get there. Results go to
+//! `BENCH_engine.json`: wall-clock seconds and simulated branches/second
+//! for each path, plus the speedup.
+
+use std::time::Instant;
+
+use cira_analysis::engine::Engine;
+use cira_analysis::suite_run::SuiteBuckets;
+use cira_analysis::{runner, BucketStats};
+use cira_bench::{banner, trace_len};
+use cira_core::one_level::ResettingConfidence;
+use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+use cira_predictor::Gshare;
+use cira_trace::suite::{ibs_like_suite, Benchmark};
+
+/// The 8 grid configurations: resetting counters (the paper's recommended
+/// practical design) across table sizes and saturation values.
+#[derive(Debug, Clone, Copy)]
+struct GridConfig {
+    index_bits: u32,
+    max: u32,
+}
+
+const CONFIGS: [GridConfig; 8] = [
+    GridConfig { index_bits: 10, max: 8 },
+    GridConfig { index_bits: 10, max: 16 },
+    GridConfig { index_bits: 12, max: 8 },
+    GridConfig { index_bits: 12, max: 16 },
+    GridConfig { index_bits: 14, max: 16 },
+    GridConfig { index_bits: 16, max: 8 },
+    GridConfig { index_bits: 16, max: 16 },
+    GridConfig { index_bits: 16, max: 32 },
+];
+
+fn mechanism(c: &GridConfig) -> ResettingConfidence {
+    ResettingConfidence::new(
+        IndexSpec::pc_xor_bhr(c.index_bits),
+        c.max,
+        InitPolicy::AllOnes,
+    )
+}
+
+/// The pre-engine path: per configuration, regenerate every benchmark's
+/// trace from its walker and run the per-record loop, one thread per
+/// benchmark (this is what `run_suite_mechanism` did before the engine).
+fn run_legacy(suite: &[Benchmark], len: u64) -> Vec<Vec<(String, BucketStats)>> {
+    CONFIGS
+        .iter()
+        .map(|config| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = suite
+                    .iter()
+                    .map(|bench| {
+                        scope.spawn(move || {
+                            let mut predictor = Gshare::paper_large();
+                            let mut mech = mechanism(config);
+                            (
+                                bench.name().to_owned(),
+                                runner::collect_mechanism_buckets(
+                                    bench.walker().take(len as usize),
+                                    &mut predictor,
+                                    &mut mech,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        })
+        .collect()
+}
+
+/// The engine path: one grid call over shared materialized traces.
+fn run_engine(suite: &[Benchmark], len: u64) -> Vec<SuiteBuckets> {
+    Engine::global()
+        .run_grid(suite, len, &CONFIGS, |_| Gshare::paper_large(), |c| {
+            vec![Box::new(mechanism(c)) as Box<dyn ConfidenceMechanism>]
+        })
+        .into_iter()
+        .map(|mut row| row.pop().expect("one series per config"))
+        .collect()
+}
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Engine throughput",
+        "Legacy per-config regeneration vs shared engine on the suite x 8-config grid",
+        len,
+    );
+    let suite = ibs_like_suite();
+    let total_branches = (suite.len() * CONFIGS.len()) as u64 * len;
+    println!(
+        "grid: {} benchmarks x {} configs x {} branches = {} simulated branches per path",
+        suite.len(),
+        CONFIGS.len(),
+        len,
+        total_branches
+    );
+    println!("engine workers: {}", Engine::global().pool().workers());
+    println!();
+
+    let t0 = Instant::now();
+    let legacy = run_legacy(&suite, len);
+    let legacy_secs = t0.elapsed().as_secs_f64();
+    println!("legacy: {legacy_secs:8.2}s  ({:.1}M branches/s)", 1e-6 * total_branches as f64 / legacy_secs);
+
+    let t1 = Instant::now();
+    let engine = run_engine(&suite, len);
+    let engine_secs = t1.elapsed().as_secs_f64();
+    println!("engine: {engine_secs:8.2}s  ({:.1}M branches/s)", 1e-6 * total_branches as f64 / engine_secs);
+
+    // The speedup only counts if the answers agree, bit for bit.
+    for (ci, (legacy_row, engine_row)) in legacy.iter().zip(&engine).enumerate() {
+        assert_eq!(
+            legacy_row.len(),
+            engine_row.per_benchmark.len(),
+            "config {ci}: benchmark count"
+        );
+        for ((ln, ls), (en, es)) in legacy_row.iter().zip(&engine_row.per_benchmark) {
+            assert_eq!(ln, en, "config {ci}: benchmark order");
+            assert_eq!(ls, es, "config {ci}, {ln}: buckets must be bit-identical");
+        }
+    }
+    println!("checked: engine statistics bit-identical to the legacy path");
+
+    let speedup = legacy_secs / engine_secs;
+    println!();
+    println!("speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"grid\": {{\"benchmarks\": {}, \"configs\": {}, \"trace_len\": {}, \"total_branches\": {}}},\n  \"workers\": {},\n  \"legacy\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"engine\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        suite.len(),
+        CONFIGS.len(),
+        len,
+        total_branches,
+        Engine::global().pool().workers(),
+        legacy_secs,
+        total_branches as f64 / legacy_secs,
+        engine_secs,
+        total_branches as f64 / engine_secs,
+        speedup,
+    );
+    match std::fs::write("BENCH_engine.json", &json) {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
+}

@@ -3,6 +3,7 @@
 //! 1998). For each gating threshold, reports suite-average IPC relative to
 //! the ungated baseline and the wrong-path "extra work" fraction.
 
+use cira_analysis::engine::Engine;
 use cira_apps::pipeline::{simulate_pipeline, GatePolicy, PipelineConfig, PipelineReport};
 use cira_bench::{banner, trace_len};
 use cira_core::one_level::ResettingConfidence;
@@ -16,27 +17,22 @@ fn run_policy(
     policy: GatePolicy,
     conf_threshold: u64,
 ) -> Vec<PipelineReport> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|bench| {
-                scope.spawn(move || {
-                    let mut predictor = Gshare::paper_large();
-                    let mut est = ThresholdEstimator::new(
-                        ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16)),
-                        LowRule::KeyBelow(conf_threshold),
-                    );
-                    simulate_pipeline(
-                        bench.walker().take(len as usize),
-                        &mut predictor,
-                        &mut est,
-                        policy,
-                        PipelineConfig::default(),
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    // Shared engine: traces are materialized once and reused across all
+    // policy/threshold sweep points; the pool bounds parallelism instead
+    // of spawning one thread per benchmark per point.
+    Engine::global().map_suite(suite, len, |_, trace| {
+        let mut predictor = Gshare::paper_large();
+        let mut est = ThresholdEstimator::new(
+            ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16)),
+            LowRule::KeyBelow(conf_threshold),
+        );
+        simulate_pipeline(
+            trace.iter().take(len as usize),
+            &mut predictor,
+            &mut est,
+            policy,
+            PipelineConfig::default(),
+        )
     })
 }
 

@@ -185,6 +185,31 @@ impl IndexSpec {
         self.sources.contains(&IndexSource::GlobalCir)
     }
 
+    /// Precompiles the spec for hot loops: specs that combine only PC
+    /// and/or BHR by XOR reduce to two masked XOR terms, letting batch
+    /// kernels skip the per-record source interpreter. Returns `None` for
+    /// everything else (CIR/global-CIR sources, concatenation).
+    pub fn compile_pc_bhr_xor(&self) -> Option<PcBhrXor> {
+        if self.combine != Combine::Xor {
+            return None;
+        }
+        let mut use_pc = false;
+        let mut use_bhr = false;
+        for s in &self.sources {
+            match s {
+                // XOR semantics: repeated sources cancel pairwise.
+                IndexSource::Pc => use_pc = !use_pc,
+                IndexSource::Bhr => use_bhr = !use_bhr,
+                IndexSource::Cir | IndexSource::GlobalCir => return None,
+            }
+        }
+        Some(PcBhrXor {
+            use_pc,
+            use_bhr,
+            mask: (1u64 << self.bits) - 1,
+        })
+    }
+
     /// Computes the table index for the given inputs.
     pub fn index(&self, inputs: IndexInputs) -> usize {
         let mask = (1u64 << self.bits) - 1;
@@ -213,6 +238,31 @@ impl IndexSpec {
                 (acc & mask) as usize
             }
         }
+    }
+}
+
+/// Precompiled XOR index over PC and/or BHR — see
+/// [`IndexSpec::compile_pc_bhr_xor`]. Computes exactly what
+/// [`IndexSpec::index`] would for the same spec.
+#[derive(Debug, Clone, Copy)]
+pub struct PcBhrXor {
+    use_pc: bool,
+    use_bhr: bool,
+    mask: u64,
+}
+
+impl PcBhrXor {
+    /// The table index for `(pc, bhr)`.
+    #[inline]
+    pub fn index(self, pc: u64, bhr: u64) -> usize {
+        let mut acc = 0u64;
+        if self.use_pc {
+            acc ^= pc >> 2;
+        }
+        if self.use_bhr {
+            acc ^= bhr;
+        }
+        (acc & self.mask) as usize
     }
 }
 

@@ -63,7 +63,7 @@ pub mod two_level;
 pub use adaptive::AdaptiveEstimator;
 pub use cir::Cir;
 pub use estimator::{Confidence, ConfidenceEstimator, LowRule, ThresholdEstimator};
-pub use index::{Combine, IndexInputs, IndexSource, IndexSpec};
+pub use index::{Combine, IndexInputs, IndexSource, IndexSpec, PcBhrXor};
 pub use init::InitPolicy;
 pub use multi_level::{ClassStats, MultiLevelEstimator};
 pub use static_profile::StaticConfidence;
@@ -81,6 +81,28 @@ pub trait ConfidenceMechanism {
 
     /// Records whether the prediction for this branch was correct.
     fn update(&mut self, pc: u64, bhr: u64, correct: bool);
+
+    /// Batched `read_key` + `update` over parallel record slices: for each
+    /// `i`, writes `read_key(pcs[i], bhrs[i])` into `keys[i]` and then
+    /// applies `update(pcs[i], bhrs[i], correct[i])`, in order.
+    ///
+    /// Overrides may share work between the two halves (e.g. compute the
+    /// table slot once per record) but must remain bit-identical to this
+    /// default — the batched replay kernel relies on that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        assert!(
+            pcs.len() == bhrs.len() && pcs.len() == correct.len() && pcs.len() == keys.len(),
+            "observe_batch slices must have equal lengths"
+        );
+        for i in 0..pcs.len() {
+            keys[i] = self.read_key(pcs[i], bhrs[i]);
+            self.update(pcs[i], bhrs[i], correct[i]);
+        }
+    }
 
     /// Upper bound on distinct keys, when small enough to enumerate
     /// (e.g. `17` for 0..=16 counters, `2^16` for 16-bit CIRs).
@@ -102,6 +124,10 @@ impl<M: ConfidenceMechanism + ?Sized> ConfidenceMechanism for Box<M> {
 
     fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
         (**self).update(pc, bhr, correct)
+    }
+
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        (**self).observe_batch(pcs, bhrs, correct, keys)
     }
 
     fn key_space(&self) -> Option<u64> {

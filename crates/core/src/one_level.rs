@@ -114,6 +114,30 @@ impl ConfidenceMechanism for OneLevelCir {
         self.global_cir.push(correct);
     }
 
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        assert!(
+            pcs.len() == bhrs.len() && pcs.len() == correct.len() && pcs.len() == keys.len(),
+            "observe_batch slices must have equal lengths"
+        );
+        // One slot computation serves both halves: `read_key` and `update`
+        // see the same pre-update global CIR, so the slot is the same.
+        if let Some(fast) = self.index.compile_pc_bhr_xor() {
+            for i in 0..pcs.len() {
+                let slot = fast.index(pcs[i], bhrs[i]);
+                keys[i] = self.table.get(slot).value() as u64;
+                self.table.record(slot, correct[i]);
+                self.global_cir.push(correct[i]);
+            }
+        } else {
+            for i in 0..pcs.len() {
+                let slot = self.slot(pcs[i], bhrs[i]);
+                keys[i] = self.table.get(slot).value() as u64;
+                self.table.record(slot, correct[i]);
+                self.global_cir.push(correct[i]);
+            }
+        }
+    }
+
     fn key_space(&self) -> Option<u64> {
         Some(1u64 << self.table.width())
     }
@@ -187,6 +211,13 @@ impl<M: ConfidenceMechanism> ConfidenceMechanism for MappedKey<M> {
 
     fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
         self.inner.update(pc, bhr, correct);
+    }
+
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        self.inner.observe_batch(pcs, bhrs, correct, keys);
+        for k in keys.iter_mut() {
+            *k = (self.map)(*k);
+        }
     }
 
     fn key_space(&self) -> Option<u64> {
@@ -276,6 +307,37 @@ impl ConfidenceMechanism for SaturatingConfidence {
             self.counters[slot].dec();
         }
         self.global_cir.push(correct);
+    }
+
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        assert!(
+            pcs.len() == bhrs.len() && pcs.len() == correct.len() && pcs.len() == keys.len(),
+            "observe_batch slices must have equal lengths"
+        );
+        if let Some(fast) = self.index.compile_pc_bhr_xor() {
+            for i in 0..pcs.len() {
+                let counter = &mut self.counters[fast.index(pcs[i], bhrs[i])];
+                keys[i] = counter.value() as u64;
+                if correct[i] {
+                    counter.inc();
+                } else {
+                    counter.dec();
+                }
+                self.global_cir.push(correct[i]);
+            }
+        } else {
+            for i in 0..pcs.len() {
+                let slot = self.slot(pcs[i], bhrs[i]);
+                let counter = &mut self.counters[slot];
+                keys[i] = counter.value() as u64;
+                if correct[i] {
+                    counter.inc();
+                } else {
+                    counter.dec();
+                }
+                self.global_cir.push(correct[i]);
+            }
+        }
     }
 
     fn key_space(&self) -> Option<u64> {
@@ -388,6 +450,37 @@ impl ConfidenceMechanism for ResettingConfidence {
             self.counters[slot].reset();
         }
         self.global_cir.push(correct);
+    }
+
+    fn observe_batch(&mut self, pcs: &[u64], bhrs: &[u64], correct: &[bool], keys: &mut [u64]) {
+        assert!(
+            pcs.len() == bhrs.len() && pcs.len() == correct.len() && pcs.len() == keys.len(),
+            "observe_batch slices must have equal lengths"
+        );
+        if let Some(fast) = self.index.compile_pc_bhr_xor() {
+            for i in 0..pcs.len() {
+                let counter = &mut self.counters[fast.index(pcs[i], bhrs[i])];
+                keys[i] = counter.value() as u64;
+                if correct[i] {
+                    counter.inc();
+                } else {
+                    counter.reset();
+                }
+                self.global_cir.push(correct[i]);
+            }
+        } else {
+            for i in 0..pcs.len() {
+                let slot = self.slot(pcs[i], bhrs[i]);
+                let counter = &mut self.counters[slot];
+                keys[i] = counter.value() as u64;
+                if correct[i] {
+                    counter.inc();
+                } else {
+                    counter.reset();
+                }
+                self.global_cir.push(correct[i]);
+            }
+        }
     }
 
     fn key_space(&self) -> Option<u64> {

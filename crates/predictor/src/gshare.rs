@@ -96,6 +96,15 @@ impl BranchPredictor for Gshare {
         self.table[idx].train(taken);
     }
 
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        // One index computation and one table access for both halves.
+        let idx = self.index(pc, bhr);
+        let counter = &mut self.table[idx];
+        let predicted = counter.predicts_taken();
+        counter.train(taken);
+        predicted
+    }
+
     fn describe(&self) -> String {
         format!("gshare({},{})", self.table_bits, self.history_bits)
     }

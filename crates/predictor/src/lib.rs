@@ -77,6 +77,16 @@ pub trait BranchPredictor {
     /// matching [`predict`](Self::predict) call.
     fn update(&mut self, pc: u64, bhr: u64, taken: bool);
 
+    /// [`predict`](Self::predict) followed by [`update`](Self::update) as
+    /// one call, returning the prediction. Overrides may share work between
+    /// the two halves (e.g. compute the table index once) but must remain
+    /// bit-identical to the default — hot loops rely on that.
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        let predicted = self.predict(pc, bhr);
+        self.update(pc, bhr, taken);
+        predicted
+    }
+
     /// Short human-readable description (e.g. `"gshare(16,16)"`).
     fn describe(&self) -> String;
 }
@@ -88,6 +98,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
         (**self).update(pc, bhr, taken)
+    }
+
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        (**self).predict_train(pc, bhr, taken)
     }
 
     fn describe(&self) -> String {

@@ -440,6 +440,12 @@ impl Benchmark {
         &self.program
     }
 
+    /// The default run seed (distinguishes "input datasets" of one
+    /// program shape; part of the execution engine's trace-cache key).
+    pub fn run_seed(&self) -> u64 {
+        self.run_seed
+    }
+
     /// A walker over the benchmark's default run.
     pub fn walker(&self) -> Walker {
         self.program.walker(self.run_seed)

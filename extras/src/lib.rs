@@ -1,0 +1,7 @@
+//! Empty library target anchoring the `cira-extras` package.
+//!
+//! The real content lives in `tests/` (proptest property suites moved out
+//! of the workspace members) and `benches/` (Criterion microbenches).
+//! This package is excluded from the root workspace so the default
+//! offline build never resolves registry dependencies; see the package
+//! description in `Cargo.toml`.
