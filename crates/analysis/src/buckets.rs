@@ -108,6 +108,32 @@ impl BucketStats {
         self.total_miss += mispredicts as f64;
     }
 
+    /// Merges raw weighted counts for one key — the inverse of [`iter`]
+    /// (`from_cells ∘ iter` is the identity), used to reconstruct statistics
+    /// shipped cell-by-cell over the `cira-serve` wire protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is negative or non-finite, or if
+    /// `mispredicts > refs`.
+    ///
+    /// [`iter`]: Self::iter
+    pub fn merge_cell(&mut self, key: u64, refs: f64, mispredicts: f64) {
+        assert!(
+            refs >= 0.0 && refs.is_finite() && mispredicts >= 0.0 && mispredicts.is_finite(),
+            "cell counts must be finite and >= 0"
+        );
+        assert!(
+            mispredicts <= refs,
+            "mispredicts ({mispredicts}) cannot exceed refs ({refs})"
+        );
+        let cell = self.cells.entry(key).or_default();
+        cell.refs += refs;
+        cell.mispredicts += mispredicts;
+        self.total_refs += refs;
+        self.total_miss += mispredicts;
+    }
+
     /// The cell for `key`, if any branch ever read it.
     pub fn cell(&self, key: u64) -> Option<&BucketCell> {
         self.cells.get(&key)
@@ -310,5 +336,24 @@ mod tests {
     #[test]
     fn bucket_cell_miss_rate_handles_empty() {
         assert_eq!(BucketCell::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_cell_reconstructs_from_iter() {
+        let mut a = BucketStats::new();
+        for i in 0..500 {
+            a.observe(i % 7, i % 3 == 0);
+        }
+        let mut b = BucketStats::new();
+        for (k, c) in a.iter() {
+            b.merge_cell(k, c.refs, c.mispredicts);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn merge_cell_rejects_excess_misses() {
+        BucketStats::new().merge_cell(0, 1.0, 2.0);
     }
 }

@@ -251,6 +251,18 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Enqueues one fire-and-forget job on the pool.
+    ///
+    /// Unlike [`scope_map`](Self::scope_map) this does not wait: the job
+    /// runs on some worker whenever one is free, and a panic inside it is
+    /// caught and discarded (the pool stays healthy). This is the entry
+    /// point for event-driven users — `cira-serve` schedules each
+    /// session's batch-processing turns here so connection handling fans
+    /// out over the same workers as the offline experiment grid.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit(vec![Box::new(job)]);
+    }
+
     /// Enqueues ready-built jobs round-robin across the worker deques.
     fn submit(&self, jobs: Vec<Job>) {
         let count = jobs.len();
@@ -367,5 +379,27 @@ mod tests {
     #[test]
     fn default_jobs_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn spawned_jobs_run_and_panics_are_contained() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let h = Arc::clone(&hits);
+            pool.spawn(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.spawn(|| panic!("contained"));
+        // spawn() gives no completion handle; scope_map on the same pool
+        // cannot finish before earlier queued jobs have been claimed, and
+        // each job bumps the counter before returning.
+        while hits.load(Ordering::SeqCst) < 32 {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+        // Pool still usable after the panicking job.
+        assert_eq!(pool.scope_map(&[2u32], |_, &x| x * 2), vec![4]);
     }
 }

@@ -243,6 +243,170 @@ pub fn replay_predictor<P: BranchPredictor>(
     drive_chunks(trace, len, predictor, |_, _| {})
 }
 
+/// Incremental online replay for streaming consumers.
+///
+/// The batch kernels above take a whole materialized trace and return; a
+/// `StreamingReplay` instead keeps the §1.2 loop's state — predictor
+/// tables, confidence tables, the global history register, and accumulated
+/// [`BucketStats`] — alive across [`feed`](Self::feed) calls, so a trace
+/// can arrive in arbitrary batch splits (e.g. `cira-serve` wire `BATCH`
+/// frames) and still produce **bit-identical** statistics to a single
+/// [`replay_mechanisms`] pass over the concatenated records. That
+/// invariance is what makes the serving path checkable against the offline
+/// engine, and `streaming_matches_batched_any_split` asserts it.
+///
+/// # Examples
+///
+/// ```
+/// use cira_analysis::engine::replay::StreamingReplay;
+/// use cira_core::one_level::ResettingConfidence;
+/// use cira_core::{IndexSpec, InitPolicy};
+/// use cira_predictor::Gshare;
+/// use cira_trace::codec::PackedTrace;
+/// use cira_trace::BranchRecord;
+///
+/// let mut replay = StreamingReplay::new(
+///     Box::new(Gshare::new(10, 10)),
+///     Box::new(ResettingConfidence::new(
+///         IndexSpec::pc_xor_bhr(10),
+///         16,
+///         InitPolicy::AllOnes,
+///     )),
+/// );
+/// let batch: PackedTrace = (0..100u64)
+///     .map(|i| BranchRecord::new(0x40, i % 2 == 0))
+///     .collect();
+/// let fed = replay.feed(&batch);
+/// assert_eq!(fed.keys.len(), 100);
+/// assert_eq!(replay.run().branches, 100);
+/// ```
+pub struct StreamingReplay {
+    predictor: Box<dyn BranchPredictor + Send>,
+    mechanism: Box<dyn ConfidenceMechanism + Send>,
+    bhr: HistoryRegister,
+    stats: BucketStats,
+    run: PredictorRun,
+    pcs: Vec<u64>,
+    hists: Vec<u64>,
+    correct: Vec<bool>,
+    keys: Vec<u64>,
+}
+
+impl std::fmt::Debug for StreamingReplay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingReplay")
+            .field("predictor", &self.predictor.describe())
+            .field("mechanism", &self.mechanism.describe())
+            .field("branches", &self.run.branches)
+            .finish()
+    }
+}
+
+/// Per-record results of one [`StreamingReplay::feed`] call, borrowed from
+/// the replayer's scratch buffers (valid until the next `feed`).
+#[derive(Debug)]
+pub struct FedBatch<'a> {
+    /// Whether each record's prediction was correct.
+    pub correct: &'a [bool],
+    /// The confidence key each record read (pre-update).
+    pub keys: &'a [u64],
+    /// Mispredictions in this batch.
+    pub mispredicts: u64,
+}
+
+impl StreamingReplay {
+    /// A fresh replayer: empty tables, empty history, empty statistics.
+    pub fn new(
+        predictor: Box<dyn BranchPredictor + Send>,
+        mechanism: Box<dyn ConfidenceMechanism + Send>,
+    ) -> Self {
+        Self {
+            predictor,
+            mechanism,
+            bhr: HistoryRegister::new(DRIVER_BHR_WIDTH),
+            stats: BucketStats::new(),
+            run: PredictorRun::default(),
+            pcs: Vec::new(),
+            hists: Vec::new(),
+            correct: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Applies one batch of records, advancing all state, and returns the
+    /// per-record outcomes. Splitting a trace differently across `feed`
+    /// calls never changes any result.
+    pub fn feed(&mut self, batch: &PackedTrace) -> FedBatch<'_> {
+        let n = batch.len();
+        self.pcs.clear();
+        self.pcs.resize(n, 0);
+        self.hists.clear();
+        self.hists.resize(n, 0);
+        self.correct.clear();
+        self.correct.resize(n, false);
+        self.keys.clear();
+        self.keys.resize(n, 0);
+        let mut mispredicts = 0u64;
+        for i in 0..n {
+            let pc = batch.site_pc(batch.site_index_at(i));
+            let taken = batch.taken_at(i);
+            let h = self.bhr.value();
+            let correct = self.predictor.predict_train(pc, h, taken) == taken;
+            self.pcs[i] = pc;
+            self.hists[i] = h;
+            self.correct[i] = correct;
+            mispredicts += !correct as u64;
+            self.bhr.push(taken);
+        }
+        // Same chunk discipline as `replay_mechanisms` (the mechanism's
+        // batch loop is bit-identical to per-record calls at any size, but
+        // CHUNK keeps the working set cache-resident for huge batches).
+        let mut start = 0;
+        while start < n {
+            let c = CHUNK.min(n - start);
+            self.mechanism.observe_batch(
+                &self.pcs[start..start + c],
+                &self.hists[start..start + c],
+                &self.correct[start..start + c],
+                &mut self.keys[start..start + c],
+            );
+            start += c;
+        }
+        for (key, correct) in self.keys.iter().zip(&self.correct) {
+            // Unit-weight integer accumulation is exact in f64, so this
+            // equals the engine's fold-at-the-end in every bit.
+            self.stats.observe(*key, !correct);
+        }
+        self.run.branches += n as u64;
+        self.run.mispredicts += mispredicts;
+        FedBatch {
+            correct: &self.correct,
+            keys: &self.keys,
+            mispredicts,
+        }
+    }
+
+    /// Accumulated per-key statistics over everything fed so far.
+    pub fn stats(&self) -> &BucketStats {
+        &self.stats
+    }
+
+    /// Accumulated branch/mispredict totals.
+    pub fn run(&self) -> PredictorRun {
+        self.run
+    }
+
+    /// The predictor's description string.
+    pub fn predictor_describe(&self) -> String {
+        self.predictor.describe()
+    }
+
+    /// The confidence mechanism's description string.
+    pub fn mechanism_describe(&self) -> String {
+        self.mechanism.describe()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +478,45 @@ mod tests {
         let legacy = runner::run_predictor(prefix, &mut Gshare::new(10, 10));
         let batched = replay_predictor(&trace, 4_000, &mut Gshare::new(10, 10));
         assert_eq!(legacy, batched);
+    }
+
+    #[test]
+    fn streaming_matches_batched_any_split() {
+        let trace = packed(2, 25_000);
+        let mut p = Gshare::new(11, 11);
+        let mut m = ResettingConfidence::new(IndexSpec::pc_xor_bhr(11), 16, InitPolicy::AllOnes);
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut m];
+        let reference = replay_mechanisms(&trace, 25_000, &mut p, &mut refs).remove(0);
+        let ref_run = replay_predictor(&trace, 25_000, &mut Gshare::new(11, 11));
+
+        // Feed the same records in awkward uneven splits, including a
+        // zero-length batch; state must carry across batch boundaries.
+        for splits in [
+            vec![25_000usize],
+            vec![1, 0, 4095, 4096, 4097, 12_711],
+            vec![100; 250],
+        ] {
+            let mut streaming = StreamingReplay::new(
+                Box::new(Gshare::new(11, 11)),
+                Box::new(ResettingConfidence::new(
+                    IndexSpec::pc_xor_bhr(11),
+                    16,
+                    InitPolicy::AllOnes,
+                )),
+            );
+            let mut at = 0;
+            let mut fed_miss = 0;
+            for len in splits {
+                let batch: PackedTrace =
+                    (at..at + len).map(|i| trace.get(i).unwrap()).collect();
+                fed_miss += streaming.feed(&batch).mispredicts;
+                at += len;
+            }
+            assert_eq!(at, 25_000);
+            assert_eq!(streaming.stats(), &reference);
+            assert_eq!(streaming.run(), ref_run);
+            assert_eq!(fed_miss, ref_run.mispredicts);
+        }
     }
 
     #[test]

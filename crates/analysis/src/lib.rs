@@ -47,6 +47,7 @@ pub mod engine;
 pub mod export;
 pub mod metrics;
 pub mod runner;
+pub mod spec;
 pub mod suite_run;
 pub mod sweep;
 pub mod table;

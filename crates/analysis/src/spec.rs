@@ -1,5 +1,11 @@
 //! Textual specifications for predictors, confidence mechanisms, and index
 //! functions, e.g. `gshare:16:16`, `resetting:16`, `pcxorbhr:12`.
+//!
+//! This grammar is the configuration surface shared by the `cira` CLI and
+//! the `cira-serve` wire protocol's `HELLO` negotiation: both sides parse
+//! the same strings into the same structures, and every malformed spec is
+//! a recoverable [`SpecError`] (never a panic), so a bad `HELLO` can be
+//! rejected per-connection.
 
 use std::fmt;
 
@@ -65,7 +71,7 @@ fn parse_bits(
 /// `gselect:<table_bits>:<history_bits>` · `local:<bht_bits>:<hist_bits>` ·
 /// `taken` · `not-taken`. Shorthands: `gshare64k` (= `gshare:16:16`),
 /// `gshare4k` (= `gshare:12:12`).
-pub fn parse_predictor(input: &str) -> Result<Box<dyn BranchPredictor>, SpecError> {
+pub fn parse_predictor(input: &str) -> Result<Box<dyn BranchPredictor + Send>, SpecError> {
     const USAGE: &str = "gshare:T:H, gshare64k, gshare4k, bimodal:B, gselect:T:H, \
                          local:B:H, agree:T:H:B, taken, not-taken";
     let kind = "predictor";
@@ -157,7 +163,7 @@ pub fn parse_mechanism(
     input: &str,
     index: IndexSpec,
     init: InitPolicy,
-) -> Result<Box<dyn ConfidenceMechanism>, SpecError> {
+) -> Result<Box<dyn ConfidenceMechanism + Send>, SpecError> {
     const USAGE: &str = "cir:W, ones-count:W, saturating:MAX, resetting:MAX, \
                          two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}";
     let kind = "mechanism";

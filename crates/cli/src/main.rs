@@ -16,9 +16,10 @@
 //! Run `cira help` for full usage.
 
 mod args;
-mod spec;
 
 use std::process::ExitCode;
+
+use cira_analysis::spec;
 
 use args::Args;
 use cira_analysis::export::{ascii_chart, save_curves_csv};
@@ -54,6 +55,12 @@ COMMANDS
       --bench A --bench B [...] [--len N] [--quantum Q] --out FILE
   vm FILE.asm                assemble and run a tiny-VM program
       [--mem WORDS] [--steps N] [--trace OUT.cirt] [--base PC]
+  serve                      run the streaming confidence server
+      [--addr HOST:PORT] [--port-file FILE]
+      [--max-frame BYTES] [--max-inflight N]
+  replay                     stream a trace through a running server
+      --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
+      [--batch N] [--verify] plus the `confidence` spec flags
   help                       show this text
 
 SPECS
@@ -85,6 +92,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "mix" => cmd_mix(&args),
         "vm" => cmd_vm(&args),
+        "serve" => cmd_serve(&args),
+        "replay" => cmd_replay(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -330,6 +339,91 @@ fn cmd_mix(args: &Args) -> CliResult {
         "wrote {n} records ({} programs, quantum {quantum}) to {out}",
         names.len()
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    args.check_known(&["addr", "port-file", "max-frame", "max-inflight"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let mut cfg = cira_serve::ServerConfig::default();
+    cfg.max_frame = args.get_or("max-frame", cfg.max_frame, "a byte count")?;
+    cfg.max_inflight = args.get_or("max-inflight", cfg.max_inflight, "a batch count")?;
+    if cfg.max_frame == 0 || cfg.max_inflight == 0 {
+        return Err("--max-frame and --max-inflight must be positive".into());
+    }
+    let handle = cira_serve::serve(addr, cfg, cira_analysis::engine::pool::WorkerPool::global())?;
+    let local = handle.local_addr();
+    println!("cira-serve listening on {local}");
+    if let Some(path) = args.get("port-file") {
+        // Written atomically (write + rename) so a watcher never reads a
+        // half-written port number.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{}\n", local.port()))?;
+        std::fs::rename(&tmp, path)?;
+        println!("wrote port to {path}");
+    }
+    cira_serve::shutdown::install_signal_handlers(&handle.shutdown_token());
+    println!("press ctrl-c (or send SIGTERM) to drain and stop");
+    handle.wait();
+    println!("cira-serve stopped");
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> CliResult {
+    args.check_known(
+        &[
+            TRACE_FLAGS,
+            CONF_FLAGS,
+            &["connect", "batch", "threshold", "verify"],
+        ]
+        .concat(),
+    )?;
+    let addr = args.require("connect")?.to_owned();
+    let batch: usize = args.get_or("batch", 4096u64, "a positive record count")? as usize;
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    let config = cira_serve::HelloConfig {
+        predictor: args.get("predictor").unwrap_or("gshare64k").to_owned(),
+        mechanism: args.get("mechanism").unwrap_or("resetting:16").to_owned(),
+        index: args.get("index").unwrap_or("pcxorbhr:16").to_owned(),
+        init: args.get("init").unwrap_or("ones").to_owned(),
+        threshold: args.get_or("threshold", 16u64, "a key threshold")?,
+    };
+    let records = load_trace(args)?;
+    let trace: codec::PackedTrace = records.iter().copied().collect();
+
+    let mut client = cira_serve::Client::connect(&addr, config.clone())?;
+    println!("connected to {addr} (session {})", client.session_id());
+    println!("predictor: {}", client.predictor());
+    println!("mechanism: {}", client.mechanism());
+    let totals = client.stream(&trace, batch)?;
+    println!(
+        "streamed {} records in {} batches: {} mispredicts ({:.3}%), {} low-confidence ({:.1}%)",
+        totals.records,
+        totals.batches,
+        totals.mispredicts,
+        100.0 * totals.mispredicts as f64 / totals.records.max(1) as f64,
+        totals.low_confidence,
+        100.0 * totals.low_confidence as f64 / totals.records.max(1) as f64,
+    );
+    let server_stats = client.snapshot_stats()?;
+    client.goodbye()?;
+
+    if args.has("verify") {
+        // Re-run locally and require bit-identical bucket statistics.
+        let predictor = spec::parse_predictor(&config.predictor)?;
+        let index = spec::parse_index(&config.index)?;
+        let init = spec::parse_init(&config.init)?;
+        let mechanism = spec::parse_mechanism(&config.mechanism, index, init)?;
+        let mut local = cira_analysis::engine::replay::StreamingReplay::new(predictor, mechanism);
+        local.feed(&trace);
+        if *local.stats() == server_stats {
+            println!("verify: server statistics are bit-identical to the local engine");
+        } else {
+            return Err("verify FAILED: server statistics differ from the local engine".into());
+        }
+    }
     Ok(())
 }
 

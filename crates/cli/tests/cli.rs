@@ -147,6 +147,7 @@ fn errors_are_reported_with_nonzero_exit() {
         &["predict", "--bench", "gcc", "--predictor", "gshare:9"], // bad spec
         &["info", "/nonexistent/file.cirt"],
         &["gen", "--bench", "gcc"], // missing --out
+        &["replay", "--bench", "gcc"], // missing --connect
     ];
     for case in cases {
         let out = cira(case);
@@ -156,6 +157,114 @@ fn errors_are_reported_with_nonzero_exit() {
             "no error text for {case:?}"
         );
     }
+}
+
+#[test]
+fn malformed_specs_fail_with_usage_in_the_message() {
+    // Every spec surface — predictor, mechanism, index, init — must turn a
+    // typo into exit 1 plus the accepted forms, never a panic.
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["predict", "--bench", "gcc", "--len", "100", "--predictor", "frobnicate:1"],
+            "predictor",
+        ),
+        (
+            &["confidence", "--bench", "gcc", "--len", "100", "--mechanism", "resetting:0"],
+            "mechanism",
+        ),
+        (
+            &["confidence", "--bench", "gcc", "--len", "100", "--index", "pc"],
+            "index",
+        ),
+        (
+            &["curve", "--bench", "gcc", "--len", "100", "--init", "none"],
+            "init",
+        ),
+        (
+            &["table", "--bench", "gcc", "--len", "100", "--mechanism", "two-level:nope"],
+            "mechanism",
+        ),
+    ];
+    for (case, kind) in cases {
+        let out = cira(case);
+        assert!(!out.status.success(), "expected failure for {case:?}");
+        let err = stderr(&out);
+        assert!(
+            err.contains(&format!("invalid {kind} spec")) && err.contains("expected one of"),
+            "unhelpful message for {case:?}: {err}"
+        );
+    }
+}
+
+/// Starts `cira serve` on an ephemeral port and returns (child, port).
+fn start_server(port_file: &std::path::Path) -> (std::process::Child, u16) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cira"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+    for _ in 0..100 {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse() {
+                return (child, port);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("server never wrote its port file");
+}
+
+#[test]
+fn serve_and_replay_verify_bit_identical() {
+    let port_file = temp_path("serve.port");
+    let (mut server, port) = start_server(&port_file);
+
+    let out = cira(&[
+        "replay",
+        "--connect",
+        &format!("127.0.0.1:{port}"),
+        "--bench",
+        "jpeg",
+        "--len",
+        "30000",
+        "--batch",
+        "4096",
+        "--mechanism",
+        "resetting:16",
+        "--threshold",
+        "8",
+        "--verify",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("streamed 30000 records"), "{text}");
+    assert!(text.contains("bit-identical"), "{text}");
+
+    // A bad spec over the wire is a clean client-side failure.
+    let out = cira(&[
+        "replay",
+        "--connect",
+        &format!("127.0.0.1:{port}"),
+        "--bench",
+        "gcc",
+        "--len",
+        "100",
+        "--predictor",
+        "frobnicate:1",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid predictor spec"), "{}", stderr(&out));
+
+    server.kill().expect("stop server");
+    let _ = server.wait();
 }
 
 #[test]

@@ -1,0 +1,341 @@
+//! A blocking client for the `CIRS` protocol: connect, negotiate, stream
+//! batches with a bounded pipeline, and pull statistics.
+//!
+//! The client is what `cira replay --connect` uses, and what the loopback
+//! tests drive: [`Client::stream`] sends a whole trace in windowed batches
+//! (up to the server-advertised in-flight limit before waiting for acks)
+//! and [`Client::snapshot_stats`] returns the server's accumulated
+//! [`BucketStats`] rebuilt bit-for-bit from the wire.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cira_analysis::BucketStats;
+use cira_trace::codec::PackedTrace;
+
+use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME};
+use crate::proto::{
+    decode_server, encode_client, ClientFrame, HelloConfig, ServerFrame, PROTO_VERSION,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode, or the stream ended mid-frame.
+    Protocol(String),
+    /// The server answered with an `ERROR` frame.
+    Server {
+        /// One of the [`crate::proto::code`] constants.
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+    /// The server sent a well-formed frame we did not expect here.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected server frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Cumulative results of streaming batches through a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamTotals {
+    /// Batches acknowledged.
+    pub batches: u64,
+    /// Records acknowledged.
+    pub records: u64,
+    /// Mispredicted records.
+    pub mispredicts: u64,
+    /// Low-confidence records.
+    pub low_confidence: u64,
+}
+
+/// A negotiated connection to a `cira-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+    max_frame: u32,
+    max_inflight: u32,
+    predictor: String,
+    mechanism: String,
+    next_seq: u32,
+}
+
+impl Client {
+    /// Connects to `addr` and negotiates `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with the server's code/message when the
+    /// hello is rejected (bad spec, version mismatch); connection or
+    /// protocol errors otherwise.
+    pub fn connect(addr: &str, config: HelloConfig) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let mut client = Client {
+            stream,
+            session: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 1,
+            predictor: String::new(),
+            mechanism: String::new(),
+            next_seq: 0,
+        };
+        client.send(&ClientFrame::Hello {
+            version: PROTO_VERSION,
+            config,
+        })?;
+        match client.recv()? {
+            ServerFrame::HelloAck {
+                session,
+                max_frame,
+                max_inflight,
+                predictor,
+                mechanism,
+                ..
+            } => {
+                client.session = session;
+                client.max_frame = max_frame;
+                client.max_inflight = max_inflight.max(1);
+                client.predictor = predictor;
+                client.mechanism = mechanism;
+                Ok(client)
+            }
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// The server's parsed predictor description.
+    pub fn predictor(&self) -> &str {
+        &self.predictor
+    }
+
+    /// The server's parsed mechanism description.
+    pub fn mechanism(&self) -> &str {
+        &self.mechanism
+    }
+
+    fn send(&mut self, frame: &ClientFrame) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &encode_client(frame))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<ServerFrame, ClientError> {
+        // Tolerate server-side pauses: a blocking client treats read
+        // timeouts as "keep waiting" up to the framing stall budget.
+        match read_frame(&mut self.stream, u32::MAX, 4)? {
+            ReadOutcome::Frame(body) => {
+                decode_server(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            ReadOutcome::Eof => Err(ClientError::Protocol(
+                "server closed the connection".to_owned(),
+            )),
+            ReadOutcome::Idle => Err(ClientError::Protocol(
+                "timed out waiting for the server".to_owned(),
+            )),
+        }
+    }
+
+    fn recv_batch_ack(&mut self, totals: &mut StreamTotals) -> Result<(), ClientError> {
+        match self.recv()? {
+            ServerFrame::BatchAck {
+                records,
+                mispredicts,
+                low_confidence,
+                ..
+            } => {
+                totals.batches += 1;
+                totals.records += records;
+                totals.mispredicts += mispredicts;
+                totals.low_confidence += low_confidence;
+                Ok(())
+            }
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends one batch and waits for its ack, returning
+    /// `(records, mispredicts, low_confidence)` for the batch.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    pub fn send_batch(&mut self, records: &PackedTrace) -> Result<StreamTotals, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.send(&ClientFrame::Batch {
+            seq,
+            records: records.clone(),
+        })?;
+        let mut totals = StreamTotals::default();
+        self.recv_batch_ack(&mut totals)?;
+        Ok(totals)
+    }
+
+    /// Streams `trace` in `batch_len`-record batches, keeping up to the
+    /// server's advertised in-flight limit outstanding.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_len` is zero.
+    pub fn stream(
+        &mut self,
+        trace: &PackedTrace,
+        batch_len: usize,
+    ) -> Result<StreamTotals, ClientError> {
+        assert!(batch_len > 0, "batch_len must be positive");
+        let mut totals = StreamTotals::default();
+        let mut in_flight = 0u32;
+        let mut at = 0usize;
+        while at < trace.len() {
+            let end = (at + batch_len).min(trace.len());
+            let batch: PackedTrace = (at..end)
+                .map(|i| trace.get(i).expect("index in range"))
+                .collect();
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.send(&ClientFrame::Batch {
+                seq,
+                records: batch,
+            })?;
+            in_flight += 1;
+            at = end;
+            if in_flight >= self.max_inflight {
+                self.recv_batch_ack(&mut totals)?;
+                in_flight -= 1;
+            }
+        }
+        while in_flight > 0 {
+            self.recv_batch_ack(&mut totals)?;
+            in_flight -= 1;
+        }
+        Ok(totals)
+    }
+
+    /// Fetches the session's accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    pub fn snapshot(&mut self) -> Result<ServerFrame, ClientError> {
+        self.send(&ClientFrame::Snapshot)?;
+        match self.recv()? {
+            reply @ ServerFrame::SnapshotReply { .. } => Ok(reply),
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the session's statistics as a [`BucketStats`], bit-identical
+    /// to the server's accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames, transport failures, and invalid cells.
+    pub fn snapshot_stats(&mut self) -> Result<BucketStats, ClientError> {
+        match self.snapshot()? {
+            ServerFrame::SnapshotReply { cells, .. } => {
+                crate::proto::stats_from_cells(&cells).map_err(ClientError::Protocol)
+            }
+            _ => unreachable!("snapshot() only returns SnapshotReply"),
+        }
+    }
+
+    /// Fetches server-wide metrics as name/value pairs.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        self.send(&ClientFrame::Stats)?;
+        match self.recv()? {
+            ServerFrame::StatsReply(pairs) => Ok(pairs),
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Resets the session to its freshly-negotiated state.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    pub fn reset(&mut self) -> Result<(), ClientError> {
+        self.send(&ClientFrame::Reset)?;
+        match self.recv()? {
+            ServerFrame::ResetAck => Ok(()),
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Orderly close: waits for the server's acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames and transport failures.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.send(&ClientFrame::Goodbye)?;
+        match self.recv()? {
+            ServerFrame::GoodbyeAck => Ok(()),
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

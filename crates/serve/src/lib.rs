@@ -1,0 +1,62 @@
+//! `cira-serve` — an online streaming confidence service.
+//!
+//! Everything the offline [`cira_analysis`] engine computes in bulk, this
+//! crate serves over TCP: a client opens a session, negotiates a branch
+//! predictor and confidence mechanism (the same `spec` grammar the CLI
+//! uses), streams branch outcomes in packed batches, and gets back
+//! per-record predictions, high/low confidence assignments, and — at any
+//! point — the session's accumulated [`cira_analysis::BucketStats`],
+//! **bit-identical** to an offline run over the same records.
+//!
+//! Layering, bottom up:
+//!
+//! * [`frame`] — length-prefixed framing with idle/stall discrimination;
+//! * [`proto`] — the typed `CIRS` v1 frames and their byte encodings;
+//! * [`session`] — one client's isolated predictor + mechanism + stats;
+//! * [`server`] — accept loop, per-connection readers, batch execution on
+//!   a shared [`cira_analysis::engine::pool::WorkerPool`], backpressure,
+//!   graceful drain;
+//! * [`client`] — a blocking client with windowed batch pipelining;
+//! * [`metrics`] — live server-wide counters (the `STATS` frame);
+//! * [`shutdown`] — a waitable token plus optional SIGINT/SIGTERM hooks.
+//!
+//! Networking is std-only: no async runtime, no registry dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use cira_analysis::engine::pool::WorkerPool;
+//! use cira_serve::client::Client;
+//! use cira_serve::proto::HelloConfig;
+//! use cira_serve::server::{serve, ServerConfig};
+//! use cira_trace::codec::PackedTrace;
+//! use cira_trace::suite::ibs_like_suite;
+//!
+//! let handle = serve("127.0.0.1:0", ServerConfig::default(), WorkerPool::global()).unwrap();
+//! let addr = handle.local_addr().to_string();
+//!
+//! let trace: PackedTrace = ibs_like_suite()[0].walker().take(4096).collect();
+//! let mut client = Client::connect(&addr, HelloConfig::default()).unwrap();
+//! let totals = client.stream(&trace, 1024).unwrap();
+//! assert_eq!(totals.records, 4096);
+//! let stats = client.snapshot_stats().unwrap();
+//! assert_eq!(stats.total_refs(), 4096.0);
+//! client.goodbye().unwrap();
+//! handle.shutdown_and_join();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod shutdown;
+
+pub use client::{Client, ClientError, StreamTotals};
+pub use proto::HelloConfig;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use shutdown::ShutdownToken;

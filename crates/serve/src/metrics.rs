@@ -1,0 +1,105 @@
+//! Live server-wide metrics: lock-free atomic counters, readable at any
+//! time via the `STATS` frame (and from process code via
+//! [`ServerMetrics::snapshot`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing everything the server has done since
+/// start (plus one gauge, `connections_active`). All updates are
+/// `Relaxed`: metrics are observational and never synchronize data.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections ever accepted.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Sessions successfully negotiated (HELLO accepted).
+    pub sessions_opened: AtomicU64,
+    /// Session resets performed.
+    pub sessions_reset: AtomicU64,
+    /// Frames read from clients.
+    pub frames_in: AtomicU64,
+    /// Frames written to clients.
+    pub frames_out: AtomicU64,
+    /// Bytes of frame bodies read.
+    pub bytes_in: AtomicU64,
+    /// Bytes of frame bodies written.
+    pub bytes_out: AtomicU64,
+    /// BATCH frames processed.
+    pub batches: AtomicU64,
+    /// Branch records scored and trained.
+    pub records: AtomicU64,
+    /// Mispredicted records.
+    pub mispredicts: AtomicU64,
+    /// Low-confidence records (key < session threshold).
+    pub low_confidence: AtomicU64,
+    /// Connections dropped for protocol violations (bad frames, bad
+    /// specs, oversized frames, version mismatches, mid-frame stalls).
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero is the caller's
+    /// responsibility; pairs with an earlier increment).
+    pub fn dec(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// All counters as stable `(name, value)` pairs — the `STATS_REPLY`
+    /// payload.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("connections_total".into(), read(&self.connections_total)),
+            ("connections_active".into(), read(&self.connections_active)),
+            ("sessions_opened".into(), read(&self.sessions_opened)),
+            ("sessions_reset".into(), read(&self.sessions_reset)),
+            ("frames_in".into(), read(&self.frames_in)),
+            ("frames_out".into(), read(&self.frames_out)),
+            ("bytes_in".into(), read(&self.bytes_in)),
+            ("bytes_out".into(), read(&self.bytes_out)),
+            ("batches".into(), read(&self.batches)),
+            ("records".into(), read(&self.records)),
+            ("mispredicts".into(), read(&self.mispredicts)),
+            ("low_confidence".into(), read(&self.low_confidence)),
+            ("protocol_errors".into(), read(&self.protocol_errors)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ServerMetrics::new();
+        ServerMetrics::inc(&m.connections_total);
+        ServerMetrics::add(&m.records, 500);
+        let snap = m.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("connections_total"), 1);
+        assert_eq!(get("records"), 500);
+        assert_eq!(get("batches"), 0);
+        // Names are unique and stable.
+        let mut names: Vec<_> = snap.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), snap.len());
+    }
+}

@@ -1,0 +1,712 @@
+//! The `CIRS` v1 wire protocol: typed frames and their byte encodings.
+//!
+//! Every frame travels inside a length prefix (see [`crate::frame`]) and
+//! starts with a one-byte frame type. All integers are little-endian;
+//! strings are `u16` length + UTF-8 bytes; bitmaps are `u64` words,
+//! LSB-first within each word (the same convention as
+//! [`PackedTrace`]'s taken bitmap).
+//!
+//! | type | direction | frame | payload |
+//! |------|-----------|-------------------|---------|
+//! | 0x01 | c → s | `HELLO` | magic `CIRS`, version `u8`, predictor/mechanism/index/init spec strings, threshold `u64` |
+//! | 0x02 | c → s | `BATCH` | seq `u32`, [`PackedTrace::to_bytes`] payload |
+//! | 0x03 | c → s | `STATS` | — |
+//! | 0x04 | c → s | `SNAPSHOT` | — |
+//! | 0x05 | c → s | `RESET` | — |
+//! | 0x06 | c → s | `GOODBYE` | — |
+//! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions |
+//! | 0x82 | s → c | `BATCH_ACK` | seq `u32`, batch records/mispredicts/low `u64`×3, session records `u64`, predicted + low bitmaps |
+//! | 0x83 | s → c | `STATS_REPLY` | `u32` count, then (name string, value `u64`) pairs |
+//! | 0x84 | s → c | `SNAPSHOT_REPLY` | branches/mispredicts/low `u64`×3, `u32` cell count, then (key `u64`, refs `f64`, mispredicts `f64`) sorted by key |
+//! | 0x85 | s → c | `RESET_ACK` | — |
+//! | 0x86 | s → c | `GOODBYE_ACK` | — |
+//! | 0x7f | s → c | `ERROR` | code `u16`, message string |
+//!
+//! Negotiation rule: the server accepts exactly [`PROTO_VERSION`]; a
+//! `HELLO` carrying anything else is answered with an `ERROR` frame (code
+//! [`code::UNSUPPORTED_VERSION`]) naming the supported version, then the
+//! connection closes. Unknown frame types, malformed payloads, and
+//! oversized frames are likewise per-connection errors — the process keeps
+//! serving everyone else.
+
+use std::fmt;
+
+use cira_analysis::BucketStats;
+use cira_trace::codec::{PackedBytesError, PackedTrace};
+
+/// Magic bytes opening a `HELLO` payload.
+pub const PROTO_MAGIC: &[u8; 4] = b"CIRS";
+/// The protocol version this build speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Frame type bytes.
+pub mod frame_type {
+    /// Client hello / config negotiation.
+    pub const HELLO: u8 = 0x01;
+    /// A batch of packed branch records.
+    pub const BATCH: u8 = 0x02;
+    /// Request server-wide live metrics.
+    pub const STATS: u8 = 0x03;
+    /// Request the session's accumulated bucket statistics.
+    pub const SNAPSHOT: u8 = 0x04;
+    /// Reset the session to its freshly-negotiated state.
+    pub const RESET: u8 = 0x05;
+    /// Orderly close: the server acks then the connection ends.
+    pub const GOODBYE: u8 = 0x06;
+    /// Server accepts the hello.
+    pub const HELLO_ACK: u8 = 0x81;
+    /// Per-batch results.
+    pub const BATCH_ACK: u8 = 0x82;
+    /// Server metrics.
+    pub const STATS_REPLY: u8 = 0x83;
+    /// Session statistics.
+    pub const SNAPSHOT_REPLY: u8 = 0x84;
+    /// Reset done.
+    pub const RESET_ACK: u8 = 0x85;
+    /// Goodbye acknowledged.
+    pub const GOODBYE_ACK: u8 = 0x86;
+    /// Fatal per-connection error.
+    pub const ERROR: u8 = 0x7f;
+}
+
+/// Error codes carried by `ERROR` frames.
+pub mod code {
+    /// The payload could not be decoded.
+    pub const MALFORMED: u16 = 1;
+    /// The hello's protocol version is not supported.
+    pub const UNSUPPORTED_VERSION: u16 = 2;
+    /// A spec string failed to parse.
+    pub const BAD_SPEC: u16 = 3;
+    /// A frame exceeded the negotiated maximum size.
+    pub const OVERSIZED: u16 = 4;
+    /// The first frame was not a `HELLO`.
+    pub const HELLO_REQUIRED: u16 = 5;
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: u16 = 6;
+}
+
+/// Configuration negotiated in a `HELLO`, in the CLI `spec` grammar
+/// (parsed server-side by [`cira_analysis::spec`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloConfig {
+    /// Predictor spec, e.g. `gshare:12:12`.
+    pub predictor: String,
+    /// Confidence-mechanism spec, e.g. `resetting:16`.
+    pub mechanism: String,
+    /// Index spec, e.g. `pcxorbhr:12`.
+    pub index: String,
+    /// Table-initialization spec, e.g. `ones`.
+    pub init: String,
+    /// Low-confidence threshold: keys strictly below it are low.
+    pub threshold: u64,
+}
+
+impl Default for HelloConfig {
+    fn default() -> Self {
+        Self {
+            predictor: "gshare64k".to_owned(),
+            mechanism: "resetting:16".to_owned(),
+            index: "pcxorbhr:16".to_owned(),
+            init: "ones".to_owned(),
+            threshold: 16,
+        }
+    }
+}
+
+/// Frames sent by clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Open a session with the given configuration.
+    Hello {
+        /// Requested protocol version.
+        version: u8,
+        /// Session configuration specs.
+        config: HelloConfig,
+    },
+    /// A batch of records to score and train on.
+    Batch {
+        /// Client-chosen sequence number, echoed in the ack.
+        seq: u32,
+        /// The records, in `CIRP` packed layout.
+        records: PackedTrace,
+    },
+    /// Request server metrics.
+    Stats,
+    /// Request session statistics.
+    Snapshot,
+    /// Reset the session.
+    Reset,
+    /// Orderly close.
+    Goodbye,
+}
+
+/// One `(key, refs, mispredicts)` statistics cell on the wire.
+pub type SnapshotCell = (u64, f64, f64);
+
+/// Frames sent by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// Session accepted.
+    HelloAck {
+        /// Version the server speaks (== [`PROTO_VERSION`]).
+        version: u8,
+        /// Server-assigned session id.
+        session: u64,
+        /// Largest frame body the server accepts, bytes.
+        max_frame: u32,
+        /// Batches buffered per session before the reader blocks.
+        max_inflight: u32,
+        /// Parsed predictor description (e.g. `gshare(16,16)`).
+        predictor: String,
+        /// Parsed mechanism description.
+        mechanism: String,
+    },
+    /// Results for one batch.
+    BatchAck {
+        /// Echo of the batch's sequence number.
+        seq: u32,
+        /// Records in this batch.
+        records: u64,
+        /// Mispredictions in this batch.
+        mispredicts: u64,
+        /// Low-confidence records in this batch (key < threshold).
+        low_confidence: u64,
+        /// Session-lifetime records after this batch.
+        total_records: u64,
+        /// Predicted directions, one bit per record (1 = taken).
+        predicted: Vec<u64>,
+        /// Low-confidence flags, one bit per record.
+        low: Vec<u64>,
+    },
+    /// Server-wide metrics as name/value pairs.
+    StatsReply(Vec<(String, u64)>),
+    /// Session statistics snapshot.
+    SnapshotReply {
+        /// Session-lifetime records.
+        branches: u64,
+        /// Session-lifetime mispredictions.
+        mispredicts: u64,
+        /// Session-lifetime low-confidence records.
+        low_confidence: u64,
+        /// Bucket cells sorted by key, exact-bit `f64` counts.
+        cells: Vec<SnapshotCell>,
+    },
+    /// Reset done.
+    ResetAck,
+    /// Goodbye acknowledged; connection closes next.
+    GoodbyeAck,
+    /// Fatal per-connection error; connection closes next.
+    Error {
+        /// One of the [`code`] constants.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Errors produced while decoding a frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The body ended before a field was complete.
+    Truncated,
+    /// Bytes remained after the last field.
+    TrailingBytes(usize),
+    /// A `HELLO` payload did not start with `CIRS`.
+    BadMagic([u8; 4]),
+    /// Unknown frame type byte.
+    UnknownFrameType(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// A string field exceeded [`MAX_STRING`].
+    StringTooLong(usize),
+    /// The embedded packed trace was malformed.
+    BadTrace(PackedBytesError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame body truncated"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes in frame body"),
+            ProtoError::BadMagic(m) => write!(f, "bad hello magic {m:?}, expected \"CIRS\""),
+            ProtoError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtoError::BadString => write!(f, "string field is not valid UTF-8"),
+            ProtoError::StringTooLong(n) => write!(f, "string field of {n} bytes too long"),
+            ProtoError::BadTrace(e) => write!(f, "bad packed trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<PackedBytesError> for ProtoError {
+    fn from(e: PackedBytesError) -> Self {
+        ProtoError::BadTrace(e)
+    }
+}
+
+/// Longest string field accepted (spec strings and error messages).
+pub const MAX_STRING: usize = 4096;
+
+/// Little-endian cursor over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.at < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u16()? as usize;
+        if n > MAX_STRING {
+            return Err(ProtoError::StringTooLong(n));
+        }
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::BadString)
+    }
+
+    /// A `u64`-word bitmap for `bits` bits.
+    fn bitmap(&mut self, bits: u64) -> Result<Vec<u64>, ProtoError> {
+        let words = usize::try_from(bits.div_ceil(64)).map_err(|_| ProtoError::Truncated)?;
+        // Bounded by the already-length-checked body, so no alloc guard
+        // is needed beyond the take().
+        let raw = self.take(words * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+            .collect())
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.buf.len() - self.at))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(MAX_STRING).min(u16::MAX as usize);
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..n]);
+}
+
+fn put_bitmap(out: &mut Vec<u8>, words: &[u64]) {
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Encodes a client frame body (type byte + payload, no length prefix).
+pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match frame {
+        ClientFrame::Hello { version, config } => {
+            out.push(frame_type::HELLO);
+            out.extend_from_slice(PROTO_MAGIC);
+            out.push(*version);
+            put_string(&mut out, &config.predictor);
+            put_string(&mut out, &config.mechanism);
+            put_string(&mut out, &config.index);
+            put_string(&mut out, &config.init);
+            out.extend_from_slice(&config.threshold.to_le_bytes());
+        }
+        ClientFrame::Batch { seq, records } => {
+            out.push(frame_type::BATCH);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&records.to_bytes());
+        }
+        ClientFrame::Stats => out.push(frame_type::STATS),
+        ClientFrame::Snapshot => out.push(frame_type::SNAPSHOT),
+        ClientFrame::Reset => out.push(frame_type::RESET),
+        ClientFrame::Goodbye => out.push(frame_type::GOODBYE),
+    }
+    out
+}
+
+/// Decodes a client frame body.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on any malformed byte; decoding never panics.
+pub fn decode_client(body: &[u8]) -> Result<ClientFrame, ProtoError> {
+    let mut c = Cursor::new(body);
+    let ty = c.u8()?;
+    match ty {
+        frame_type::HELLO => {
+            let magic = c.take(4)?;
+            if magic != PROTO_MAGIC {
+                let mut m = [0u8; 4];
+                m.copy_from_slice(magic);
+                return Err(ProtoError::BadMagic(m));
+            }
+            let version = c.u8()?;
+            let config = HelloConfig {
+                predictor: c.string()?,
+                mechanism: c.string()?,
+                index: c.string()?,
+                init: c.string()?,
+                threshold: c.u64()?,
+            };
+            c.finish()?;
+            Ok(ClientFrame::Hello { version, config })
+        }
+        frame_type::BATCH => {
+            let seq = c.u32()?;
+            let records = PackedTrace::from_bytes(c.rest())?;
+            Ok(ClientFrame::Batch { seq, records })
+        }
+        frame_type::STATS => {
+            c.finish()?;
+            Ok(ClientFrame::Stats)
+        }
+        frame_type::SNAPSHOT => {
+            c.finish()?;
+            Ok(ClientFrame::Snapshot)
+        }
+        frame_type::RESET => {
+            c.finish()?;
+            Ok(ClientFrame::Reset)
+        }
+        frame_type::GOODBYE => {
+            c.finish()?;
+            Ok(ClientFrame::Goodbye)
+        }
+        other => Err(ProtoError::UnknownFrameType(other)),
+    }
+}
+
+/// Encodes a server frame body (type byte + payload, no length prefix).
+pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match frame {
+        ServerFrame::HelloAck {
+            version,
+            session,
+            max_frame,
+            max_inflight,
+            predictor,
+            mechanism,
+        } => {
+            out.push(frame_type::HELLO_ACK);
+            out.push(*version);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&max_frame.to_le_bytes());
+            out.extend_from_slice(&max_inflight.to_le_bytes());
+            put_string(&mut out, predictor);
+            put_string(&mut out, mechanism);
+        }
+        ServerFrame::BatchAck {
+            seq,
+            records,
+            mispredicts,
+            low_confidence,
+            total_records,
+            predicted,
+            low,
+        } => {
+            out.push(frame_type::BATCH_ACK);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&records.to_le_bytes());
+            out.extend_from_slice(&mispredicts.to_le_bytes());
+            out.extend_from_slice(&low_confidence.to_le_bytes());
+            out.extend_from_slice(&total_records.to_le_bytes());
+            put_bitmap(&mut out, predicted);
+            put_bitmap(&mut out, low);
+        }
+        ServerFrame::StatsReply(pairs) => {
+            out.push(frame_type::STATS_REPLY);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (name, value) in pairs {
+                put_string(&mut out, name);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        ServerFrame::SnapshotReply {
+            branches,
+            mispredicts,
+            low_confidence,
+            cells,
+        } => {
+            out.push(frame_type::SNAPSHOT_REPLY);
+            out.extend_from_slice(&branches.to_le_bytes());
+            out.extend_from_slice(&mispredicts.to_le_bytes());
+            out.extend_from_slice(&low_confidence.to_le_bytes());
+            out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+            for (key, refs, miss) in cells {
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&refs.to_bits().to_le_bytes());
+                out.extend_from_slice(&miss.to_bits().to_le_bytes());
+            }
+        }
+        ServerFrame::ResetAck => out.push(frame_type::RESET_ACK),
+        ServerFrame::GoodbyeAck => out.push(frame_type::GOODBYE_ACK),
+        ServerFrame::Error { code, message } => {
+            out.push(frame_type::ERROR);
+            out.extend_from_slice(&code.to_le_bytes());
+            put_string(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a server frame body.
+///
+/// The batch-ack bitmaps' lengths are implied by the record count, so the
+/// decoder needs no out-of-band state.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on any malformed byte; decoding never panics.
+pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
+    let mut c = Cursor::new(body);
+    let ty = c.u8()?;
+    let frame = match ty {
+        frame_type::HELLO_ACK => ServerFrame::HelloAck {
+            version: c.u8()?,
+            session: c.u64()?,
+            max_frame: c.u32()?,
+            max_inflight: c.u32()?,
+            predictor: c.string()?,
+            mechanism: c.string()?,
+        },
+        frame_type::BATCH_ACK => {
+            let seq = c.u32()?;
+            let records = c.u64()?;
+            let mispredicts = c.u64()?;
+            let low_confidence = c.u64()?;
+            let total_records = c.u64()?;
+            let predicted = c.bitmap(records)?;
+            let low = c.bitmap(records)?;
+            ServerFrame::BatchAck {
+                seq,
+                records,
+                mispredicts,
+                low_confidence,
+                total_records,
+                predicted,
+                low,
+            }
+        }
+        frame_type::STATS_REPLY => {
+            let n = c.u32()?;
+            let mut pairs = Vec::new();
+            for _ in 0..n {
+                let name = c.string()?;
+                let value = c.u64()?;
+                pairs.push((name, value));
+            }
+            ServerFrame::StatsReply(pairs)
+        }
+        frame_type::SNAPSHOT_REPLY => {
+            let branches = c.u64()?;
+            let mispredicts = c.u64()?;
+            let low_confidence = c.u64()?;
+            let n = c.u32()?;
+            let mut cells = Vec::new();
+            for _ in 0..n {
+                let key = c.u64()?;
+                let refs = c.f64()?;
+                let miss = c.f64()?;
+                cells.push((key, refs, miss));
+            }
+            ServerFrame::SnapshotReply {
+                branches,
+                mispredicts,
+                low_confidence,
+                cells,
+            }
+        }
+        frame_type::RESET_ACK => ServerFrame::ResetAck,
+        frame_type::GOODBYE_ACK => ServerFrame::GoodbyeAck,
+        frame_type::ERROR => ServerFrame::Error {
+            code: c.u16()?,
+            message: c.string()?,
+        },
+        other => return Err(ProtoError::UnknownFrameType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Rebuilds a [`BucketStats`] from snapshot cells. Counts cross the wire
+/// as raw `f64` bits, so the result is bit-identical to the server's
+/// accumulator.
+///
+/// # Errors
+///
+/// Returns a message if any cell carries non-finite or inconsistent
+/// counts (which a well-behaved server never sends).
+pub fn stats_from_cells(cells: &[SnapshotCell]) -> Result<BucketStats, String> {
+    let mut stats = BucketStats::new();
+    for &(key, refs, miss) in cells {
+        if !(refs.is_finite() && miss.is_finite() && (0.0..=refs).contains(&miss)) {
+            return Err(format!("invalid snapshot cell: key {key} refs {refs} miss {miss}"));
+        }
+        stats.merge_cell(key, refs, miss);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_trace::BranchRecord;
+
+    fn sample_trace() -> PackedTrace {
+        (0..130u64)
+            .map(|i| BranchRecord::new(0x1000 + 8 * (i % 5), i % 3 == 0))
+            .collect()
+    }
+
+    #[test]
+    fn client_frames_roundtrip() {
+        let frames = [
+            ClientFrame::Hello {
+                version: PROTO_VERSION,
+                config: HelloConfig::default(),
+            },
+            ClientFrame::Batch {
+                seq: 42,
+                records: sample_trace(),
+            },
+            ClientFrame::Stats,
+            ClientFrame::Snapshot,
+            ClientFrame::Reset,
+            ClientFrame::Goodbye,
+        ];
+        for f in frames {
+            let bytes = encode_client(&f);
+            assert_eq!(decode_client(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        let frames = [
+            ServerFrame::HelloAck {
+                version: PROTO_VERSION,
+                session: 7,
+                max_frame: 1 << 20,
+                max_inflight: 8,
+                predictor: "gshare(16,16)".into(),
+                mechanism: "resetting(16)".into(),
+            },
+            ServerFrame::BatchAck {
+                seq: 3,
+                records: 130,
+                mispredicts: 17,
+                low_confidence: 40,
+                total_records: 1300,
+                predicted: vec![0xdead_beef, 0x3, 0x1],
+                low: vec![0x0, 0xffff_ffff_ffff_ffff, 0x2],
+            },
+            ServerFrame::StatsReply(vec![("frames_in".into(), 12), ("records".into(), 99)]),
+            ServerFrame::SnapshotReply {
+                branches: 1000,
+                mispredicts: 80,
+                low_confidence: 200,
+                cells: vec![(0, 10.0, 1.0), (5, 990.0, 79.0)],
+            },
+            ServerFrame::ResetAck,
+            ServerFrame::GoodbyeAck,
+            ServerFrame::Error {
+                code: code::BAD_SPEC,
+                message: "invalid predictor spec".into(),
+            },
+        ];
+        for f in frames {
+            let bytes = encode_server(&f);
+            assert_eq!(decode_server(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected_not_panicked() {
+        assert!(matches!(decode_client(&[]), Err(ProtoError::Truncated)));
+        assert!(matches!(
+            decode_client(&[0x55, 1, 2, 3]),
+            Err(ProtoError::UnknownFrameType(0x55))
+        ));
+        // HELLO with the wrong magic.
+        let mut hello = encode_client(&ClientFrame::Hello {
+            version: 1,
+            config: HelloConfig::default(),
+        });
+        hello[1] = b'X';
+        assert!(matches!(decode_client(&hello), Err(ProtoError::BadMagic(_))));
+        // Truncations at every offset decode to an error, never panic.
+        let batch = encode_client(&ClientFrame::Batch {
+            seq: 1,
+            records: sample_trace(),
+        });
+        for cut in 0..batch.len() {
+            assert!(decode_client(&batch[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing bytes are rejected.
+        let mut stats = encode_client(&ClientFrame::Stats);
+        stats.push(0);
+        assert!(matches!(
+            decode_client(&stats),
+            Err(ProtoError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn snapshot_cells_rebuild_bucket_stats() {
+        let mut stats = BucketStats::new();
+        for i in 0..100 {
+            stats.observe(i % 9, i % 4 == 0);
+        }
+        let mut cells: Vec<SnapshotCell> = stats
+            .iter()
+            .map(|(k, c)| (k, c.refs, c.mispredicts))
+            .collect();
+        cells.sort_unstable_by_key(|&(k, _, _)| k);
+        let back = stats_from_cells(&cells).unwrap();
+        assert_eq!(back, stats);
+        assert!(stats_from_cells(&[(0, 1.0, 2.0)]).is_err());
+        assert!(stats_from_cells(&[(0, f64::NAN, 0.0)]).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! The TCP server: accept loop, per-connection readers, and batch
+//! execution fanned across a shared [`WorkerPool`].
+//!
+//! # Threading model
+//!
+//! * One **accept thread** polls the listener (with a short accept
+//!   timeout via non-blocking + sleep) and the shutdown token.
+//! * One **reader thread per connection** parses frames. Control frames
+//!   (`STATS`, `SNAPSHOT`, `RESET`, `GOODBYE`) are answered inline;
+//!   `BATCH` frames are pushed onto the session's bounded queue and
+//!   executed on the shared [`WorkerPool`] by an actor-style drain job,
+//!   so heavy scoring work is multiplexed over the pool's threads no
+//!   matter how many connections exist.
+//! * **Backpressure**: when a session already has `max_inflight` batches
+//!   queued, the reader blocks before reading further frames — the client
+//!   eventually blocks on TCP write, bounding memory per connection.
+//! * **Shutdown**: triggering the [`ShutdownToken`] stops the accept
+//!   loop, wakes idle readers (they answer in-flight work, send a
+//!   `SHUTTING_DOWN` error for new batches, and close), and
+//!   [`ServerHandle::shutdown_and_join`] drains every queued batch before
+//!   returning — no accepted work is dropped.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cira_analysis::engine::pool::WorkerPool;
+use cira_trace::codec::PackedTrace;
+
+use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME};
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    code, decode_client, encode_server, ClientFrame, ServerFrame, PROTO_VERSION,
+};
+use crate::session::Session;
+use crate::shutdown::ShutdownToken;
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest accepted frame body, bytes.
+    pub max_frame: u32,
+    /// Batches buffered per session before its reader blocks.
+    pub max_inflight: u32,
+    /// Socket read-timeout tick, milliseconds (shutdown poll interval).
+    pub read_tick_ms: u64,
+    /// Consecutive mid-frame ticks tolerated before the peer is dropped.
+    pub stall_ticks: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 4,
+            read_tick_ms: 100,
+            stall_ticks: 600, // 60 s of mid-frame silence at the default tick
+        }
+    }
+}
+
+/// A session's bounded batch queue plus the flag that makes draining it a
+/// single-threaded affair: at most one pool job runs a session at a time,
+/// so batches apply in arrival order with no locking around the session
+/// state itself.
+#[derive(Debug, Default)]
+struct BatchQueue {
+    queue: Mutex<QueueState>,
+    space: Condvar,
+    drained: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    batches: VecDeque<(u32, PackedTrace)>,
+    running: bool,
+}
+
+impl BatchQueue {
+    /// Blocks until fewer than `max_inflight` batches are queued, then
+    /// enqueues. Returns whether a drain job should be scheduled (i.e. no
+    /// job is currently running this session).
+    fn push(&self, seq: u32, records: PackedTrace, max_inflight: u32) -> bool {
+        let mut st = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while st.batches.len() >= max_inflight as usize {
+            st = self
+                .space
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.batches.push_back((seq, records));
+        if st.running {
+            false
+        } else {
+            st.running = true;
+            true
+        }
+    }
+
+    /// Pops the next batch for the drain job, or clears `running` and
+    /// wakes drain-waiters if the queue is empty.
+    fn pop(&self) -> Option<(u32, PackedTrace)> {
+        let mut st = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match st.batches.pop_front() {
+            Some(item) => {
+                self.space.notify_one();
+                Some(item)
+            }
+            None => {
+                st.running = false;
+                self.drained.notify_all();
+                None
+            }
+        }
+    }
+
+    /// Blocks until the queue is empty **and** no drain job is running.
+    fn wait_drained(&self) {
+        let mut st = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while st.running || !st.batches.is_empty() {
+            st = self
+                .drained
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Everything a connection's reader and its drain jobs share.
+#[derive(Debug)]
+struct Conn {
+    /// Write half; drain jobs and the reader both send frames.
+    writer: Mutex<TcpStream>,
+    session: Mutex<Option<Session>>,
+    batches: BatchQueue,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Conn {
+    /// Serializes and sends one frame; write errors mark the connection
+    /// dead (the reader notices on its next read).
+    fn send(&self, frame: &ServerFrame) {
+        let body = encode_server(frame);
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(&mut *w, &body).is_ok() {
+            ServerMetrics::inc(&self.metrics.frames_out);
+            ServerMetrics::add(&self.metrics.bytes_out, body.len() as u64);
+        } else {
+            // Give up on the stream; unblock the reader promptly.
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The drain job: applies queued batches until the queue is empty. Runs on
+/// the worker pool; re-scheduled by the reader whenever it enqueues onto an
+/// idle queue.
+fn drain(conn: &Arc<Conn>) {
+    while let Some((seq, records)) = conn.batches.pop() {
+        let mut guard = conn
+            .session
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(session) = guard.as_mut() else {
+            continue; // connection torn down mid-drain
+        };
+        let n = records.len() as u64;
+        let ack = session.apply_batch(seq, &records);
+        if let ServerFrame::BatchAck {
+            mispredicts,
+            low_confidence,
+            ..
+        } = &ack
+        {
+            ServerMetrics::inc(&conn.metrics.batches);
+            ServerMetrics::add(&conn.metrics.records, n);
+            ServerMetrics::add(&conn.metrics.mispredicts, *mispredicts);
+            ServerMetrics::add(&conn.metrics.low_confidence, *low_confidence);
+        }
+        drop(guard);
+        conn.send(&ack);
+    }
+}
+
+/// Outcome of one reader loop step.
+enum Step {
+    Continue,
+    Close,
+}
+
+fn handle_frame(
+    conn: &Arc<Conn>,
+    pool: &'static WorkerPool,
+    cfg: &ServerConfig,
+    session_ids: &AtomicU64,
+    frame: ClientFrame,
+) -> Step {
+    let has_session = conn
+        .session
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .is_some();
+    match frame {
+        ClientFrame::Hello { version, config } => {
+            if version != PROTO_VERSION {
+                ServerMetrics::inc(&conn.metrics.protocol_errors);
+                conn.send(&ServerFrame::Error {
+                    code: code::UNSUPPORTED_VERSION,
+                    message: format!(
+                        "protocol version {version} not supported; this server speaks {PROTO_VERSION}"
+                    ),
+                });
+                return Step::Close;
+            }
+            match Session::from_hello(&config) {
+                Ok(session) => {
+                    let ack = ServerFrame::HelloAck {
+                        version: PROTO_VERSION,
+                        session: session_ids.fetch_add(1, Ordering::Relaxed),
+                        max_frame: cfg.max_frame,
+                        max_inflight: cfg.max_inflight,
+                        predictor: session.predictor_desc().to_owned(),
+                        mechanism: session.mechanism_desc().to_owned(),
+                    };
+                    *conn
+                        .session
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(session);
+                    ServerMetrics::inc(&conn.metrics.sessions_opened);
+                    conn.send(&ack);
+                    Step::Continue
+                }
+                Err(message) => {
+                    ServerMetrics::inc(&conn.metrics.protocol_errors);
+                    conn.send(&ServerFrame::Error {
+                        code: code::BAD_SPEC,
+                        message,
+                    });
+                    Step::Close
+                }
+            }
+        }
+        _ if !has_session => {
+            ServerMetrics::inc(&conn.metrics.protocol_errors);
+            conn.send(&ServerFrame::Error {
+                code: code::HELLO_REQUIRED,
+                message: "first frame must be HELLO".to_owned(),
+            });
+            Step::Close
+        }
+        ClientFrame::Batch { seq, records } => {
+            if conn.batches.push(seq, records, cfg.max_inflight) {
+                let conn = Arc::clone(conn);
+                pool.spawn(move || drain(&conn));
+            }
+            Step::Continue
+        }
+        ClientFrame::Stats => {
+            conn.send(&ServerFrame::StatsReply(conn.metrics.snapshot()));
+            Step::Continue
+        }
+        ClientFrame::Snapshot => {
+            // Queued batches are part of the session's history: drain
+            // first so a snapshot after N acked sends reflects all N.
+            conn.batches.wait_drained();
+            let guard = conn
+                .session
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let reply = guard.as_ref().expect("session checked above").snapshot();
+            drop(guard);
+            conn.send(&reply);
+            Step::Continue
+        }
+        ClientFrame::Reset => {
+            conn.batches.wait_drained();
+            let mut guard = conn
+                .session
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            guard.as_mut().expect("session checked above").reset();
+            drop(guard);
+            ServerMetrics::inc(&conn.metrics.sessions_reset);
+            conn.send(&ServerFrame::ResetAck);
+            Step::Continue
+        }
+        ClientFrame::Goodbye => {
+            conn.batches.wait_drained();
+            conn.send(&ServerFrame::GoodbyeAck);
+            Step::Close
+        }
+    }
+}
+
+/// One connection's reader loop: frame in, dispatch, repeat.
+fn run_connection(
+    stream: TcpStream,
+    pool: &'static WorkerPool,
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    session_ids: Arc<AtomicU64>,
+    shutdown: ShutdownToken,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_tick_ms.max(1))));
+    // A peer that stops reading its acks must not pin a pool worker
+    // forever: writes give up after a bounded wait and the connection dies.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = stream;
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        session: Mutex::new(None),
+        batches: BatchQueue::default(),
+        metrics: Arc::clone(&metrics),
+    });
+
+    loop {
+        if shutdown.is_triggered() {
+            // Finish everything already accepted, tell the peer, close.
+            conn.batches.wait_drained();
+            conn.send(&ServerFrame::Error {
+                code: code::SHUTTING_DOWN,
+                message: "server is shutting down".to_owned(),
+            });
+            break;
+        }
+        match read_frame(&mut reader, cfg.max_frame, cfg.stall_ticks) {
+            Ok(ReadOutcome::Frame(body)) => {
+                ServerMetrics::inc(&metrics.frames_in);
+                ServerMetrics::add(&metrics.bytes_in, body.len() as u64);
+                match decode_client(&body) {
+                    Ok(frame) => {
+                        match handle_frame(&conn, pool, &cfg, &session_ids, frame) {
+                            Step::Continue => {}
+                            Step::Close => break,
+                        }
+                    }
+                    Err(e) => {
+                        ServerMetrics::inc(&metrics.protocol_errors);
+                        conn.send(&ServerFrame::Error {
+                            code: code::MALFORMED,
+                            message: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Eof) => break,
+            Err(FrameError::Oversized { len, max }) => {
+                ServerMetrics::inc(&metrics.protocol_errors);
+                conn.send(&ServerFrame::Error {
+                    code: code::OVERSIZED,
+                    message: format!("frame of {len} bytes exceeds maximum {max}"),
+                });
+                break;
+            }
+            Err(FrameError::Truncated | FrameError::Stalled) => {
+                // Mid-frame disconnect or slow-loris: nothing sensible to
+                // say to the peer; just clean up.
+                ServerMetrics::inc(&metrics.protocol_errors);
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+
+    // Drain whatever was accepted, then tear down: in-flight batches are
+    // never dropped even on abrupt disconnects.
+    conn.batches.wait_drained();
+    *conn
+        .session
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = None;
+    let w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.shutdown(std::net::Shutdown::Both);
+    ServerMetrics::dec(&metrics.connections_active);
+}
+
+/// A running server: its address, metrics, and shutdown control.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    shutdown: ShutdownToken,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (real ephemeral port included).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The token that stops this server; share it with a signal handler.
+    pub fn shutdown_token(&self) -> ShutdownToken {
+        self.shutdown.clone()
+    }
+
+    /// Triggers shutdown (idempotent) and blocks until the accept loop and
+    /// every connection — including their queued batches — have finished.
+    pub fn shutdown_and_join(mut self) {
+        self.shutdown.trigger();
+        if let Some(t) = self.accept_thread.take() {
+            for conn_thread in t.join().expect("accept thread panicked") {
+                let _ = conn_thread.join();
+            }
+        }
+    }
+
+    /// Blocks until the shutdown token triggers (e.g. by a signal
+    /// handler), then joins as [`Self::shutdown_and_join`].
+    pub fn wait(self) {
+        while !self.shutdown.wait_timeout(Duration::from_secs(3600)) {}
+        self.shutdown_and_join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(t) = self.accept_thread.take() {
+            if let Ok(conns) = t.join() {
+                for c in conns {
+                    let _ = c.join();
+                }
+            }
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and serves until the
+/// returned handle's shutdown token triggers. Batch work runs on `pool`.
+///
+/// # Errors
+///
+/// Returns the bind error, if any; everything after the bind is reported
+/// per-connection, never fatally.
+pub fn serve(
+    addr: &str,
+    cfg: ServerConfig,
+    pool: &'static WorkerPool,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let metrics = Arc::new(ServerMetrics::new());
+    let shutdown = ShutdownToken::new();
+    let session_ids = Arc::new(AtomicU64::new(1));
+
+    let accept_metrics = Arc::clone(&metrics);
+    let accept_shutdown = shutdown.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("cira-serve-accept".into())
+        .spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shutdown.is_triggered() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        ServerMetrics::inc(&accept_metrics.connections_total);
+                        ServerMetrics::inc(&accept_metrics.connections_active);
+                        let cfg = cfg.clone();
+                        let metrics = Arc::clone(&accept_metrics);
+                        let ids = Arc::clone(&session_ids);
+                        let token = accept_shutdown.clone();
+                        conns.retain(|t| !t.is_finished());
+                        match std::thread::Builder::new()
+                            .name("cira-serve-conn".into())
+                            .spawn(move || {
+                                run_connection(stream, pool, cfg, metrics, ids, token)
+                            }) {
+                            Ok(t) => conns.push(t),
+                            Err(_) => {
+                                ServerMetrics::dec(&accept_metrics.connections_active);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        accept_shutdown.wait_timeout(Duration::from_millis(50));
+                    }
+                    Err(_) => {
+                        accept_shutdown.wait_timeout(Duration::from_millis(50));
+                    }
+                }
+            }
+            conns
+        })?;
+
+    Ok(ServerHandle {
+        addr: local,
+        metrics,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serializes and writes one server frame to any writer — used by tests
+/// that speak raw bytes.
+#[doc(hidden)]
+pub fn write_server_frame(w: &mut impl Write, frame: &ServerFrame) -> io::Result<()> {
+    write_frame(w, &encode_server(frame))
+}

@@ -1,0 +1,248 @@
+//! Per-connection session state: one isolated predictor + confidence
+//! mechanism + accumulated statistics, fed batches in arrival order.
+//!
+//! A session is built from the `HELLO` config via the shared
+//! [`cira_analysis::spec`] grammar and wraps a
+//! [`StreamingReplay`], which guarantees that statistics are bit-identical
+//! to an offline [`cira_analysis::engine::Engine`] run over the
+//! concatenated records regardless of how the client batched them — the
+//! property the loopback tests and the CLI `--verify` flag check.
+
+use cira_analysis::engine::replay::StreamingReplay;
+use cira_analysis::spec;
+use cira_trace::codec::PackedTrace;
+
+use crate::proto::{HelloConfig, ServerFrame, SnapshotCell};
+
+/// One client's isolated scoring state.
+#[derive(Debug)]
+pub struct Session {
+    config: HelloConfig,
+    replay: StreamingReplay,
+    low_confidence: u64,
+    /// Descriptions reported in `HELLO_ACK`.
+    predictor_desc: String,
+    mechanism_desc: String,
+}
+
+impl Session {
+    /// Builds a session from a `HELLO` config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec parser's message when any spec string is
+    /// malformed (sent back to the client as a `BAD_SPEC` error frame).
+    pub fn from_hello(config: &HelloConfig) -> Result<Session, String> {
+        let replay = Self::build_replay(config)?;
+        Ok(Session {
+            predictor_desc: replay.predictor_describe(),
+            mechanism_desc: replay.mechanism_describe(),
+            config: config.clone(),
+            replay,
+            low_confidence: 0,
+        })
+    }
+
+    fn build_replay(config: &HelloConfig) -> Result<StreamingReplay, String> {
+        let predictor = spec::parse_predictor(&config.predictor).map_err(|e| e.to_string())?;
+        let index = spec::parse_index(&config.index).map_err(|e| e.to_string())?;
+        let init = spec::parse_init(&config.init).map_err(|e| e.to_string())?;
+        let mechanism = spec::parse_mechanism(&config.mechanism, index, init)
+            .map_err(|e| e.to_string())?;
+        Ok(StreamingReplay::new(predictor, mechanism))
+    }
+
+    /// The parsed predictor description (e.g. `gshare(16,16)`).
+    pub fn predictor_desc(&self) -> &str {
+        &self.predictor_desc
+    }
+
+    /// The parsed mechanism description.
+    pub fn mechanism_desc(&self) -> &str {
+        &self.mechanism_desc
+    }
+
+    /// Records fed so far.
+    pub fn branches(&self) -> u64 {
+        self.replay.run().branches
+    }
+
+    /// Scores and trains on one batch, returning its `BATCH_ACK`.
+    pub fn apply_batch(&mut self, seq: u32, records: &PackedTrace) -> ServerFrame {
+        let n = records.len();
+        let threshold = self.config.threshold;
+        let fed = self.replay.feed(records);
+        let mut low_count = 0u64;
+        let mut predicted = vec![0u64; n.div_ceil(64)];
+        let mut low = vec![0u64; n.div_ceil(64)];
+        for i in 0..n {
+            // The prediction was `taken` iff it was correct on a taken
+            // branch or wrong on a not-taken branch.
+            let taken = records.taken_at(i);
+            if fed.correct[i] == taken {
+                predicted[i / 64] |= 1u64 << (i % 64);
+            }
+            if fed.keys[i] < threshold {
+                low[i / 64] |= 1u64 << (i % 64);
+                low_count += 1;
+            }
+        }
+        self.low_confidence += low_count;
+        ServerFrame::BatchAck {
+            seq,
+            records: n as u64,
+            mispredicts: fed.mispredicts,
+            low_confidence: low_count,
+            total_records: self.replay.run().branches,
+            predicted,
+            low,
+        }
+    }
+
+    /// The session's accumulated statistics as a `SNAPSHOT_REPLY`.
+    pub fn snapshot(&self) -> ServerFrame {
+        let run = self.replay.run();
+        let mut cells: Vec<SnapshotCell> = self
+            .replay
+            .stats()
+            .iter()
+            .map(|(k, c)| (k, c.refs, c.mispredicts))
+            .collect();
+        cells.sort_unstable_by_key(|&(k, _, _)| k);
+        ServerFrame::SnapshotReply {
+            branches: run.branches,
+            mispredicts: run.mispredicts,
+            low_confidence: self.low_confidence,
+            cells,
+        }
+    }
+
+    /// Rebuilds predictor, mechanism, and statistics from the negotiated
+    /// config — as if the connection had just said `HELLO` again.
+    pub fn reset(&mut self) {
+        self.replay =
+            Self::build_replay(&self.config).expect("config validated at session creation");
+        self.low_confidence = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cira_analysis::engine::replay::replay_mechanisms;
+    use cira_core::ConfidenceMechanism;
+    use cira_trace::suite::ibs_like_suite;
+
+    fn config() -> HelloConfig {
+        HelloConfig {
+            predictor: "gshare:12:12".into(),
+            mechanism: "resetting:16".into(),
+            index: "pcxorbhr:12".into(),
+            init: "ones".into(),
+            threshold: 16,
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_recoverable_errors() {
+        for (field, value) in [
+            ("predictor", "frobnicate:1"),
+            ("mechanism", "resetting:0"),
+            ("index", "pc"),
+            ("init", "none"),
+        ] {
+            let mut c = config();
+            match field {
+                "predictor" => c.predictor = value.into(),
+                "mechanism" => c.mechanism = value.into(),
+                "index" => c.index = value.into(),
+                _ => c.init = value.into(),
+            }
+            let err = Session::from_hello(&c).unwrap_err();
+            assert!(err.contains("expected one of"), "{field}: {err}");
+        }
+    }
+
+    #[test]
+    fn batches_accumulate_and_snapshot_matches_engine_kernel() {
+        let trace: PackedTrace = ibs_like_suite()[0].walker().take(20_000).collect();
+        let mut session = Session::from_hello(&config()).unwrap();
+        // Feed in uneven splits.
+        let mut at = 0;
+        let mut acked = 0u64;
+        for (seq, len) in [(0u32, 3_000usize), (1, 1), (2, 9_999), (3, 7_000)] {
+            let batch: PackedTrace = (at..at + len).map(|i| trace.get(i).unwrap()).collect();
+            match session.apply_batch(seq, &batch) {
+                ServerFrame::BatchAck {
+                    seq: s,
+                    records,
+                    total_records,
+                    ..
+                } => {
+                    assert_eq!(s, seq);
+                    assert_eq!(records, len as u64);
+                    acked += records;
+                    assert_eq!(total_records, acked);
+                }
+                other => panic!("{other:?}"),
+            }
+            at += len;
+        }
+        assert_eq!(session.branches(), 20_000);
+
+        // Reference: the engine's batched kernel over the whole trace.
+        let mut p = cira_predictor::Gshare::new(12, 12);
+        let mut m = cira_core::one_level::ResettingConfidence::new(
+            cira_core::IndexSpec::pc_xor_bhr(12),
+            16,
+            cira_core::InitPolicy::AllOnes,
+        );
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut m];
+        let reference = replay_mechanisms(&trace, 20_000, &mut p, &mut refs).remove(0);
+
+        match session.snapshot() {
+            ServerFrame::SnapshotReply {
+                branches, cells, ..
+            } => {
+                assert_eq!(branches, 20_000);
+                let rebuilt = crate::proto::stats_from_cells(&cells).unwrap();
+                assert_eq!(rebuilt, reference);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicted_bitmap_consistent_with_mispredicts() {
+        let trace: PackedTrace = ibs_like_suite()[1].walker().take(5_000).collect();
+        let mut session = Session::from_hello(&config()).unwrap();
+        let ack = session.apply_batch(9, &trace);
+        let ServerFrame::BatchAck {
+            mispredicts,
+            predicted,
+            ..
+        } = ack
+        else {
+            panic!("not an ack");
+        };
+        // predicted bit != taken bit exactly at mispredictions.
+        let wrong = (0..trace.len())
+            .filter(|&i| {
+                let bit = predicted[i / 64] >> (i % 64) & 1 == 1;
+                bit != trace.taken_at(i)
+            })
+            .count() as u64;
+        assert_eq!(wrong, mispredicts);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let trace: PackedTrace = ibs_like_suite()[2].walker().take(4_000).collect();
+        let mut a = Session::from_hello(&config()).unwrap();
+        let first = a.apply_batch(0, &trace);
+        a.reset();
+        assert_eq!(a.branches(), 0);
+        let again = a.apply_batch(0, &trace);
+        assert_eq!(first, again);
+    }
+}

@@ -352,7 +352,180 @@ impl PackedTrace {
     pub fn iter(&self) -> PackedTraceIter<'_> {
         PackedTraceIter { trace: self, pos: 0 }
     }
+
+    /// Serializes the trace to the stable `CIRP` v1 byte layout
+    /// (everything little-endian):
+    ///
+    /// ```text
+    /// offset  size              field
+    /// 0       4                 magic "CIRP"
+    /// 4       1                 version (1)
+    /// 5       3                 reserved (zero)
+    /// 8       4                 n_sites:   u32
+    /// 12      8                 n_records: u64
+    /// 20      8 * n_sites       site PCs, first-appearance order
+    /// ..      4 * n_records     site index per record
+    /// ..      8 * ceil(n/64)    taken bitmap, LSB-first per word
+    /// ```
+    ///
+    /// The taken bitmap's padding bits (beyond `n_records`) are zero.
+    /// [`PackedTrace::from_bytes`] round-trips this exactly; the `cira-serve`
+    /// wire protocol ships `BATCH` payloads in this layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            20 + 8 * self.site_pcs.len() + 4 * self.site_idx.len() + 8 * self.taken.len(),
+        );
+        out.extend_from_slice(PACKED_MAGIC);
+        out.extend_from_slice(&[PACKED_VERSION, 0, 0, 0]);
+        out.extend_from_slice(&(self.site_pcs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.site_idx.len() as u64).to_le_bytes());
+        for pc in &self.site_pcs {
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        for idx in &self.site_idx {
+            out.extend_from_slice(&idx.to_le_bytes());
+        }
+        for word in &self.taken {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the `CIRP` v1 layout written by [`PackedTrace::to_bytes`].
+    ///
+    /// The whole buffer must be consumed (no trailing bytes), the declared
+    /// lengths must match the buffer size exactly (checked *before* any
+    /// allocation, so hostile headers cannot trigger huge allocations),
+    /// every site index must be in range, and bitmap padding bits must be
+    /// zero — a successful parse is always bit-identical to re-serializing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackedBytesError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PackedTrace, PackedBytesError> {
+        if bytes.len() < 20 {
+            return Err(PackedBytesError::Truncated {
+                need: 20,
+                have: bytes.len(),
+            });
+        }
+        if &bytes[0..4] != PACKED_MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&bytes[0..4]);
+            return Err(PackedBytesError::BadMagic(m));
+        }
+        if bytes[4] != PACKED_VERSION {
+            return Err(PackedBytesError::UnsupportedVersion(bytes[4]));
+        }
+        let n_sites = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let n_records = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let n_records = usize::try_from(n_records)
+            .map_err(|_| PackedBytesError::LengthOverflow(n_records))?;
+        let n_words = n_records.div_ceil(64);
+        let expect = 20usize
+            .checked_add(n_sites.checked_mul(8).ok_or(PackedBytesError::LengthOverflow(
+                n_sites as u64,
+            ))?)
+            .and_then(|v| v.checked_add(n_records.checked_mul(4)?))
+            .and_then(|v| v.checked_add(n_words.checked_mul(8)?))
+            .ok_or(PackedBytesError::LengthOverflow(n_records as u64))?;
+        if bytes.len() < expect {
+            return Err(PackedBytesError::Truncated {
+                need: expect,
+                have: bytes.len(),
+            });
+        }
+        if bytes.len() > expect {
+            return Err(PackedBytesError::TrailingBytes(bytes.len() - expect));
+        }
+        let mut at = 20;
+        let mut site_pcs = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            site_pcs.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+            at += 8;
+        }
+        let mut site_idx = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let idx = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if idx as usize >= n_sites {
+                return Err(PackedBytesError::SiteIndexOutOfRange {
+                    index: idx,
+                    sites: n_sites as u32,
+                });
+            }
+            site_idx.push(idx);
+            at += 4;
+        }
+        let mut taken = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            taken.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+            at += 8;
+        }
+        if let Some(last) = taken.last() {
+            let used = n_records - (n_words - 1) * 64;
+            if used < 64 && last >> used != 0 {
+                return Err(PackedBytesError::NonZeroPadding);
+            }
+        }
+        Ok(PackedTrace {
+            site_pcs,
+            site_idx,
+            taken,
+        })
+    }
 }
+
+const PACKED_MAGIC: &[u8; 4] = b"CIRP";
+const PACKED_VERSION: u8 = 1;
+
+/// Errors produced when parsing [`PackedTrace::from_bytes`] input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedBytesError {
+    /// Fewer bytes than the header + declared payload require.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The buffer does not start with `CIRP`.
+    BadMagic([u8; 4]),
+    /// Unknown layout version.
+    UnsupportedVersion(u8),
+    /// Declared lengths overflow the address space.
+    LengthOverflow(u64),
+    /// Extra bytes after the declared payload.
+    TrailingBytes(usize),
+    /// A record references a site outside the dictionary.
+    SiteIndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Dictionary size.
+        sites: u32,
+    },
+    /// Taken-bitmap bits beyond `n_records` are set.
+    NonZeroPadding,
+}
+
+impl fmt::Display for PackedBytesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackedBytesError::Truncated { need, have } => {
+                write!(f, "truncated packed trace: need {need} bytes, have {have}")
+            }
+            PackedBytesError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"CIRP\""),
+            PackedBytesError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PackedBytesError::LengthOverflow(n) => write!(f, "declared length {n} overflows"),
+            PackedBytesError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            PackedBytesError::SiteIndexOutOfRange { index, sites } => {
+                write!(f, "site index {index} out of range ({sites} sites)")
+            }
+            PackedBytesError::NonZeroPadding => write!(f, "non-zero taken-bitmap padding"),
+        }
+    }
+}
+
+impl std::error::Error for PackedBytesError {}
 
 impl FromIterator<BranchRecord> for PackedTrace {
     fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
@@ -580,6 +753,128 @@ mod tests {
         assert_eq!(it.len(), 100);
         it.next();
         assert_eq!(it.size_hint(), (99, Some(99)));
+    }
+
+    /// Seeded random trace with `sites` distinct PCs and `len` records.
+    fn random_trace(seed: u64, sites: u64, len: usize) -> Vec<BranchRecord> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                BranchRecord::new(
+                    rng.next_u64() >> 40 | rng.next_below(sites.max(1)) << 24,
+                    rng.bernoulli(0.37),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_bytes_roundtrip_fixed_layout() {
+        let records = [
+            BranchRecord::new(0x4000, true),
+            BranchRecord::new(0x4004, false),
+            BranchRecord::new(0x4000, false),
+        ];
+        let packed: PackedTrace = records.iter().copied().collect();
+        let bytes = packed.to_bytes();
+        // Header is pinned: magic, version, reserved, counts in LE.
+        assert_eq!(&bytes[0..4], b"CIRP");
+        assert_eq!(&bytes[4..8], &[1, 0, 0, 0]);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        assert_eq!(u64::from_le_bytes(bytes[12..20].try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(bytes[20..28].try_into().unwrap()), 0x4000);
+        assert_eq!(bytes.len(), 20 + 2 * 8 + 3 * 4 + 8);
+        let back = PackedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, packed);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn packed_bytes_roundtrip_random_traces() {
+        // Fuzz-ish sweep: many seeded shapes, including empty, exact word
+        // multiples (64, 128) and off-by-one bitmap boundaries.
+        for (seed, sites, len) in [
+            (1u64, 1u64, 0usize),
+            (2, 1, 1),
+            (3, 7, 63),
+            (4, 7, 64),
+            (5, 7, 65),
+            (6, 300, 128),
+            (7, 1000, 4096),
+            (8, 3, 10_001),
+        ] {
+            let records = random_trace(seed, sites, len);
+            let packed: PackedTrace = records.iter().copied().collect();
+            let bytes = packed.to_bytes();
+            let back = PackedTrace::from_bytes(&bytes).unwrap();
+            assert_eq!(back, packed, "seed {seed}");
+            assert_eq!(back.iter().collect::<Vec<_>>(), records, "seed {seed}");
+            assert_eq!(back.to_bytes(), bytes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn packed_bytes_truncations_rejected_everywhere() {
+        // Chopping the buffer at every length must error, never panic.
+        let packed: PackedTrace = random_trace(11, 9, 200).into_iter().collect();
+        let bytes = packed.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                PackedTrace::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_bytes_corruptions_rejected() {
+        let packed: PackedTrace = random_trace(12, 4, 70).into_iter().collect();
+        let good = packed.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad_magic),
+            Err(PackedBytesError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad_version),
+            Err(PackedBytesError::UnsupportedVersion(9))
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            PackedTrace::from_bytes(&trailing),
+            Err(PackedBytesError::TrailingBytes(1))
+        ));
+
+        // Site index beyond the dictionary (first record's index → huge).
+        let mut bad_site = good.clone();
+        let idx_off = 20 + 8 * packed.sites();
+        bad_site[idx_off..idx_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad_site),
+            Err(PackedBytesError::SiteIndexOutOfRange { .. })
+        ));
+
+        // Padding bits set in the last bitmap word (70 records → 58 pad bits).
+        let mut bad_pad = good.clone();
+        let last = bad_pad.len() - 1;
+        bad_pad[last] |= 0x80;
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad_pad),
+            Err(PackedBytesError::NonZeroPadding)
+        ));
+
+        // A hostile header declaring astronomically many records must be
+        // rejected by the size check before any allocation happens.
+        let mut hostile = good[..20].to_vec();
+        hostile[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(PackedTrace::from_bytes(&hostile).is_err());
     }
 
     #[test]

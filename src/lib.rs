@@ -13,6 +13,9 @@
 //!   curves, confusion metrics, Table-1 renderers, CSV/ASCII export.
 //! * [`apps`] — the four motivating applications: dual-path execution,
 //!   SMT fetch gating, hybrid selection, and prediction reversal.
+//! * [`serve`] — an online streaming confidence service: a std-only TCP
+//!   server speaking the binary `CIRS` protocol, bit-identical to the
+//!   offline engine.
 //!
 //! # Quick start
 //!
@@ -39,6 +42,7 @@ pub use cira_analysis as analysis;
 pub use cira_apps as apps;
 pub use cira_core as core;
 pub use cira_predictor as predictor;
+pub use cira_serve as serve;
 pub use cira_trace as trace;
 
 /// The most commonly used items in one import.
