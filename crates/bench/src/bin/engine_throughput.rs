@@ -113,7 +113,11 @@ fn main() {
         len,
         total_branches
     );
-    println!("engine workers: {}", Engine::global().pool().workers());
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    println!(
+        "engine workers: {} (host cores: {host_cores})",
+        Engine::global().pool().workers()
+    );
     println!();
 
     let t0 = Instant::now();
@@ -145,12 +149,13 @@ fn main() {
     println!("speedup: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"grid\": {{\"benchmarks\": {}, \"configs\": {}, \"trace_len\": {}, \"total_branches\": {}}},\n  \"workers\": {},\n  \"legacy\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"engine\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        "{{\n  \"grid\": {{\"benchmarks\": {}, \"configs\": {}, \"trace_len\": {}, \"total_branches\": {}}},\n  \"workers\": {},\n  \"host_cores\": {},\n  \"legacy\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"engine\": {{\"wall_seconds\": {:.4}, \"branches_per_sec\": {:.0}}},\n  \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
         suite.len(),
         CONFIGS.len(),
         len,
         total_branches,
         Engine::global().pool().workers(),
+        host_cores,
         legacy_secs,
         total_branches as f64 / legacy_secs,
         engine_secs,
