@@ -55,6 +55,9 @@ pub mod pool;
 pub mod replay;
 
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use cira_obs::{Counter, Histogram, Registry};
 
 use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
 use cira_predictor::BranchPredictor;
@@ -67,13 +70,24 @@ use crate::runner::PredictorRun;
 use crate::suite_run::SuiteBuckets;
 
 pub use cache::TraceCache;
-pub use pool::WorkerPool;
+pub use pool::{PoolMetrics, WorkerPool};
+
+/// Suite-runner instrumentation: how many per-benchmark replays ran and
+/// how long each took end to end (materialized trace → folded stats).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Per-(config, benchmark) replay tasks completed.
+    pub replays: Counter,
+    /// Wall-clock time of one replay task, in microseconds.
+    pub replay_us: Histogram,
+}
 
 /// Shared simulation engine: trace cache + worker pool + replay kernel.
 #[derive(Debug)]
 pub struct Engine {
     pool: WorkerPool,
     cache: TraceCache,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -84,6 +98,7 @@ impl Engine {
         Self {
             pool: WorkerPool::new(jobs),
             cache: TraceCache::new(),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -94,6 +109,7 @@ impl Engine {
         GLOBAL.get_or_init(|| Self {
             pool: WorkerPool::new(pool::default_jobs()),
             cache: TraceCache::new(),
+            metrics: EngineMetrics::default(),
         })
     }
 
@@ -105,6 +121,45 @@ impl Engine {
     /// The engine's trace cache.
     pub fn cache(&self) -> &TraceCache {
         &self.cache
+    }
+
+    /// Replay counters and the per-benchmark replay time histogram.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Registers engine and pool metrics on `reg` (`engine_*`, `pool_*`).
+    pub fn register_metrics(&'static self, reg: &Registry) {
+        let m = self.metrics();
+        reg.counter(
+            "engine_replays_total",
+            "Per-(config, benchmark) replay tasks completed",
+            move || m.replays.get(),
+        );
+        reg.histogram(
+            "engine_replay_us",
+            "Wall-clock time of one replay task in microseconds",
+            move || m.replay_us.snapshot(),
+        );
+        let cache = self.cache();
+        reg.gauge(
+            "engine_trace_cache_entries",
+            "Materialized benchmark traces held by the cache",
+            move || cache.entries() as i64,
+        );
+        self.pool.register_metrics(reg);
+    }
+
+    /// Times `f` as one replay task, folding the result into
+    /// [`EngineMetrics`].
+    fn timed_replay<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.metrics
+            .replay_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.metrics.replays.inc();
+        out
     }
 
     /// Materializes `trace_len` records for every benchmark (in parallel,
@@ -137,18 +192,20 @@ impl Engine {
             .flat_map(|ci| (0..suite.len()).map(move |bi| (ci, bi)))
             .collect();
         let per_task: Vec<Vec<BucketStats>> = self.pool.scope_map(&tasks, |_, &(ci, bi)| {
-            let mut predictor = make_predictor(&configs[ci]);
-            let mut mechanisms = make_mechanisms(&configs[ci]);
-            let mut refs: Vec<&mut dyn ConfidenceMechanism> = mechanisms
-                .iter_mut()
-                .map(|m| m.as_mut() as &mut dyn ConfidenceMechanism)
-                .collect();
-            replay::replay_mechanisms(
-                &traces[bi],
-                trace_len as usize,
-                &mut predictor,
-                &mut refs,
-            )
+            self.timed_replay(|| {
+                let mut predictor = make_predictor(&configs[ci]);
+                let mut mechanisms = make_mechanisms(&configs[ci]);
+                let mut refs: Vec<&mut dyn ConfidenceMechanism> = mechanisms
+                    .iter_mut()
+                    .map(|m| m.as_mut() as &mut dyn ConfidenceMechanism)
+                    .collect();
+                replay::replay_mechanisms(
+                    &traces[bi],
+                    trace_len as usize,
+                    &mut predictor,
+                    &mut refs,
+                )
+            })
         });
         (0..configs.len())
             .map(|ci| {
@@ -289,7 +346,9 @@ impl Engine {
     ) -> Vec<R> {
         let traces = self.materialize(suite, trace_len);
         self.pool
-            .scope_map(suite, |i, bench| f(bench, &traces[i]))
+            .scope_map(suite, |i, bench| {
+                self.timed_replay(|| f(bench, &traces[i]))
+            })
     }
 }
 
@@ -331,6 +390,9 @@ mod tests {
         }
         // All configurations shared one materialization per benchmark.
         assert_eq!(engine.cache().entries(), 3);
+        // Every (config, benchmark) task was counted and timed.
+        assert_eq!(engine.metrics().replays.get(), 2 * 3);
+        assert_eq!(engine.metrics().replay_us.snapshot().count, 2 * 3);
     }
 
     #[test]

@@ -23,8 +23,29 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use cira_obs::{Counter, Histogram, Registry};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Hot-path scheduling counters for a [`WorkerPool`].
+///
+/// Updated with relaxed atomics on every claim/execution; queue depths are
+/// not stored here — they are read live off the deques when the pool is
+/// registered on a [`Registry`] (see [`WorkerPool::register_metrics`]).
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Tasks fully executed by a worker or a helping submitter.
+    pub tasks_executed: Counter,
+    /// Tasks claimed from a *sibling's* deque (work stealing events).
+    pub tasks_stolen: Counter,
+    /// Fire-and-forget tasks pushed through the shared injector
+    /// ([`WorkerPool::spawn`]).
+    pub tasks_injected: Counter,
+    /// Wall-clock task execution latency in microseconds.
+    pub task_latency_us: Histogram,
+}
 
 /// Locks a mutex, ignoring poisoning (a panicking job never holds a queue
 /// lock, so the protected state is always consistent).
@@ -44,6 +65,7 @@ struct Shared {
     sleep: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
+    metrics: PoolMetrics,
 }
 
 impl Shared {
@@ -69,18 +91,29 @@ impl Shared {
             }
             if let Some(job) = lock_clean(&self.queues[v]).pop_back() {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
+                self.metrics.tasks_stolen.inc();
                 return Some(job);
             }
         }
         None
     }
 
+    /// Executes one claimed job, timing it and containing any panic.
+    /// Panics are caught at the batch layer; a stray panic from a raw
+    /// `submit` job must not kill the worker.
+    fn run(&self, job: Job) {
+        let t0 = Instant::now();
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        self.metrics
+            .task_latency_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.metrics.tasks_executed.inc();
+    }
+
     fn worker_loop(&self, index: usize) {
         loop {
             if let Some(job) = self.claim(Some(index)) {
-                // Panics are caught at the batch layer; a stray panic from a
-                // raw `submit` job must not kill the worker.
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                self.run(job);
                 continue;
             }
             let guard = lock_clean(&self.sleep);
@@ -122,7 +155,9 @@ impl WorkerPool {
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            metrics: PoolMetrics::default(),
         });
+        cira_obs::debug!("worker pool started", workers = jobs);
         let handles = (0..jobs)
             .map(|i| {
                 let s = Arc::clone(&shared);
@@ -228,7 +263,7 @@ impl WorkerPool {
         // Help with queued work (this batch's or anyone's) while waiting.
         while batch.done.load(Ordering::Acquire) < n {
             if let Some(job) = self.shared.claim(None) {
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                self.shared.run(job);
                 continue;
             }
             let g = lock_clean(&batch.gate);
@@ -260,7 +295,68 @@ impl WorkerPool {
     /// session's batch-processing turns here so connection handling fans
     /// out over the same workers as the offline experiment grid.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
-        self.submit(vec![Box::new(job)]);
+        // Spawned jobs go through the shared injector rather than a
+        // specific worker's deque: no worker owns them, any idle worker
+        // picks them up, and the injector depth gauge shows the backlog
+        // of event-driven work distinctly from batch work.
+        lock_clean(&self.shared.injector).push_back(Box::new(job));
+        self.shared.metrics.tasks_injected.inc();
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        let _g = lock_clean(&self.shared.sleep);
+        self.shared.wake.notify_all();
+    }
+
+    /// Scheduling counters and the task latency histogram.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.shared.metrics
+    }
+
+    /// Registers this pool's metrics on `reg` under `pool_*` names:
+    /// executed/stolen/injected counters, the task latency histogram, the
+    /// worker count, and live injector / per-worker queue depth gauges.
+    ///
+    /// Takes `&'static self` because the registry closures read the pool
+    /// on every scrape; both [`WorkerPool::global`] and the leaked pool in
+    /// `cira-serve` satisfy this.
+    pub fn register_metrics(&'static self, reg: &Registry) {
+        let m = self.metrics();
+        reg.counter(
+            "pool_tasks_executed_total",
+            "Tasks executed by pool workers (including helping submitters)",
+            move || m.tasks_executed.get(),
+        );
+        reg.counter(
+            "pool_tasks_stolen_total",
+            "Tasks claimed from a sibling worker's deque",
+            move || m.tasks_stolen.get(),
+        );
+        reg.counter(
+            "pool_tasks_injected_total",
+            "Fire-and-forget tasks pushed through the shared injector",
+            move || m.tasks_injected.get(),
+        );
+        reg.histogram(
+            "pool_task_latency_us",
+            "Task execution wall-clock latency in microseconds",
+            move || m.task_latency_us.snapshot(),
+        );
+        reg.gauge("pool_workers", "Number of pool worker threads", move || {
+            self.workers() as i64
+        });
+        reg.gauge(
+            "pool_injector_depth",
+            "Jobs waiting in the shared injector queue",
+            move || lock_clean(&self.shared.injector).len() as i64,
+        );
+        for w in 0..self.workers() {
+            let label = w.to_string();
+            reg.gauge_with(
+                "pool_queue_depth",
+                "Jobs waiting in a worker's own deque",
+                &[("worker", &label)],
+                move || lock_clean(&self.shared.queues[w]).len() as i64,
+            );
+        }
     }
 
     /// Enqueues ready-built jobs round-robin across the worker deques.
@@ -379,6 +475,30 @@ mod tests {
     #[test]
     fn default_jobs_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn metrics_count_executed_and_injected_tasks() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..64).collect();
+        pool.scope_map(&items, |_, &x| x);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let h = Arc::clone(&hits);
+            pool.spawn(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        while hits.load(Ordering::SeqCst) < 5 {
+            std::thread::yield_now();
+        }
+        let m = pool.metrics();
+        assert_eq!(m.tasks_injected.get(), 5);
+        // Everything queued was executed and timed (the batch plus the
+        // spawned jobs; steal counts are scheduling-dependent).
+        assert_eq!(m.tasks_executed.get(), 64 + 5);
+        assert_eq!(m.task_latency_us.snapshot().count, 64 + 5);
+        assert!(m.tasks_stolen.get() <= m.tasks_executed.get());
     }
 
     #[test]

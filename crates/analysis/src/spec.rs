@@ -40,6 +40,7 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 fn err(kind: &'static str, input: &str, usage: &'static str) -> SpecError {
+    cira_obs::debug!("spec rejected", kind = kind, input = input);
     SpecError {
         kind,
         input: input.to_owned(),

@@ -164,6 +164,6 @@ fn main() {
     );
     match std::fs::write("BENCH_engine.json", &json) {
         Ok(()) => println!("wrote BENCH_engine.json"),
-        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+        Err(e) => cira_obs::warn!("could not write BENCH_engine.json", error = e),
     }
 }

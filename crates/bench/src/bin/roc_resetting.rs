@@ -46,7 +46,7 @@ fn main() {
     }
     match std::fs::write(&path, sweep_to_csv(&sweep)) {
         Ok(()) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        Err(e) => cira_obs::warn!("could not write roc csv", path = path.display(), error = e),
     }
     println!();
     println!(

@@ -50,6 +50,6 @@ fn main() {
     }
     match std::fs::write(&path, table.to_csv()) {
         Ok(()) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        Err(e) => cira_obs::warn!("could not write table csv", path = path.display(), error = e),
     }
 }

@@ -101,7 +101,7 @@ pub fn report_curves(id: &str, curves: &[(String, CoverageCurve)]) {
     let path = results_dir().join(format!("{id}.csv"));
     match save_curves_csv(&path, &named) {
         Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        Err(e) => cira_obs::warn!("could not write results csv", path = path.display(), error = e),
     }
 }
 

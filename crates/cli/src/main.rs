@@ -11,6 +11,8 @@
 //! cira curve --bench gcc --out curve.csv       coverage-curve CSV
 //! cira table --bench gcc                       Table-1 style counter table
 //! cira vm prog.asm --mem 64 --trace out.cirt   run a tiny-VM program
+//! cira serve --metrics-port 9001               server + /metrics endpoint
+//! cira stats --connect 127.0.0.1:4747          live counters + latency quantiles
 //! ```
 //!
 //! Run `cira help` for full usage.
@@ -56,12 +58,18 @@ COMMANDS
   vm FILE.asm                assemble and run a tiny-VM program
       [--mem WORDS] [--steps N] [--trace OUT.cirt] [--base PC]
   serve                      run the streaming confidence server
-      [--addr HOST:PORT] [--port-file FILE]
+      [--addr HOST:PORT] [--port-file FILE] [--metrics-port PORT]
       [--max-frame BYTES] [--max-inflight N]
   replay                     stream a trace through a running server
       --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
       [--batch N] [--verify] plus the `confidence` spec flags
+  stats                      inspect a running server's live metrics
+      --connect HOST:PORT
   help                       show this text
+
+GLOBAL FLAGS
+  --log-level LEVEL          error|warn|info|debug|trace|off (any position;
+                             overrides CIRA_LOG, default warn)
 
 SPECS
   predictor: gshare:T:H | gshare64k | gshare4k | bimodal:B | gselect:T:H
@@ -73,8 +81,35 @@ SPECS
   init:      ones | zeros | lastbit | random:SEED       (default ones)
 ";
 
+/// Strips every global `--log-level` flag (space or `=` form, any
+/// position) from `argv`, installing the last one as the log filter.
+/// Without the flag, the logger configures itself lazily from `CIRA_LOG`.
+fn apply_log_level(argv: Vec<String>) -> Result<Vec<String>, String> {
+    let mut out = Vec::with_capacity(argv.len());
+    let mut it = argv.into_iter();
+    while let Some(token) = it.next() {
+        let raw = if let Some(v) = token.strip_prefix("--log-level=") {
+            v.to_owned()
+        } else if token == "--log-level" {
+            it.next().ok_or("--log-level needs a value")?
+        } else {
+            out.push(token);
+            continue;
+        };
+        cira_obs::log::init(cira_obs::Level::parse(&raw)?);
+    }
+    Ok(out)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = match apply_log_level(argv) {
+        Ok(argv) => argv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -94,6 +129,7 @@ fn main() -> ExitCode {
         "vm" => cmd_vm(&args),
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
+        "stats" => cmd_stats(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -343,7 +379,7 @@ fn cmd_mix(args: &Args) -> CliResult {
 }
 
 fn cmd_serve(args: &Args) -> CliResult {
-    args.check_known(&["addr", "port-file", "max-frame", "max-inflight"])?;
+    args.check_known(&["addr", "port-file", "metrics-port", "max-frame", "max-inflight"])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let mut cfg = cira_serve::ServerConfig::default();
     cfg.max_frame = args.get_or("max-frame", cfg.max_frame, "a byte count")?;
@@ -351,9 +387,18 @@ fn cmd_serve(args: &Args) -> CliResult {
     if cfg.max_frame == 0 || cfg.max_inflight == 0 {
         return Err("--max-frame and --max-inflight must be positive".into());
     }
+    if let Some(port) = args.get_parsed::<u16>("metrics-port", "a TCP port")? {
+        // Same interface as the protocol listener, so a local server stays
+        // local.
+        let host = addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+        cfg.metrics_addr = Some(format!("{host}:{port}"));
+    }
     let handle = cira_serve::serve(addr, cfg, cira_analysis::engine::pool::WorkerPool::global())?;
     let local = handle.local_addr();
     println!("cira-serve listening on {local}");
+    if let Some(http) = handle.metrics_http_addr() {
+        println!("metrics at http://{http}/metrics");
+    }
     if let Some(path) = args.get("port-file") {
         // Written atomically (write + rename) so a watcher never reads a
         // half-written port number.
@@ -408,6 +453,26 @@ fn cmd_replay(args: &Args) -> CliResult {
         100.0 * totals.low_confidence as f64 / totals.records.max(1) as f64,
     );
     let server_stats = client.snapshot_stats()?;
+
+    // The final summary comes from the server's own STATS counters, not
+    // the client-side ack totals, so it reflects what was actually scored.
+    let wire = client.stats()?;
+    let wire_get = |name: &str| {
+        wire.iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let (records, mispredicts, low) = (
+        wire_get("records"),
+        wire_get("mispredicts"),
+        wire_get("low_confidence"),
+    );
+    println!(
+        "server totals: {} records, {:.3}% mispredict rate, {:.1}% low-confidence coverage",
+        records,
+        100.0 * mispredicts as f64 / records.max(1) as f64,
+        100.0 * low as f64 / records.max(1) as f64,
+    );
     client.goodbye()?;
 
     if args.has("verify") {
@@ -423,6 +488,53 @@ fn cmd_replay(args: &Args) -> CliResult {
         } else {
             return Err("verify FAILED: server statistics differ from the local engine".into());
         }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    args.check_known(&["connect"])?;
+    let addr = args.require("connect")?.to_owned();
+    // A raw (sessionless) connection: STATS and METRICS answer pre-HELLO.
+    let mut client = cira_serve::Client::connect_raw(&addr)?;
+    let pairs = client.stats()?;
+    let text = client.metrics_text()?;
+    client.goodbye()?;
+
+    println!("server counters ({addr}):");
+    let width = pairs.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in &pairs {
+        println!("  {name:<width$}  {value}");
+    }
+
+    let doc = cira_serve::cira_obs::promtext::Exposition::parse_validated(&text)
+        .map_err(|e| format!("bad metrics exposition from server: {e}"))?;
+    println!();
+    println!(
+        "  {:<30} {:>9} {:>10} {:>8} {:>8} {:>8}",
+        "histogram", "count", "mean", "p50", "p90", "p99"
+    );
+    for family in &doc.families {
+        if family.kind != cira_serve::cira_obs::promtext::MetricType::Histogram {
+            continue;
+        }
+        let Some(h) = doc.histogram(&family.name) else {
+            continue;
+        };
+        let mean = if h.count > 0 {
+            h.sum / h.count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<30} {:>9} {:>10.1} {:>8.0} {:>8.0} {:>8.0}",
+            family.name,
+            h.count,
+            mean,
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+        );
     }
     Ok(())
 }

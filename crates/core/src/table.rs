@@ -43,6 +43,7 @@ impl CirTable {
         );
         let len = 1usize << index_bits;
         let entries = (0..len).map(|i| init.initial_cir(width, i)).collect();
+        cira_obs::debug!("cir table allocated", entries = len, width = width);
         Self {
             entries,
             index_bits,

@@ -1,0 +1,177 @@
+//! Minimal HTTP/1.0 `GET` responder for exposing `/metrics`.
+//!
+//! Just enough HTTP to satisfy a Prometheus scraper or `curl` over
+//! `std::net::TcpListener`: one short-lived connection per request, no
+//! keep-alive, no TLS, no routing beyond exact paths. The accept loop
+//! runs on its own thread, polls a shutdown flag between accepts
+//! (non-blocking listener + short sleep), and renders the registry fresh
+//! on every scrape.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Per-request socket deadline so a stalled client cannot wedge the loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running `/metrics` listener; shut down explicitly or on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when the caller asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`) and serves `GET /metrics` from
+/// `registry` until shutdown. Returns once the listener is bound, so a
+/// scrape issued after this call succeeds.
+pub fn serve_metrics(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::Builder::new()
+        .name("obs-metrics-http".to_string())
+        .spawn(move || accept_loop(listener, registry, flag))?;
+    Ok(MetricsServer {
+        addr: bound,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and the response is one
+                // buffered write, so a worker thread would be overkill.
+                let _ = handle(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let mut buf = [0u8; 1024];
+    let mut filled = 0usize;
+    // Read until the end of the request line; ignore any headers.
+    loop {
+        if filled == buf.len() {
+            break;
+        }
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].contains(&b'\n') {
+            break;
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf[..filled]) {
+        Ok(s) => s.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "method not allowed\n".to_string())
+    } else {
+        match path.split('?').next().unwrap_or("") {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render(),
+            ),
+            "/" | "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promtext::Exposition;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.lines().next().unwrap().to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        let reg = Arc::new(Registry::new("t"));
+        reg.counter("ok_total", "Oks", || 11);
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        let doc = Exposition::parse_validated(&body).unwrap();
+        assert_eq!(doc.value("t_ok_total"), Some(11.0));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.0 404 Not Found");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert_eq!(body, "ok\n");
+
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -47,6 +47,11 @@ impl Gshare {
             history_bits <= table_bits,
             "history_bits {history_bits} must not exceed table_bits {table_bits}"
         );
+        cira_obs::debug!(
+            "gshare table allocated",
+            table_bits = table_bits,
+            history_bits = history_bits
+        );
         Self {
             table: vec![TwoBitCounter::weakly_taken(); len],
             table_bits,

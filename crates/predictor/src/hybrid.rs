@@ -38,6 +38,7 @@ impl<A: BranchPredictor, B: BranchPredictor> Hybrid<A, B> {
     ///
     /// Panics if `chooser_bits` is outside `1..=28`.
     pub fn new(first: A, second: B, chooser_bits: u32) -> Self {
+        cira_obs::debug!("hybrid chooser allocated", chooser_bits = chooser_bits);
         Self {
             first,
             second,

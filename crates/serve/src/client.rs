@@ -141,6 +141,31 @@ impl Client {
         }
     }
 
+    /// Connects to `addr` **without** negotiating a session (no `HELLO`).
+    ///
+    /// A raw connection can only use the sessionless rev 1.1 frames:
+    /// [`stats`](Self::stats), [`metrics_text`](Self::metrics_text), and
+    /// [`goodbye`](Self::goodbye). This is what `cira stats` uses to
+    /// inspect a live server without disturbing its sessions.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_raw(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client {
+            stream,
+            session: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 1,
+            predictor: String::new(),
+            mechanism: String::new(),
+            next_seq: 0,
+        })
+    }
+
     /// Server-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session
@@ -300,6 +325,24 @@ impl Client {
         self.send(&ClientFrame::Stats)?;
         match self.recv()? {
             ServerFrame::StatsReply(pairs) => Ok(pairs),
+            ServerFrame::Error { code, message } => {
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the full Prometheus text exposition (server, session, and
+    /// pool metrics) over the wire — the same text `GET /metrics` serves.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames (including unknown-frame-type errors from
+    /// pre-rev-1.1 servers) and transport failures.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.send(&ClientFrame::Metrics)?;
+        match self.recv()? {
+            ServerFrame::MetricsReply { text } => Ok(text),
             ServerFrame::Error { code, message } => {
                 Err(ClientError::Server { code, message })
             }

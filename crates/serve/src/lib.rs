@@ -17,7 +17,11 @@
 //!   a shared [`cira_analysis::engine::pool::WorkerPool`], backpressure,
 //!   graceful drain;
 //! * [`client`] — a blocking client with windowed batch pipelining;
-//! * [`metrics`] — live server-wide counters (the `STATS` frame);
+//! * [`metrics`] — live server-wide counters, gauges, and latency
+//!   histograms ([`cira_obs`] instruments), exposed three ways: the
+//!   `STATS` frame (name/value pairs), the `METRICS` frame (Prometheus
+//!   text over the wire), and HTTP `GET /metrics` when
+//!   [`server::ServerConfig::metrics_addr`] is set;
 //! * [`shutdown`] — a waitable token plus optional SIGINT/SIGTERM hooks.
 //!
 //! Networking is std-only: no async runtime, no registry dependencies.
@@ -47,6 +51,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub use cira_obs;
 
 pub mod client;
 pub mod frame;

@@ -1,84 +1,271 @@
-//! Live server-wide metrics: lock-free atomic counters, readable at any
-//! time via the `STATS` frame (and from process code via
+//! Live server-wide metrics: lock-free counters, gauges, and histograms
+//! from [`cira_obs`], readable at any time via the `STATS` frame, the
+//! `METRICS` frame, or HTTP `GET /metrics` (and from process code via
 //! [`ServerMetrics::snapshot`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Monotonic counters describing everything the server has done since
-/// start (plus one gauge, `connections_active`). All updates are
-/// `Relaxed`: metrics are observational and never synchronize data.
-#[derive(Debug, Default)]
+use cira_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::proto::code;
+
+/// Protocol-error codes with a dedicated breakdown slot, in wire order.
+/// Index 0 is the catch-all for violations that never produce an `ERROR`
+/// frame (mid-frame disconnects and stalls).
+const ERROR_SLOTS: usize = 7;
+
+/// The breakdown label for `protocol_errors` slot `i`.
+fn error_slot_name(i: usize) -> &'static str {
+    match i as u16 {
+        code::MALFORMED => "malformed",
+        code::UNSUPPORTED_VERSION => "unsupported_version",
+        code::BAD_SPEC => "bad_spec",
+        code::OVERSIZED => "oversized",
+        code::HELLO_REQUIRED => "hello_required",
+        code::SHUTTING_DOWN => "shutting_down",
+        _ => "stalled",
+    }
+}
+
+/// Monotonic counters, gauges, and histograms describing everything the
+/// server has done since start. All updates are relaxed: metrics are
+/// observational and never synchronize data.
+#[derive(Debug)]
 pub struct ServerMetrics {
+    /// When this metrics block (i.e. the server) was created.
+    started: Instant,
     /// Connections ever accepted.
-    pub connections_total: AtomicU64,
+    pub connections_total: Counter,
     /// Connections currently open.
-    pub connections_active: AtomicU64,
+    pub connections_active: Gauge,
     /// Sessions successfully negotiated (HELLO accepted).
-    pub sessions_opened: AtomicU64,
+    pub sessions_opened: Counter,
     /// Session resets performed.
-    pub sessions_reset: AtomicU64,
+    pub sessions_reset: Counter,
     /// Frames read from clients.
-    pub frames_in: AtomicU64,
+    pub frames_in: Counter,
     /// Frames written to clients.
-    pub frames_out: AtomicU64,
+    pub frames_out: Counter,
     /// Bytes of frame bodies read.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Counter,
     /// Bytes of frame bodies written.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Counter,
     /// BATCH frames processed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Branch records scored and trained.
-    pub records: AtomicU64,
+    pub records: Counter,
     /// Mispredicted records.
-    pub mispredicts: AtomicU64,
+    pub mispredicts: Counter,
     /// Low-confidence records (key < session threshold).
-    pub low_confidence: AtomicU64,
-    /// Connections dropped for protocol violations (bad frames, bad
-    /// specs, oversized frames, version mismatches, mid-frame stalls).
-    pub protocol_errors: AtomicU64,
+    pub low_confidence: Counter,
+    /// Records per BATCH frame.
+    pub batch_records: Histogram,
+    /// Wall-clock time to score one BATCH, in microseconds.
+    pub batch_service_us: Histogram,
+    /// Connections dropped for protocol violations, broken down by error
+    /// code (slot 0 collects violations with no `ERROR` frame: mid-frame
+    /// disconnects and stalls). Increment via
+    /// [`ServerMetrics::protocol_error`]; total via
+    /// [`ServerMetrics::protocol_errors_total`].
+    protocol_errors: [Counter; ERROR_SLOTS],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            connections_total: Counter::new(),
+            connections_active: Gauge::new(),
+            sessions_opened: Counter::new(),
+            sessions_reset: Counter::new(),
+            frames_in: Counter::new(),
+            frames_out: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            batches: Counter::new(),
+            records: Counter::new(),
+            mispredicts: Counter::new(),
+            low_confidence: Counter::new(),
+            batch_records: Histogram::new(),
+            batch_service_us: Histogram::new(),
+            protocol_errors: Default::default(),
+        }
+    }
 }
 
 impl ServerMetrics {
-    /// A zeroed metrics block.
+    /// A zeroed metrics block whose uptime clock starts now.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds `n` to a counter.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Whole seconds since this server started.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
-    /// Increments a counter by one.
-    pub fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Counts one protocol violation under its `ERROR`-frame code (use
+    /// `0` for violations that send no frame: disconnects, stalls).
+    pub fn protocol_error(&self, code: u16) {
+        let slot = if (code as usize) < ERROR_SLOTS {
+            code as usize
+        } else {
+            0
+        };
+        self.protocol_errors[slot].inc();
     }
 
-    /// Decrements a gauge by one (saturating at zero is the caller's
-    /// responsibility; pairs with an earlier increment).
-    pub fn dec(counter: &AtomicU64) {
-        counter.fetch_sub(1, Ordering::Relaxed);
+    /// Protocol violations across all error codes.
+    pub fn protocol_errors_total(&self) -> u64 {
+        self.protocol_errors.iter().map(Counter::get).sum()
+    }
+
+    /// Violations recorded under one error code (`0` = no-frame slot).
+    pub fn protocol_errors_for(&self, code: u16) -> u64 {
+        if (code as usize) < ERROR_SLOTS {
+            self.protocol_errors[code as usize].get()
+        } else {
+            0
+        }
     }
 
     /// All counters as stable `(name, value)` pairs — the `STATS_REPLY`
     /// payload.
+    ///
+    /// Protocol rev 1.1 appends names (`uptime_seconds` and the
+    /// `protocol_errors_*` breakdown) after the original thirteen; the
+    /// pair encoding is self-describing, so rev 1.0 clients that look up
+    /// the names they know keep working unchanged.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        vec![
-            ("connections_total".into(), read(&self.connections_total)),
-            ("connections_active".into(), read(&self.connections_active)),
-            ("sessions_opened".into(), read(&self.sessions_opened)),
-            ("sessions_reset".into(), read(&self.sessions_reset)),
-            ("frames_in".into(), read(&self.frames_in)),
-            ("frames_out".into(), read(&self.frames_out)),
-            ("bytes_in".into(), read(&self.bytes_in)),
-            ("bytes_out".into(), read(&self.bytes_out)),
-            ("batches".into(), read(&self.batches)),
-            ("records".into(), read(&self.records)),
-            ("mispredicts".into(), read(&self.mispredicts)),
-            ("low_confidence".into(), read(&self.low_confidence)),
-            ("protocol_errors".into(), read(&self.protocol_errors)),
-        ]
+        let mut out = vec![
+            ("connections_total".into(), self.connections_total.get()),
+            (
+                "connections_active".into(),
+                self.connections_active.get().max(0) as u64,
+            ),
+            ("sessions_opened".into(), self.sessions_opened.get()),
+            ("sessions_reset".into(), self.sessions_reset.get()),
+            ("frames_in".into(), self.frames_in.get()),
+            ("frames_out".into(), self.frames_out.get()),
+            ("bytes_in".into(), self.bytes_in.get()),
+            ("bytes_out".into(), self.bytes_out.get()),
+            ("batches".into(), self.batches.get()),
+            ("records".into(), self.records.get()),
+            ("mispredicts".into(), self.mispredicts.get()),
+            ("low_confidence".into(), self.low_confidence.get()),
+            ("protocol_errors".into(), self.protocol_errors_total()),
+            // Rev 1.1 additions below this line.
+            ("uptime_seconds".into(), self.uptime_seconds()),
+        ];
+        for (i, c) in self.protocol_errors.iter().enumerate() {
+            out.push((format!("protocol_errors_{}", error_slot_name(i)), c.get()));
+        }
+        out
+    }
+
+    /// Registers every instrument on `reg` under `server_*`/`session_*`
+    /// names. Takes an [`Arc`] because the registry closures read the
+    /// metrics on every scrape.
+    pub fn register(self: &Arc<Self>, reg: &Registry) {
+        // One clone per closure keeps each closure independent.
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_uptime_seconds",
+            "Whole seconds since the server started",
+            move || m.uptime_seconds() as i64,
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_connections_total",
+            "Connections ever accepted",
+            move || m.connections_total.get(),
+        );
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_connections_active",
+            "Connections currently open",
+            move || m.connections_active.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_opened_total",
+            "Sessions successfully negotiated",
+            move || m.sessions_opened.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_reset_total",
+            "Session resets performed",
+            move || m.sessions_reset.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter("server_frames_in_total", "Frames read from clients", move || {
+            m.frames_in.get()
+        });
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_frames_out_total",
+            "Frames written to clients",
+            move || m.frames_out.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_bytes_in_total",
+            "Bytes of frame bodies read",
+            move || m.bytes_in.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_bytes_out_total",
+            "Bytes of frame bodies written",
+            move || m.bytes_out.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "session_batches_total",
+            "BATCH frames processed",
+            move || m.batches.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "session_records_total",
+            "Branch records scored and trained",
+            move || m.records.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "session_mispredicts_total",
+            "Mispredicted records",
+            move || m.mispredicts.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "session_low_confidence_total",
+            "Low-confidence records (key below the session threshold)",
+            move || m.low_confidence.get(),
+        );
+        let m = Arc::clone(self);
+        reg.histogram(
+            "session_batch_records",
+            "Records per BATCH frame",
+            move || m.batch_records.snapshot(),
+        );
+        let m = Arc::clone(self);
+        reg.histogram(
+            "session_batch_service_us",
+            "Wall-clock time to score one BATCH in microseconds",
+            move || m.batch_service_us.snapshot(),
+        );
+        for slot in 0..ERROR_SLOTS {
+            let m = Arc::clone(self);
+            reg.counter_with(
+                "server_protocol_errors_total",
+                "Connections dropped for protocol violations, by error code",
+                &[("code", error_slot_name(slot))],
+                move || m.protocol_errors[slot].get(),
+            );
+        }
     }
 }
 
@@ -89,8 +276,8 @@ mod tests {
     #[test]
     fn snapshot_reflects_counters() {
         let m = ServerMetrics::new();
-        ServerMetrics::inc(&m.connections_total);
-        ServerMetrics::add(&m.records, 500);
+        m.connections_total.inc();
+        m.records.add(500);
         let snap = m.snapshot();
         let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
         assert_eq!(get("connections_total"), 1);
@@ -101,5 +288,63 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), snap.len());
+        // The original 13 rev-1.0 names still lead the payload.
+        assert_eq!(snap[0].0, "connections_total");
+        assert_eq!(snap[12].0, "protocol_errors");
+    }
+
+    #[test]
+    fn protocol_errors_break_down_by_code() {
+        let m = ServerMetrics::new();
+        m.protocol_error(code::MALFORMED);
+        m.protocol_error(code::MALFORMED);
+        m.protocol_error(code::BAD_SPEC);
+        m.protocol_error(0); // stall / disconnect
+        m.protocol_error(999); // unknown codes fold into the stall slot
+        assert_eq!(m.protocol_errors_total(), 5);
+        assert_eq!(m.protocol_errors_for(code::MALFORMED), 2);
+        assert_eq!(m.protocol_errors_for(code::BAD_SPEC), 1);
+        assert_eq!(m.protocol_errors_for(0), 2);
+        let snap = m.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("protocol_errors"), 5);
+        assert_eq!(get("protocol_errors_malformed"), 2);
+        assert_eq!(get("protocol_errors_stalled"), 2);
+        // The lump counter always equals the sum of the breakdown.
+        let breakdown: u64 = (0..ERROR_SLOTS as u16)
+            .map(|c| m.protocol_errors_for(c))
+            .sum();
+        assert_eq!(get("protocol_errors"), breakdown);
+    }
+
+    #[test]
+    fn registry_covers_all_families() {
+        let m = Arc::new(ServerMetrics::new());
+        m.batches.inc();
+        m.batch_records.record(1024);
+        m.batch_service_us.record(250);
+        m.protocol_error(code::OVERSIZED);
+        let reg = Registry::new("cira");
+        m.register(&reg);
+        let text = reg.render();
+        let doc = cira_obs::promtext::Exposition::parse_validated(&text).unwrap();
+        assert_eq!(doc.value("cira_session_batches_total"), Some(1.0));
+        assert_eq!(doc.histogram("cira_session_batch_records").unwrap().count, 1);
+        assert_eq!(
+            doc.histogram("cira_session_batch_service_us").unwrap().count,
+            1
+        );
+        let errs = doc.family("cira_server_protocol_errors_total").unwrap();
+        assert_eq!(errs.samples.len(), ERROR_SLOTS);
+        assert!(text.contains("cira_server_protocol_errors_total{code=\"oversized\"} 1"));
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let m = ServerMetrics::new();
+        let a = m.uptime_seconds();
+        assert!(m.uptime_seconds() >= a);
+        let snap = m.snapshot();
+        assert!(snap.iter().any(|(n, _)| n == "uptime_seconds"));
     }
 }

@@ -14,12 +14,14 @@
 //! | 0x04 | c → s | `SNAPSHOT` | — |
 //! | 0x05 | c → s | `RESET` | — |
 //! | 0x06 | c → s | `GOODBYE` | — |
+//! | 0x07 | c → s | `METRICS` | — (rev 1.1) |
 //! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions |
 //! | 0x82 | s → c | `BATCH_ACK` | seq `u32`, batch records/mispredicts/low `u64`×3, session records `u64`, predicted + low bitmaps |
 //! | 0x83 | s → c | `STATS_REPLY` | `u32` count, then (name string, value `u64`) pairs |
 //! | 0x84 | s → c | `SNAPSHOT_REPLY` | branches/mispredicts/low `u64`×3, `u32` cell count, then (key `u64`, refs `f64`, mispredicts `f64`) sorted by key |
 //! | 0x85 | s → c | `RESET_ACK` | — |
 //! | 0x86 | s → c | `GOODBYE_ACK` | — |
+//! | 0x87 | s → c | `METRICS_REPLY` | `u32` length + Prometheus exposition text (rev 1.1) |
 //! | 0x7f | s → c | `ERROR` | code `u16`, message string |
 //!
 //! Negotiation rule: the server accepts exactly [`PROTO_VERSION`]; a
@@ -28,6 +30,24 @@
 //! connection closes. Unknown frame types, malformed payloads, and
 //! oversized frames are likewise per-connection errors — the process keeps
 //! serving everyone else.
+//!
+//! # Minor revisions
+//!
+//! [`PROTO_REV`] tracks additive changes within major version 1; it is
+//! informational and never negotiated. Rev **1.1** adds:
+//!
+//! * the `METRICS` / `METRICS_REPLY` frame pair (Prometheus text over the
+//!   wire; the payload is a `u32`-length blob because exposition text
+//!   routinely exceeds the [`MAX_STRING`] cap on spec strings);
+//! * `STATS` / `METRICS` / `GOODBYE` accepted **before** a session is
+//!   negotiated, so operator tooling (`cira stats`) needs no `HELLO`;
+//! * additional `STATS_REPLY` names (`uptime_seconds`, the
+//!   `protocol_errors_*` breakdown) appended after the original thirteen.
+//!
+//! All three are tolerate-unknown-by-construction for rev 1.0 peers:
+//! `STATS_REPLY` pairs are self-describing, and a 1.0 *client* simply
+//! never sends the new frame type. A 1.0 *server* answers `METRICS` with
+//! an `ERROR` (unknown frame type), which 1.1 clients surface as-is.
 
 use std::fmt;
 
@@ -36,8 +56,11 @@ use cira_trace::codec::{PackedBytesError, PackedTrace};
 
 /// Magic bytes opening a `HELLO` payload.
 pub const PROTO_MAGIC: &[u8; 4] = b"CIRS";
-/// The protocol version this build speaks.
+/// The protocol version this build speaks (negotiated in `HELLO`).
 pub const PROTO_VERSION: u8 = 1;
+/// Additive minor revision within [`PROTO_VERSION`] (see the module docs
+/// for what each revision added). Informational — never negotiated.
+pub const PROTO_REV: u8 = 1;
 
 /// Frame type bytes.
 pub mod frame_type {
@@ -53,6 +76,8 @@ pub mod frame_type {
     pub const RESET: u8 = 0x05;
     /// Orderly close: the server acks then the connection ends.
     pub const GOODBYE: u8 = 0x06;
+    /// Request a Prometheus text exposition of all metrics (rev 1.1).
+    pub const METRICS: u8 = 0x07;
     /// Server accepts the hello.
     pub const HELLO_ACK: u8 = 0x81;
     /// Per-batch results.
@@ -65,6 +90,8 @@ pub mod frame_type {
     pub const RESET_ACK: u8 = 0x85;
     /// Goodbye acknowledged.
     pub const GOODBYE_ACK: u8 = 0x86;
+    /// Prometheus text exposition of all metrics (rev 1.1).
+    pub const METRICS_REPLY: u8 = 0x87;
     /// Fatal per-connection error.
     pub const ERROR: u8 = 0x7f;
 }
@@ -138,6 +165,8 @@ pub enum ClientFrame {
     Reset,
     /// Orderly close.
     Goodbye,
+    /// Request a Prometheus text exposition of all metrics (rev 1.1).
+    Metrics,
 }
 
 /// One `(key, refs, mispredicts)` statistics cell on the wire.
@@ -195,6 +224,13 @@ pub enum ServerFrame {
     ResetAck,
     /// Goodbye acknowledged; connection closes next.
     GoodbyeAck,
+    /// Prometheus text exposition of server, session, and pool metrics
+    /// (rev 1.1). Carried as a `u32`-length blob, not a spec string:
+    /// exposition text routinely exceeds [`MAX_STRING`].
+    MetricsReply {
+        /// The exposition text, as served on `GET /metrics`.
+        text: String,
+    },
     /// Fatal per-connection error; connection closes next.
     Error {
         /// One of the [`code`] constants.
@@ -361,6 +397,7 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
         ClientFrame::Snapshot => out.push(frame_type::SNAPSHOT),
         ClientFrame::Reset => out.push(frame_type::RESET),
         ClientFrame::Goodbye => out.push(frame_type::GOODBYE),
+        ClientFrame::Metrics => out.push(frame_type::METRICS),
     }
     out
 }
@@ -412,6 +449,10 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, ProtoError> {
         frame_type::GOODBYE => {
             c.finish()?;
             Ok(ClientFrame::Goodbye)
+        }
+        frame_type::METRICS => {
+            c.finish()?;
+            Ok(ClientFrame::Metrics)
         }
         other => Err(ProtoError::UnknownFrameType(other)),
     }
@@ -482,6 +523,12 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
         }
         ServerFrame::ResetAck => out.push(frame_type::RESET_ACK),
         ServerFrame::GoodbyeAck => out.push(frame_type::GOODBYE_ACK),
+        ServerFrame::MetricsReply { text } => {
+            out.push(frame_type::METRICS_REPLY);
+            let bytes = text.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
         ServerFrame::Error { code, message } => {
             out.push(frame_type::ERROR);
             out.extend_from_slice(&code.to_le_bytes());
@@ -560,6 +607,14 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
         }
         frame_type::RESET_ACK => ServerFrame::ResetAck,
         frame_type::GOODBYE_ACK => ServerFrame::GoodbyeAck,
+        frame_type::METRICS_REPLY => {
+            let n = c.u32()? as usize;
+            let raw = c.take(n)?;
+            let text = std::str::from_utf8(raw)
+                .map(str::to_owned)
+                .map_err(|_| ProtoError::BadString)?;
+            ServerFrame::MetricsReply { text }
+        }
         frame_type::ERROR => ServerFrame::Error {
             code: c.u16()?,
             message: c.string()?,
@@ -615,6 +670,7 @@ mod tests {
             ClientFrame::Snapshot,
             ClientFrame::Reset,
             ClientFrame::Goodbye,
+            ClientFrame::Metrics,
         ];
         for f in frames {
             let bytes = encode_client(&f);
@@ -651,6 +707,10 @@ mod tests {
             },
             ServerFrame::ResetAck,
             ServerFrame::GoodbyeAck,
+            // Exposition text far beyond MAX_STRING must survive intact.
+            ServerFrame::MetricsReply {
+                text: "# TYPE cira_x counter\n".repeat(400),
+            },
             ServerFrame::Error {
                 code: code::BAD_SPEC,
                 message: "invalid predictor spec".into(),

@@ -26,9 +26,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cira_analysis::engine::pool::WorkerPool;
+use cira_obs::http::MetricsServer;
+use cira_obs::Registry;
 use cira_trace::codec::PackedTrace;
 
 use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME};
@@ -50,6 +52,10 @@ pub struct ServerConfig {
     pub read_tick_ms: u64,
     /// Consecutive mid-frame ticks tolerated before the peer is dropped.
     pub stall_ticks: u32,
+    /// Address for the HTTP `GET /metrics` listener (e.g.
+    /// `127.0.0.1:9184`), or `None` to expose metrics only over the wire
+    /// protocol.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +65,7 @@ impl Default for ServerConfig {
             max_inflight: 4,
             read_tick_ms: 100,
             stall_ticks: 600, // 60 s of mid-frame silence at the default tick
+            metrics_addr: None,
         }
     }
 }
@@ -138,6 +145,8 @@ struct Conn {
     session: Mutex<Option<Session>>,
     batches: BatchQueue,
     metrics: Arc<ServerMetrics>,
+    /// The server's registry, rendered on demand for `METRICS` frames.
+    registry: Arc<Registry>,
 }
 
 impl Conn {
@@ -147,12 +156,22 @@ impl Conn {
         let body = encode_server(frame);
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if write_frame(&mut *w, &body).is_ok() {
-            ServerMetrics::inc(&self.metrics.frames_out);
-            ServerMetrics::add(&self.metrics.bytes_out, body.len() as u64);
+            self.metrics.frames_out.inc();
+            self.metrics.bytes_out.add(body.len() as u64);
         } else {
             // Give up on the stream; unblock the reader promptly.
             let _ = w.shutdown(std::net::Shutdown::Both);
         }
+    }
+
+    /// Counts a protocol violation and sends its `ERROR` frame.
+    fn protocol_error(&self, error_code: u16, message: String) {
+        self.metrics.protocol_error(error_code);
+        cira_obs::debug!("protocol error", code = error_code, detail = message);
+        self.send(&ServerFrame::Error {
+            code: error_code,
+            message,
+        });
     }
 }
 
@@ -169,17 +188,21 @@ fn drain(conn: &Arc<Conn>) {
             continue; // connection torn down mid-drain
         };
         let n = records.len() as u64;
+        let t0 = Instant::now();
         let ack = session.apply_batch(seq, &records);
+        let service_us = t0.elapsed().as_micros() as u64;
         if let ServerFrame::BatchAck {
             mispredicts,
             low_confidence,
             ..
         } = &ack
         {
-            ServerMetrics::inc(&conn.metrics.batches);
-            ServerMetrics::add(&conn.metrics.records, n);
-            ServerMetrics::add(&conn.metrics.mispredicts, *mispredicts);
-            ServerMetrics::add(&conn.metrics.low_confidence, *low_confidence);
+            conn.metrics.batches.inc();
+            conn.metrics.records.add(n);
+            conn.metrics.mispredicts.add(*mispredicts);
+            conn.metrics.low_confidence.add(*low_confidence);
+            conn.metrics.batch_records.record(n);
+            conn.metrics.batch_service_us.record(service_us);
         }
         drop(guard);
         conn.send(&ack);
@@ -207,49 +230,67 @@ fn handle_frame(
     match frame {
         ClientFrame::Hello { version, config } => {
             if version != PROTO_VERSION {
-                ServerMetrics::inc(&conn.metrics.protocol_errors);
-                conn.send(&ServerFrame::Error {
-                    code: code::UNSUPPORTED_VERSION,
-                    message: format!(
+                conn.protocol_error(
+                    code::UNSUPPORTED_VERSION,
+                    format!(
                         "protocol version {version} not supported; this server speaks {PROTO_VERSION}"
                     ),
-                });
+                );
                 return Step::Close;
             }
             match Session::from_hello(&config) {
                 Ok(session) => {
+                    let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
                     let ack = ServerFrame::HelloAck {
                         version: PROTO_VERSION,
-                        session: session_ids.fetch_add(1, Ordering::Relaxed),
+                        session: session_id,
                         max_frame: cfg.max_frame,
                         max_inflight: cfg.max_inflight,
                         predictor: session.predictor_desc().to_owned(),
                         mechanism: session.mechanism_desc().to_owned(),
                     };
+                    cira_obs::info!(
+                        "session opened",
+                        session = session_id,
+                        predictor = session.predictor_desc(),
+                        mechanism = session.mechanism_desc(),
+                    );
                     *conn
                         .session
                         .lock()
                         .unwrap_or_else(|e| e.into_inner()) = Some(session);
-                    ServerMetrics::inc(&conn.metrics.sessions_opened);
+                    conn.metrics.sessions_opened.inc();
                     conn.send(&ack);
                     Step::Continue
                 }
                 Err(message) => {
-                    ServerMetrics::inc(&conn.metrics.protocol_errors);
-                    conn.send(&ServerFrame::Error {
-                        code: code::BAD_SPEC,
-                        message,
-                    });
+                    conn.protocol_error(code::BAD_SPEC, message);
                     Step::Close
                 }
             }
         }
-        _ if !has_session => {
-            ServerMetrics::inc(&conn.metrics.protocol_errors);
-            conn.send(&ServerFrame::Error {
-                code: code::HELLO_REQUIRED,
-                message: "first frame must be HELLO".to_owned(),
+        // Observability and close frames need no session (rev 1.1):
+        // operator tooling like `cira stats` connects, asks, disconnects.
+        ClientFrame::Stats => {
+            conn.send(&ServerFrame::StatsReply(conn.metrics.snapshot()));
+            Step::Continue
+        }
+        ClientFrame::Metrics => {
+            conn.send(&ServerFrame::MetricsReply {
+                text: conn.registry.render(),
             });
+            Step::Continue
+        }
+        ClientFrame::Goodbye => {
+            conn.batches.wait_drained();
+            conn.send(&ServerFrame::GoodbyeAck);
+            Step::Close
+        }
+        _ if !has_session => {
+            conn.protocol_error(
+                code::HELLO_REQUIRED,
+                "first frame must be HELLO".to_owned(),
+            );
             Step::Close
         }
         ClientFrame::Batch { seq, records } => {
@@ -257,10 +298,6 @@ fn handle_frame(
                 let conn = Arc::clone(conn);
                 pool.spawn(move || drain(&conn));
             }
-            Step::Continue
-        }
-        ClientFrame::Stats => {
-            conn.send(&ServerFrame::StatsReply(conn.metrics.snapshot()));
             Step::Continue
         }
         ClientFrame::Snapshot => {
@@ -284,14 +321,9 @@ fn handle_frame(
                 .unwrap_or_else(|e| e.into_inner());
             guard.as_mut().expect("session checked above").reset();
             drop(guard);
-            ServerMetrics::inc(&conn.metrics.sessions_reset);
+            conn.metrics.sessions_reset.inc();
             conn.send(&ServerFrame::ResetAck);
             Step::Continue
-        }
-        ClientFrame::Goodbye => {
-            conn.batches.wait_drained();
-            conn.send(&ServerFrame::GoodbyeAck);
-            Step::Close
         }
     }
 }
@@ -302,6 +334,7 @@ fn run_connection(
     pool: &'static WorkerPool,
     cfg: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
     session_ids: Arc<AtomicU64>,
     shutdown: ShutdownToken,
 ) {
@@ -319,6 +352,7 @@ fn run_connection(
         session: Mutex::new(None),
         batches: BatchQueue::default(),
         metrics: Arc::clone(&metrics),
+        registry,
     });
 
     loop {
@@ -333,8 +367,8 @@ fn run_connection(
         }
         match read_frame(&mut reader, cfg.max_frame, cfg.stall_ticks) {
             Ok(ReadOutcome::Frame(body)) => {
-                ServerMetrics::inc(&metrics.frames_in);
-                ServerMetrics::add(&metrics.bytes_in, body.len() as u64);
+                metrics.frames_in.inc();
+                metrics.bytes_in.add(body.len() as u64);
                 match decode_client(&body) {
                     Ok(frame) => {
                         match handle_frame(&conn, pool, &cfg, &session_ids, frame) {
@@ -343,11 +377,7 @@ fn run_connection(
                         }
                     }
                     Err(e) => {
-                        ServerMetrics::inc(&metrics.protocol_errors);
-                        conn.send(&ServerFrame::Error {
-                            code: code::MALFORMED,
-                            message: e.to_string(),
-                        });
+                        conn.protocol_error(code::MALFORMED, e.to_string());
                         break;
                     }
                 }
@@ -355,17 +385,16 @@ fn run_connection(
             Ok(ReadOutcome::Idle) => {}
             Ok(ReadOutcome::Eof) => break,
             Err(FrameError::Oversized { len, max }) => {
-                ServerMetrics::inc(&metrics.protocol_errors);
-                conn.send(&ServerFrame::Error {
-                    code: code::OVERSIZED,
-                    message: format!("frame of {len} bytes exceeds maximum {max}"),
-                });
+                conn.protocol_error(
+                    code::OVERSIZED,
+                    format!("frame of {len} bytes exceeds maximum {max}"),
+                );
                 break;
             }
             Err(FrameError::Truncated | FrameError::Stalled) => {
                 // Mid-frame disconnect or slow-loris: nothing sensible to
-                // say to the peer; just clean up.
-                ServerMetrics::inc(&metrics.protocol_errors);
+                // say to the peer; just clean up (breakdown slot 0).
+                metrics.protocol_error(0);
                 break;
             }
             Err(FrameError::Io(_)) => break,
@@ -381,7 +410,8 @@ fn run_connection(
         .unwrap_or_else(|e| e.into_inner()) = None;
     let w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
     let _ = w.shutdown(std::net::Shutdown::Both);
-    ServerMetrics::dec(&metrics.connections_active);
+    metrics.connections_active.dec();
+    cira_obs::debug!("connection closed");
 }
 
 /// A running server: its address, metrics, and shutdown control.
@@ -389,6 +419,10 @@ fn run_connection(
 pub struct ServerHandle {
     addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    /// The HTTP `/metrics` listener, when configured; shuts down when the
+    /// handle drops.
+    metrics_http: Option<MetricsServer>,
     shutdown: ShutdownToken,
     accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
 }
@@ -402,6 +436,18 @@ impl ServerHandle {
     /// Live server metrics.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The registry behind `GET /metrics` and the `METRICS` frame (server
+    /// counters, session histograms, and the worker pool).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The bound address of the HTTP `/metrics` listener, if one was
+    /// configured via [`ServerConfig::metrics_addr`].
+    pub fn metrics_http_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(MetricsServer::addr)
     }
 
     /// The token that stops this server; share it with a signal handler.
@@ -460,7 +506,23 @@ pub fn serve(
     let shutdown = ShutdownToken::new();
     let session_ids = Arc::new(AtomicU64::new(1));
 
+    // One registry covers the whole process view: server counters,
+    // session histograms, and the shared worker pool.
+    let registry = Arc::new(Registry::new("cira"));
+    metrics.register(&registry);
+    pool.register_metrics(&registry);
+    let metrics_http = match &cfg.metrics_addr {
+        Some(http_addr) => {
+            let server = cira_obs::http::serve_metrics(http_addr, Arc::clone(&registry))?;
+            cira_obs::info!("metrics endpoint listening", addr = server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    cira_obs::info!("server listening", addr = local, workers = pool.workers());
+
     let accept_metrics = Arc::clone(&metrics);
+    let accept_registry = Arc::clone(&registry);
     let accept_shutdown = shutdown.clone();
     let accept_thread = std::thread::Builder::new()
         .name("cira-serve-accept".into())
@@ -468,22 +530,24 @@ pub fn serve(
             let mut conns: Vec<JoinHandle<()>> = Vec::new();
             while !accept_shutdown.is_triggered() {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        ServerMetrics::inc(&accept_metrics.connections_total);
-                        ServerMetrics::inc(&accept_metrics.connections_active);
+                    Ok((stream, peer)) => {
+                        accept_metrics.connections_total.inc();
+                        accept_metrics.connections_active.inc();
+                        cira_obs::debug!("connection accepted", peer = peer);
                         let cfg = cfg.clone();
                         let metrics = Arc::clone(&accept_metrics);
+                        let registry = Arc::clone(&accept_registry);
                         let ids = Arc::clone(&session_ids);
                         let token = accept_shutdown.clone();
                         conns.retain(|t| !t.is_finished());
                         match std::thread::Builder::new()
                             .name("cira-serve-conn".into())
                             .spawn(move || {
-                                run_connection(stream, pool, cfg, metrics, ids, token)
+                                run_connection(stream, pool, cfg, metrics, registry, ids, token)
                             }) {
                             Ok(t) => conns.push(t),
                             Err(_) => {
-                                ServerMetrics::dec(&accept_metrics.connections_active);
+                                accept_metrics.connections_active.dec();
                             }
                         }
                     }
@@ -501,6 +565,8 @@ pub fn serve(
     Ok(ServerHandle {
         addr: local,
         metrics,
+        registry,
+        metrics_http,
         shutdown,
         accept_thread: Some(accept_thread),
     })

@@ -106,6 +106,28 @@ fn concurrent_sessions_with_different_configs_are_bit_identical() {
     let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
     assert_eq!(get("sessions_opened"), 3);
     assert_eq!(get("records"), 90_000);
+
+    // The per-batch histograms must agree with the counters: every record
+    // counted arrived in some batch, and every batch was timed.
+    let batch_records = handle.metrics().batch_records.snapshot();
+    let batch_service = handle.metrics().batch_service_us.snapshot();
+    assert_eq!(batch_records.count, get("batches"));
+    assert_eq!(batch_records.sum, 90_000);
+    assert_eq!(batch_service.count, get("batches"));
+
+    // Rev 1.1: STATS and METRICS answer on a raw connection, no HELLO.
+    let mut raw = Client::connect_raw(&addr).expect("raw connect");
+    let wire = raw.stats().expect("pre-session STATS");
+    let wget = |name: &str| wire.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(wget("sessions_opened"), 3);
+    assert_eq!(wget("records"), 90_000);
+    assert!(wire.iter().any(|(n, _)| n == "uptime_seconds"));
+    let text = raw.metrics_text().expect("pre-session METRICS");
+    let doc = cira_serve::cira_obs::promtext::Exposition::parse_validated(&text)
+        .expect("well-formed exposition");
+    assert_eq!(doc.value("cira_server_sessions_opened_total"), Some(3.0));
+    assert_eq!(doc.value("cira_session_records_total"), Some(90_000.0));
+    raw.goodbye().expect("raw goodbye");
     handle.shutdown_and_join();
 }
 
@@ -223,6 +245,20 @@ fn hostile_clients_get_errors_and_the_server_survives() {
     let metrics = handle.metrics().snapshot();
     let get = |name: &str| metrics.iter().find(|(n, _)| n == name).unwrap().1;
     assert!(get("protocol_errors") >= 5, "metrics: {metrics:?}");
+
+    // Each distinct abuse landed in its own breakdown slot...
+    assert!(get("protocol_errors_unsupported_version") >= 1);
+    assert!(get("protocol_errors_malformed") >= 1);
+    assert!(get("protocol_errors_hello_required") >= 1);
+    assert!(get("protocol_errors_bad_spec") >= 1);
+    assert!(get("protocol_errors_oversized") >= 1);
+    // ...and the lump counter is exactly the sum of the breakdown.
+    let breakdown: u64 = metrics
+        .iter()
+        .filter(|(n, _)| n.starts_with("protocol_errors_"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(get("protocol_errors"), breakdown);
     handle.shutdown_and_join();
 }
 

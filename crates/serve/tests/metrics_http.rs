@@ -1,0 +1,103 @@
+//! The observability acceptance test: a live server with a `/metrics`
+//! HTTP listener, real traffic, and a scrape validated as well-formed
+//! Prometheus text exposition covering server, session, and pool metrics.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cira_analysis::engine::pool::WorkerPool;
+use cira_serve::cira_obs::promtext::{Exposition, MetricType};
+use cira_serve::server::{serve, ServerConfig};
+use cira_serve::{Client, HelloConfig};
+use cira_trace::codec::PackedTrace;
+use cira_trace::suite::ibs_like_suite;
+
+/// One HTTP/1.0 request against `addr`, returning `(status_line, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics port");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn live_scrape_is_valid_prometheus_text_covering_all_layers() {
+    let cfg = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg, WorkerPool::global()).expect("bind");
+    let http_addr = handle.metrics_http_addr().expect("metrics listener");
+
+    // Generate real traffic so the scrape has nonzero series.
+    let trace: PackedTrace = ibs_like_suite()[0].walker().take(12_000).collect();
+    let mut client = Client::connect(
+        &handle.local_addr().to_string(),
+        HelloConfig::default(),
+    )
+    .expect("connect");
+    let totals = client.stream(&trace, 3_000).expect("stream");
+    assert_eq!(totals.records, 12_000);
+    client.goodbye().expect("goodbye");
+
+    let (status, body) = http_get(http_addr, "/metrics");
+    assert!(status.contains("200"), "status: {status}");
+
+    // Well-formed text exposition: one `# TYPE` per family, samples only
+    // under their family, counters finite and non-negative, histograms
+    // cumulative and monotone — all enforced by the validating parser.
+    let doc = Exposition::parse_validated(&body).expect("valid exposition");
+
+    // Server layer.
+    assert_eq!(doc.value("cira_server_connections_total"), Some(1.0));
+    assert_eq!(doc.value("cira_server_sessions_opened_total"), Some(1.0));
+    assert!(doc.value("cira_server_frames_in_total").unwrap() >= 5.0);
+    assert!(doc.value("cira_server_uptime_seconds").is_some());
+    let errs = doc.family("cira_server_protocol_errors_total").unwrap();
+    assert_eq!(errs.kind, MetricType::Counter);
+    assert!(errs.samples.len() >= 7, "per-code breakdown present");
+
+    // Session layer, including well-formed latency histograms.
+    assert_eq!(doc.value("cira_session_records_total"), Some(12_000.0));
+    assert_eq!(doc.value("cira_session_batches_total"), Some(4.0));
+    let batch_hist = doc.histogram("cira_session_batch_records").unwrap();
+    assert_eq!(batch_hist.count, 4);
+    assert_eq!(batch_hist.sum, 12_000.0);
+    let service = doc.histogram("cira_session_batch_service_us").unwrap();
+    assert_eq!(service.count, 4);
+
+    // Pool layer: the shared worker pool executed the batch tasks.
+    assert!(doc.value("cira_pool_workers").unwrap() >= 1.0);
+    assert!(doc.value("cira_pool_tasks_executed_total").unwrap() >= 4.0);
+    let latency = doc.histogram("cira_pool_task_latency_us").unwrap();
+    assert!(latency.count >= 4);
+
+    // The wire-level METRICS frame serves the same registry.
+    let mut raw = Client::connect_raw(&handle.local_addr().to_string()).unwrap();
+    let wire_doc =
+        Exposition::parse_validated(&raw.metrics_text().unwrap()).expect("wire exposition");
+    assert_eq!(
+        wire_doc.value("cira_session_records_total"),
+        Some(12_000.0)
+    );
+    raw.goodbye().unwrap();
+
+    // The other HTTP routes behave.
+    let (status, body) = http_get(http_addr, "/healthz");
+    assert!(status.contains("200"), "status: {status}");
+    assert_eq!(body.trim(), "ok");
+    let (status, _) = http_get(http_addr, "/nope");
+    assert!(status.contains("404"), "status: {status}");
+
+    handle.shutdown_and_join();
+
+    // Shutdown also stops the metrics listener.
+    assert!(TcpStream::connect(http_addr).is_err());
+}

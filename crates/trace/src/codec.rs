@@ -145,6 +145,7 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
         prev_pc = r.pc;
         count += 1;
     }
+    cira_obs::debug!("trace encoded", records = count);
     Ok(count)
 }
 
@@ -154,7 +155,9 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
 ///
 /// Returns [`DecodeTraceError`] on malformed input or I/O failure.
 pub fn read_trace<R: Read>(reader: R) -> Result<Vec<BranchRecord>, DecodeTraceError> {
-    TraceReader::new(reader)?.collect()
+    let records: Vec<BranchRecord> = TraceReader::new(reader)?.collect::<Result<_, _>>()?;
+    cira_obs::debug!("trace decoded", records = records.len());
+    Ok(records)
 }
 
 /// Streaming trace decoder; yields records one at a time.

@@ -209,6 +209,11 @@ impl Machine {
                 trace.push(r);
             }
         }
+        cira_obs::debug!(
+            "vm halted",
+            steps = self.steps - start,
+            branches = trace.len()
+        );
         Ok(trace)
     }
 }

@@ -16,6 +16,8 @@
 //! * [`serve`] — an online streaming confidence service: a std-only TCP
 //!   server speaking the binary `CIRS` protocol, bit-identical to the
 //!   offline engine.
+//! * [`obs`] — structured logging, lock-free metrics, and Prometheus
+//!   text exposition, threaded through every layer above.
 //!
 //! # Quick start
 //!
@@ -41,6 +43,7 @@
 pub use cira_analysis as analysis;
 pub use cira_apps as apps;
 pub use cira_core as core;
+pub use cira_obs as obs;
 pub use cira_predictor as predictor;
 pub use cira_serve as serve;
 pub use cira_trace as trace;
