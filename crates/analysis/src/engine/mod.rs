@@ -22,6 +22,13 @@
 //! folded in suite order — so results are bit-identical to the sequential
 //! [`crate::runner`] drivers and independent of the worker count.
 //!
+//! The `run_suite_*` methods on [`Engine`] are the **canonical suite
+//! API**: one predictor/mechanism/estimator factory pair per experiment,
+//! fresh tables per benchmark, combined with the paper's
+//! equal-dynamic-branch weighting (§1.2) into a [`SuiteBuckets`].
+//! Experiments call them on [`Engine::global`]; the old
+//! [`crate::suite_run`] free functions survive only as deprecated shims.
+//!
 //! # Examples
 //!
 //! ```
@@ -65,12 +72,42 @@ use cira_trace::codec::PackedTrace;
 use cira_trace::suite::Benchmark;
 
 use crate::buckets::BucketStats;
+use crate::curve::CoverageCurve;
 use crate::metrics::ConfusionCounts;
 use crate::runner::PredictorRun;
-use crate::suite_run::SuiteBuckets;
 
 pub use cache::TraceCache;
 pub use pool::{PoolMetrics, WorkerPool};
+
+/// Per-benchmark and combined bucket statistics for one mechanism
+/// configuration.
+///
+/// The paper reports composite results over the IBS suite, weighting each
+/// benchmark to contribute the same number of dynamic branches (§1.2);
+/// `combined` is that equal-weight combination
+/// ([`BucketStats::combine_equal_weight`]) of the `per_benchmark` runs.
+#[derive(Debug, Clone)]
+pub struct SuiteBuckets {
+    /// `(benchmark name, stats)` in suite order.
+    pub per_benchmark: Vec<(String, BucketStats)>,
+    /// Equal-dynamic-branch-weighted combination.
+    pub combined: BucketStats,
+}
+
+impl SuiteBuckets {
+    /// The coverage curve of the combined statistics.
+    pub fn curve(&self) -> CoverageCurve {
+        CoverageCurve::from_buckets(&self.combined)
+    }
+
+    /// The coverage curve of one benchmark by name.
+    pub fn benchmark_curve(&self, name: &str) -> Option<CoverageCurve> {
+        self.per_benchmark
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| CoverageCurve::from_buckets(s))
+    }
+}
 
 /// Suite-runner instrumentation: how many per-benchmark replays ran and
 /// how long each took end to end (materialized trace → folded stats).
@@ -174,7 +211,7 @@ impl Engine {
     /// the shared materialized traces. Returns `[config][series]`
     /// suite results, where *series* indexes the mechanisms returned by
     /// `make_mechanisms` (same convention as
-    /// [`crate::suite_run::run_suite_mechanisms`]).
+    /// [`run_suite_mechanisms`](Self::run_suite_mechanisms)).
     pub fn run_grid<P, C>(
         &self,
         suite: &[Benchmark],
@@ -235,7 +272,32 @@ impl Engine {
             .collect()
     }
 
-    /// One-configuration convenience over [`run_grid`](Self::run_grid).
+    /// Runs `make_predictor()` + `make_mechanism()` over every benchmark
+    /// (`trace_len` dynamic branches each): fresh tables per benchmark,
+    /// exactly like simulating each trace separately, combined with the
+    /// paper's equal-dynamic-branch weighting.
+    pub fn run_suite_mechanism<P, M>(
+        &self,
+        suite: &[Benchmark],
+        trace_len: u64,
+        make_predictor: impl Fn() -> P + Sync,
+        make_mechanism: impl Fn() -> M + Sync,
+    ) -> SuiteBuckets
+    where
+        P: BranchPredictor + Send,
+        M: ConfidenceMechanism + Send + 'static,
+    {
+        self.run_suite_mechanisms(suite, trace_len, make_predictor, || {
+            vec![Box::new(make_mechanism()) as Box<dyn ConfidenceMechanism>]
+        })
+        .pop()
+        .expect("one mechanism, one result")
+    }
+
+    /// Runs several mechanism configurations over the suite, driving the
+    /// predictor once per benchmark (not once per mechanism). Returns one
+    /// [`SuiteBuckets`] per factory, in order — a one-configuration
+    /// convenience over [`run_grid`](Self::run_grid).
     pub fn run_suite_mechanisms<P>(
         &self,
         suite: &[Benchmark],
@@ -257,7 +319,8 @@ impl Engine {
         .expect("one config in, one config out")
     }
 
-    /// Suite-wide static (bucket = PC) analysis over cached traces.
+    /// Runs the §2 static analysis (bucket = static PC) over the suite on
+    /// cached traces.
     pub fn run_suite_static<P>(
         &self,
         suite: &[Benchmark],
@@ -281,7 +344,9 @@ impl Engine {
         }
     }
 
-    /// Suite-wide online-estimator run over cached traces.
+    /// Runs an online estimator over the suite, returning per-benchmark
+    /// counts and their sum (benchmarks use equal trace lengths, so
+    /// summing preserves the equal-weight convention).
     pub fn run_suite_estimator<P, E>(
         &self,
         suite: &[Benchmark],
@@ -313,7 +378,9 @@ impl Engine {
         (per, total)
     }
 
-    /// Suite-wide predictor-only accuracy over cached traces.
+    /// Per-benchmark predictor accuracy (no confidence structures) — used
+    /// by the calibration harness to report the §1.2 / §5.3 operating
+    /// points.
     pub fn run_suite_predictor<P>(
         &self,
         suite: &[Benchmark],
@@ -356,12 +423,92 @@ impl Engine {
 mod tests {
     use super::*;
     use cira_core::one_level::ResettingConfidence;
-    use cira_core::{IndexSpec, InitPolicy};
+    use cira_core::{IndexSpec, InitPolicy, LowRule, ThresholdEstimator};
     use cira_predictor::Gshare;
     use cira_trace::suite::ibs_like_suite;
 
     fn mini_suite() -> Vec<Benchmark> {
         ibs_like_suite().into_iter().take(3).collect()
+    }
+
+    #[test]
+    fn suite_mechanism_combines_benchmarks() {
+        let suite = mini_suite();
+        let out = Engine::global().run_suite_mechanism(
+            &suite,
+            20_000,
+            || Gshare::new(12, 12),
+            || ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes),
+        );
+        assert_eq!(out.per_benchmark.len(), 3);
+        // Equal weighting: combined refs = number of benchmarks.
+        assert!((out.combined.total_refs() - 3.0).abs() < 1e-9);
+        let curve = out.curve();
+        assert!(curve.coverage_at(100.0) > 99.9);
+        assert!(out.benchmark_curve(suite[0].name()).is_some());
+        assert!(out.benchmark_curve("nope").is_none());
+    }
+
+    #[test]
+    fn multi_mechanism_run_matches_single_runs() {
+        let suite = mini_suite();
+        let engine = Engine::global();
+        let single = engine.run_suite_mechanism(
+            &suite,
+            10_000,
+            || Gshare::new(10, 10),
+            || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes),
+        );
+        let multi = engine.run_suite_mechanisms(
+            &suite,
+            10_000,
+            || Gshare::new(10, 10),
+            || {
+                vec![Box::new(ResettingConfidence::new(
+                    IndexSpec::pc(10),
+                    16,
+                    InitPolicy::AllOnes,
+                )) as Box<dyn ConfidenceMechanism>]
+            },
+        );
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].combined, single.combined);
+    }
+
+    #[test]
+    fn static_run_produces_pc_buckets() {
+        let suite = mini_suite();
+        let out = Engine::global().run_suite_static(&suite, 10_000, || Gshare::new(10, 10));
+        assert!(out.combined.distinct_keys() > 50);
+    }
+
+    #[test]
+    fn estimator_run_totals() {
+        let suite = mini_suite();
+        let (per, total) = Engine::global().run_suite_estimator(
+            &suite,
+            5_000,
+            || Gshare::new(10, 10),
+            || {
+                ThresholdEstimator::new(
+                    ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes),
+                    LowRule::KeyBelow(16),
+                )
+            },
+        );
+        assert_eq!(per.len(), 3);
+        assert_eq!(total.total(), 15_000);
+    }
+
+    #[test]
+    fn predictor_run_reports_each_benchmark() {
+        let suite = mini_suite();
+        let runs = Engine::global().run_suite_predictor(&suite, 5_000, || Gshare::new(10, 10));
+        assert_eq!(runs.len(), 3);
+        for (name, run) in &runs {
+            assert_eq!(run.branches, 5_000, "{name}");
+            assert!(run.miss_rate() < 0.5, "{name}: {}", run.miss_rate());
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! 1. [`runner`] drives a trace through a predictor and confidence
 //!    mechanism(s), producing [`BucketStats`] keyed by whatever the
 //!    mechanism reads (CIR pattern, counter value, or static PC).
-//! 2. [`suite_run`] repeats that per benchmark and combines with the
-//!    paper's equal-dynamic-branch weighting.
+//! 2. the [`Engine`] suite methods repeat that per benchmark and combine
+//!    with the paper's equal-dynamic-branch weighting ([`suite_run`] holds
+//!    the deprecated free-function shims).
 //! 3. [`CoverageCurve`] sorts buckets worst-first into the cumulative
 //!    curves of Figs. 2 & 5–11; [`CounterTable`] renders Table 1.
 //! 4. [`export`] writes CSVs and ASCII charts.
@@ -54,9 +55,8 @@ pub mod table;
 
 pub use buckets::{BucketCell, BucketStats};
 pub use curve::{CoverageCurve, CurvePoint};
-pub use engine::Engine;
+pub use engine::{Engine, SuiteBuckets};
 pub use metrics::ConfusionCounts;
 pub use runner::PredictorRun;
-pub use suite_run::SuiteBuckets;
 pub use sweep::{sweep_to_csv, threshold_sweep, ThresholdPoint};
 pub use table::{CounterRow, CounterTable};

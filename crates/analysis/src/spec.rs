@@ -6,8 +6,19 @@
 //! the same strings into the same structures, and every malformed spec is
 //! a recoverable [`SpecError`] (never a panic), so a bad `HELLO` can be
 //! rejected per-connection.
+//!
+//! Each grammar has a typed form ([`PredictorSpec`], [`IndexForm`],
+//! [`InitSpec`], [`MechanismSpec`]) whose [`FromStr`] accepts every
+//! spelling the grammar allows and whose [`Display`](fmt::Display)
+//! renders the canonical one — so `s.parse()?.to_string()` normalizes a
+//! spec (shorthands like `gshare64k` included), and
+//! `display(x).parse() == x` holds for every form (the round-trip
+//! property the tests drive from an exhaustive table). The historical
+//! `parse_*` functions validate a string and build the simulator object
+//! in one step.
 
 use std::fmt;
+use std::str::FromStr;
 
 use cira_core::one_level::{MappedKey, OneLevelCir, ResettingConfidence, SaturatingConfidence};
 use cira_core::two_level::TwoLevelCir;
@@ -66,92 +77,422 @@ fn parse_bits(
         .ok_or_else(|| err(kind, input, usage))
 }
 
+/// A validated predictor specification; see [`parse_predictor`] for the
+/// grammar. `Display` renders the canonical string (shorthands like
+/// `gshare64k` normalize to their explicit form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// `gshare:<table_bits>:<history_bits>`
+    Gshare {
+        /// log2 table entries.
+        table_bits: u32,
+        /// Global history length.
+        history_bits: u32,
+    },
+    /// `gselect:<table_bits>:<history_bits>`
+    GSelect {
+        /// log2 table entries.
+        table_bits: u32,
+        /// Global history length.
+        history_bits: u32,
+    },
+    /// `bimodal:<bits>`
+    Bimodal {
+        /// log2 table entries.
+        bits: u32,
+    },
+    /// `local:<bht_bits>:<hist_bits>`
+    Local {
+        /// log2 BHT entries.
+        bht_bits: u32,
+        /// Per-branch history length.
+        history_bits: u32,
+    },
+    /// `agree:<table_bits>:<history_bits>:<bias_bits>`
+    Agree {
+        /// log2 direction-table entries.
+        table_bits: u32,
+        /// Global history length.
+        history_bits: u32,
+        /// log2 bias-table entries.
+        bias_bits: u32,
+    },
+    /// `taken`
+    Taken,
+    /// `not-taken`
+    NotTaken,
+}
+
+const PREDICTOR_USAGE: &str = "gshare:T:H, gshare64k, gshare4k, bimodal:B, gselect:T:H, \
+                               local:B:H, agree:T:H:B, taken, not-taken";
+
+impl fmt::Display for PredictorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorSpec::Gshare {
+                table_bits,
+                history_bits,
+            } => write!(f, "gshare:{table_bits}:{history_bits}"),
+            PredictorSpec::GSelect {
+                table_bits,
+                history_bits,
+            } => write!(f, "gselect:{table_bits}:{history_bits}"),
+            PredictorSpec::Bimodal { bits } => write!(f, "bimodal:{bits}"),
+            PredictorSpec::Local {
+                bht_bits,
+                history_bits,
+            } => write!(f, "local:{bht_bits}:{history_bits}"),
+            PredictorSpec::Agree {
+                table_bits,
+                history_bits,
+                bias_bits,
+            } => write!(f, "agree:{table_bits}:{history_bits}:{bias_bits}"),
+            PredictorSpec::Taken => write!(f, "taken"),
+            PredictorSpec::NotTaken => write!(f, "not-taken"),
+        }
+    }
+}
+
+impl FromStr for PredictorSpec {
+    type Err = SpecError;
+
+    fn from_str(input: &str) -> Result<Self, SpecError> {
+        let kind = "predictor";
+        let (head, rest) = split(input);
+        let bits = |raw| parse_bits(raw, kind, input, PREDICTOR_USAGE);
+        match (head, rest.as_slice()) {
+            ("gshare64k", []) => Ok(PredictorSpec::Gshare {
+                table_bits: 16,
+                history_bits: 16,
+            }),
+            ("gshare4k", []) => Ok(PredictorSpec::Gshare {
+                table_bits: 12,
+                history_bits: 12,
+            }),
+            ("gshare", [t, h]) => {
+                let (table_bits, history_bits) = (bits(t)?, bits(h)?);
+                if history_bits > table_bits {
+                    return Err(err(kind, input, PREDICTOR_USAGE));
+                }
+                Ok(PredictorSpec::Gshare {
+                    table_bits,
+                    history_bits,
+                })
+            }
+            ("gselect", [t, h]) => {
+                let (table_bits, history_bits) = (bits(t)?, bits(h)?);
+                if history_bits > table_bits {
+                    return Err(err(kind, input, PREDICTOR_USAGE));
+                }
+                Ok(PredictorSpec::GSelect {
+                    table_bits,
+                    history_bits,
+                })
+            }
+            ("bimodal", [b]) => Ok(PredictorSpec::Bimodal { bits: bits(b)? }),
+            ("local", [b, h]) => Ok(PredictorSpec::Local {
+                bht_bits: bits(b)?,
+                history_bits: bits(h)?,
+            }),
+            ("agree", [t, h, b]) => {
+                let (table_bits, history_bits, bias_bits) = (bits(t)?, bits(h)?, bits(b)?);
+                if history_bits > table_bits {
+                    return Err(err(kind, input, PREDICTOR_USAGE));
+                }
+                Ok(PredictorSpec::Agree {
+                    table_bits,
+                    history_bits,
+                    bias_bits,
+                })
+            }
+            ("taken", []) => Ok(PredictorSpec::Taken),
+            ("not-taken", []) => Ok(PredictorSpec::NotTaken),
+            _ => Err(err(kind, input, PREDICTOR_USAGE)),
+        }
+    }
+}
+
+impl PredictorSpec {
+    /// Constructs the predictor this spec describes.
+    pub fn build(&self) -> Box<dyn BranchPredictor + Send> {
+        match *self {
+            PredictorSpec::Gshare {
+                table_bits,
+                history_bits,
+            } => Box::new(Gshare::new(table_bits, history_bits)),
+            PredictorSpec::GSelect {
+                table_bits,
+                history_bits,
+            } => Box::new(GSelect::new(table_bits, history_bits)),
+            PredictorSpec::Bimodal { bits } => Box::new(Bimodal::new(bits)),
+            PredictorSpec::Local {
+                bht_bits,
+                history_bits,
+            } => Box::new(LocalTwoLevel::new(bht_bits, history_bits)),
+            PredictorSpec::Agree {
+                table_bits,
+                history_bits,
+                bias_bits,
+            } => Box::new(Agree::new(table_bits, history_bits, bias_bits)),
+            PredictorSpec::Taken => Box::new(StaticDirection::always_taken()),
+            PredictorSpec::NotTaken => Box::new(StaticDirection::always_not_taken()),
+        }
+    }
+}
+
+/// A validated index specification; see [`parse_index`] for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexForm {
+    /// `pc:<bits>`
+    Pc(u32),
+    /// `bhr:<bits>`
+    Bhr(u32),
+    /// `pcxorbhr:<bits>`
+    PcXorBhr(u32),
+    /// `pcconcatbhr:<bits>` (at least 2 bits: one PC, one BHR)
+    PcConcatBhr(u32),
+    /// `gcir:<bits>`
+    Gcir(u32),
+}
+
+const INDEX_USAGE: &str = "pc:B, bhr:B, pcxorbhr:B, pcconcatbhr:B, gcir:B";
+
+impl fmt::Display for IndexForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexForm::Pc(b) => write!(f, "pc:{b}"),
+            IndexForm::Bhr(b) => write!(f, "bhr:{b}"),
+            IndexForm::PcXorBhr(b) => write!(f, "pcxorbhr:{b}"),
+            IndexForm::PcConcatBhr(b) => write!(f, "pcconcatbhr:{b}"),
+            IndexForm::Gcir(b) => write!(f, "gcir:{b}"),
+        }
+    }
+}
+
+impl FromStr for IndexForm {
+    type Err = SpecError;
+
+    fn from_str(input: &str) -> Result<Self, SpecError> {
+        let kind = "index";
+        let (head, rest) = split(input);
+        let [bits] = rest.as_slice() else {
+            return Err(err(kind, input, INDEX_USAGE));
+        };
+        let bits = parse_bits(bits, kind, input, INDEX_USAGE)?;
+        match head {
+            "pc" => Ok(IndexForm::Pc(bits)),
+            "bhr" => Ok(IndexForm::Bhr(bits)),
+            "pcxorbhr" => Ok(IndexForm::PcXorBhr(bits)),
+            "pcconcatbhr" if bits >= 2 => Ok(IndexForm::PcConcatBhr(bits)),
+            "gcir" => Ok(IndexForm::Gcir(bits)),
+            _ => Err(err(kind, input, INDEX_USAGE)),
+        }
+    }
+}
+
+impl IndexForm {
+    /// Constructs the [`IndexSpec`] this form describes.
+    pub fn build(&self) -> IndexSpec {
+        match *self {
+            IndexForm::Pc(b) => IndexSpec::pc(b),
+            IndexForm::Bhr(b) => IndexSpec::bhr(b),
+            IndexForm::PcXorBhr(b) => IndexSpec::pc_xor_bhr(b),
+            IndexForm::PcConcatBhr(b) => IndexSpec::pc_concat_bhr(b),
+            IndexForm::Gcir(b) => IndexSpec::global_cir(b),
+        }
+    }
+}
+
+/// A validated initialization policy; see [`parse_init`] for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitSpec {
+    /// `ones`
+    Ones,
+    /// `zeros`
+    Zeros,
+    /// `lastbit`
+    LastBit,
+    /// `random:<seed>`
+    Random(u64),
+}
+
+const INIT_USAGE: &str = "ones, zeros, lastbit, random:SEED";
+
+impl fmt::Display for InitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitSpec::Ones => write!(f, "ones"),
+            InitSpec::Zeros => write!(f, "zeros"),
+            InitSpec::LastBit => write!(f, "lastbit"),
+            InitSpec::Random(seed) => write!(f, "random:{seed}"),
+        }
+    }
+}
+
+impl FromStr for InitSpec {
+    type Err = SpecError;
+
+    fn from_str(input: &str) -> Result<Self, SpecError> {
+        let kind = "init";
+        let (head, rest) = split(input);
+        match (head, rest.as_slice()) {
+            ("ones", []) => Ok(InitSpec::Ones),
+            ("zeros", []) => Ok(InitSpec::Zeros),
+            ("lastbit", []) => Ok(InitSpec::LastBit),
+            ("random", [seed]) => seed
+                .parse::<u64>()
+                .map(InitSpec::Random)
+                .map_err(|_| err(kind, input, INIT_USAGE)),
+            _ => Err(err(kind, input, INIT_USAGE)),
+        }
+    }
+}
+
+impl InitSpec {
+    /// Constructs the [`InitPolicy`] this form describes.
+    pub fn build(&self) -> InitPolicy {
+        match *self {
+            InitSpec::Ones => InitPolicy::AllOnes,
+            InitSpec::Zeros => InitPolicy::AllZeros,
+            InitSpec::LastBit => InitPolicy::LastBit,
+            InitSpec::Random(seed) => InitPolicy::Random(seed),
+        }
+    }
+}
+
+/// The two-level table variants of `two-level:<variant>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoLevelVariant {
+    /// `pc-cir`
+    PcCir,
+    /// `pcxorbhr-cir`
+    PcXorBhrCir,
+    /// `pcxorbhr-cirxorpcxorbhr`
+    PcXorBhrCirXorPcXorBhr,
+}
+
+/// A validated confidence-mechanism specification; see
+/// [`parse_mechanism`] for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismSpec {
+    /// `cir:<width>` — full CIRs, ideal-reduction keys.
+    Cir(u32),
+    /// `ones-count:<width>`
+    OnesCount(u32),
+    /// `saturating:<max>`
+    Saturating(u32),
+    /// `resetting:<max>`
+    Resetting(u32),
+    /// `two-level:<variant>` (ignores the session's index/init).
+    TwoLevel(TwoLevelVariant),
+}
+
+const MECHANISM_USAGE: &str = "cir:W, ones-count:W, saturating:MAX, resetting:MAX, \
+                               two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}";
+
+impl fmt::Display for MechanismSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismSpec::Cir(w) => write!(f, "cir:{w}"),
+            MechanismSpec::OnesCount(w) => write!(f, "ones-count:{w}"),
+            MechanismSpec::Saturating(m) => write!(f, "saturating:{m}"),
+            MechanismSpec::Resetting(m) => write!(f, "resetting:{m}"),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcCir) => write!(f, "two-level:pc-cir"),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir) => {
+                write!(f, "two-level:pcxorbhr-cir")
+            }
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => {
+                write!(f, "two-level:pcxorbhr-cirxorpcxorbhr")
+            }
+        }
+    }
+}
+
+impl FromStr for MechanismSpec {
+    type Err = SpecError;
+
+    fn from_str(input: &str) -> Result<Self, SpecError> {
+        let kind = "mechanism";
+        let (head, rest) = split(input);
+        let width = |raw: &str| {
+            raw.parse::<u32>()
+                .ok()
+                .filter(|w| (1..=32).contains(w))
+                .ok_or_else(|| err(kind, input, MECHANISM_USAGE))
+        };
+        let max = |raw: &str| {
+            raw.parse::<u32>()
+                .ok()
+                .filter(|&m| m > 0)
+                .ok_or_else(|| err(kind, input, MECHANISM_USAGE))
+        };
+        match (head, rest.as_slice()) {
+            ("cir", [w]) => Ok(MechanismSpec::Cir(width(w)?)),
+            ("ones-count", [w]) => Ok(MechanismSpec::OnesCount(width(w)?)),
+            ("saturating", [m]) => Ok(MechanismSpec::Saturating(max(m)?)),
+            ("resetting", [m]) => Ok(MechanismSpec::Resetting(max(m)?)),
+            ("two-level", [variant]) => match *variant {
+                "pc-cir" => Ok(MechanismSpec::TwoLevel(TwoLevelVariant::PcCir)),
+                "pcxorbhr-cir" => Ok(MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir)),
+                "pcxorbhr-cirxorpcxorbhr" => Ok(MechanismSpec::TwoLevel(
+                    TwoLevelVariant::PcXorBhrCirXorPcXorBhr,
+                )),
+                _ => Err(err(kind, input, MECHANISM_USAGE)),
+            },
+            _ => Err(err(kind, input, MECHANISM_USAGE)),
+        }
+    }
+}
+
+impl MechanismSpec {
+    /// Constructs the mechanism this spec describes over `index`/`init`
+    /// (two-level variants carry their own indexing and ignore both).
+    pub fn build(
+        &self,
+        index: IndexSpec,
+        init: InitPolicy,
+    ) -> Box<dyn ConfidenceMechanism + Send> {
+        match *self {
+            MechanismSpec::Cir(w) => Box::new(OneLevelCir::new(index, w, init)),
+            MechanismSpec::OnesCount(w) => {
+                Box::new(MappedKey::ones_count(OneLevelCir::new(index, w, init)))
+            }
+            MechanismSpec::Saturating(m) => Box::new(SaturatingConfidence::new(index, m, init)),
+            MechanismSpec::Resetting(m) => Box::new(ResettingConfidence::new(index, m, init)),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcCir) => {
+                Box::new(TwoLevelCir::variant_pc_cir())
+            }
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir) => {
+                Box::new(TwoLevelCir::variant_pcxorbhr_cir())
+            }
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => {
+                Box::new(TwoLevelCir::variant_pcxorbhr_cirxorpcxorbhr())
+            }
+        }
+    }
+}
+
 /// Parses a predictor spec.
 ///
 /// Forms: `gshare:<table_bits>:<history_bits>` · `bimodal:<bits>` ·
 /// `gselect:<table_bits>:<history_bits>` · `local:<bht_bits>:<hist_bits>` ·
-/// `taken` · `not-taken`. Shorthands: `gshare64k` (= `gshare:16:16`),
-/// `gshare4k` (= `gshare:12:12`).
+/// `agree:<table_bits>:<history_bits>:<bias_bits>` · `taken` ·
+/// `not-taken`. Shorthands: `gshare64k` (= `gshare:16:16`), `gshare4k`
+/// (= `gshare:12:12`).
 pub fn parse_predictor(input: &str) -> Result<Box<dyn BranchPredictor + Send>, SpecError> {
-    const USAGE: &str = "gshare:T:H, gshare64k, gshare4k, bimodal:B, gselect:T:H, \
-                         local:B:H, agree:T:H:B, taken, not-taken";
-    let kind = "predictor";
-    let (head, rest) = split(input);
-    match (head, rest.as_slice()) {
-        ("gshare64k", []) => Ok(Box::new(Gshare::paper_large())),
-        ("gshare4k", []) => Ok(Box::new(Gshare::paper_small())),
-        ("gshare", [t, h]) => {
-            let t = parse_bits(t, kind, input, USAGE)?;
-            let h = parse_bits(h, kind, input, USAGE)?;
-            if h > t {
-                return Err(err(kind, input, USAGE));
-            }
-            Ok(Box::new(Gshare::new(t, h)))
-        }
-        ("gselect", [t, h]) => {
-            let t = parse_bits(t, kind, input, USAGE)?;
-            let h = parse_bits(h, kind, input, USAGE)?;
-            if h > t {
-                return Err(err(kind, input, USAGE));
-            }
-            Ok(Box::new(GSelect::new(t, h)))
-        }
-        ("bimodal", [b]) => Ok(Box::new(Bimodal::new(parse_bits(b, kind, input, USAGE)?))),
-        ("local", [b, h]) => Ok(Box::new(LocalTwoLevel::new(
-            parse_bits(b, kind, input, USAGE)?,
-            parse_bits(h, kind, input, USAGE)?,
-        ))),
-        ("agree", [t, h, b]) => {
-            let t = parse_bits(t, kind, input, USAGE)?;
-            let h = parse_bits(h, kind, input, USAGE)?;
-            let b = parse_bits(b, kind, input, USAGE)?;
-            if h > t {
-                return Err(err(kind, input, USAGE));
-            }
-            Ok(Box::new(Agree::new(t, h, b)))
-        }
-        ("taken", []) => Ok(Box::new(StaticDirection::always_taken())),
-        ("not-taken", []) => Ok(Box::new(StaticDirection::always_not_taken())),
-        _ => Err(err(kind, input, USAGE)),
-    }
+    Ok(input.parse::<PredictorSpec>()?.build())
 }
 
 /// Parses an index spec: `pc:<bits>` · `bhr:<bits>` · `pcxorbhr:<bits>` ·
 /// `pcconcatbhr:<bits>` · `gcir:<bits>`.
 pub fn parse_index(input: &str) -> Result<IndexSpec, SpecError> {
-    const USAGE: &str = "pc:B, bhr:B, pcxorbhr:B, pcconcatbhr:B, gcir:B";
-    let kind = "index";
-    let (head, rest) = split(input);
-    let [bits] = rest.as_slice() else {
-        return Err(err(kind, input, USAGE));
-    };
-    let bits = parse_bits(bits, kind, input, USAGE)?;
-    match head {
-        "pc" => Ok(IndexSpec::pc(bits)),
-        "bhr" => Ok(IndexSpec::bhr(bits)),
-        "pcxorbhr" => Ok(IndexSpec::pc_xor_bhr(bits)),
-        "pcconcatbhr" if bits >= 2 => Ok(IndexSpec::pc_concat_bhr(bits)),
-        "gcir" => Ok(IndexSpec::global_cir(bits)),
-        _ => Err(err(kind, input, USAGE)),
-    }
+    Ok(input.parse::<IndexForm>()?.build())
 }
 
 /// Parses an initialization policy: `ones` · `zeros` · `lastbit` ·
 /// `random:<seed>`.
 pub fn parse_init(input: &str) -> Result<InitPolicy, SpecError> {
-    const USAGE: &str = "ones, zeros, lastbit, random:SEED";
-    let kind = "init";
-    let (head, rest) = split(input);
-    match (head, rest.as_slice()) {
-        ("ones", []) => Ok(InitPolicy::AllOnes),
-        ("zeros", []) => Ok(InitPolicy::AllZeros),
-        ("lastbit", []) => Ok(InitPolicy::LastBit),
-        ("random", [seed]) => seed
-            .parse::<u64>()
-            .map(InitPolicy::Random)
-            .map_err(|_| err(kind, input, USAGE)),
-        _ => Err(err(kind, input, USAGE)),
-    }
+    Ok(input.parse::<InitSpec>()?.build())
 }
 
 /// Parses a confidence-mechanism spec, given the index and init policy.
@@ -165,60 +506,156 @@ pub fn parse_mechanism(
     index: IndexSpec,
     init: InitPolicy,
 ) -> Result<Box<dyn ConfidenceMechanism + Send>, SpecError> {
-    const USAGE: &str = "cir:W, ones-count:W, saturating:MAX, resetting:MAX, \
-                         two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}";
-    let kind = "mechanism";
-    let (head, rest) = split(input);
-    match (head, rest.as_slice()) {
-        ("cir", [w]) => {
-            let w = w
-                .parse::<u32>()
-                .ok()
-                .filter(|w| (1..=32).contains(w))
-                .ok_or_else(|| err(kind, input, USAGE))?;
-            Ok(Box::new(OneLevelCir::new(index, w, init)))
-        }
-        ("ones-count", [w]) => {
-            let w = w
-                .parse::<u32>()
-                .ok()
-                .filter(|w| (1..=32).contains(w))
-                .ok_or_else(|| err(kind, input, USAGE))?;
-            Ok(Box::new(MappedKey::ones_count(OneLevelCir::new(
-                index, w, init,
-            ))))
-        }
-        ("saturating", [m]) => {
-            let m = m
-                .parse::<u32>()
-                .ok()
-                .filter(|&m| m > 0)
-                .ok_or_else(|| err(kind, input, USAGE))?;
-            Ok(Box::new(SaturatingConfidence::new(index, m, init)))
-        }
-        ("resetting", [m]) => {
-            let m = m
-                .parse::<u32>()
-                .ok()
-                .filter(|&m| m > 0)
-                .ok_or_else(|| err(kind, input, USAGE))?;
-            Ok(Box::new(ResettingConfidence::new(index, m, init)))
-        }
-        ("two-level", [variant]) => match *variant {
-            "pc-cir" => Ok(Box::new(TwoLevelCir::variant_pc_cir())),
-            "pcxorbhr-cir" => Ok(Box::new(TwoLevelCir::variant_pcxorbhr_cir())),
-            "pcxorbhr-cirxorpcxorbhr" => {
-                Ok(Box::new(TwoLevelCir::variant_pcxorbhr_cirxorpcxorbhr()))
-            }
-            _ => Err(err(kind, input, USAGE)),
-        },
-        _ => Err(err(kind, input, USAGE)),
-    }
+    Ok(input.parse::<MechanismSpec>()?.build(index, init))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One exemplar per predictor form. The match forces a compile error
+    /// when a variant is added without extending this table, so new spec
+    /// forms cannot skip the round-trip property.
+    fn all_predictor_forms() -> Vec<PredictorSpec> {
+        let table = vec![
+            PredictorSpec::Gshare {
+                table_bits: 16,
+                history_bits: 12,
+            },
+            PredictorSpec::GSelect {
+                table_bits: 10,
+                history_bits: 4,
+            },
+            PredictorSpec::Bimodal { bits: 12 },
+            PredictorSpec::Local {
+                bht_bits: 10,
+                history_bits: 8,
+            },
+            PredictorSpec::Agree {
+                table_bits: 12,
+                history_bits: 12,
+                bias_bits: 10,
+            },
+            PredictorSpec::Taken,
+            PredictorSpec::NotTaken,
+        ];
+        for form in &table {
+            match form {
+                PredictorSpec::Gshare { .. } => (),
+                PredictorSpec::GSelect { .. } => (),
+                PredictorSpec::Bimodal { .. } => (),
+                PredictorSpec::Local { .. } => (),
+                PredictorSpec::Agree { .. } => (),
+                PredictorSpec::Taken => (),
+                PredictorSpec::NotTaken => (),
+            }
+        }
+        table
+    }
+
+    fn all_index_forms() -> Vec<IndexForm> {
+        let table = vec![
+            IndexForm::Pc(8),
+            IndexForm::Bhr(6),
+            IndexForm::PcXorBhr(16),
+            IndexForm::PcConcatBhr(8),
+            IndexForm::Gcir(6),
+        ];
+        for form in &table {
+            match form {
+                IndexForm::Pc(_) => (),
+                IndexForm::Bhr(_) => (),
+                IndexForm::PcXorBhr(_) => (),
+                IndexForm::PcConcatBhr(_) => (),
+                IndexForm::Gcir(_) => (),
+            }
+        }
+        table
+    }
+
+    fn all_init_forms() -> Vec<InitSpec> {
+        let table = vec![
+            InitSpec::Ones,
+            InitSpec::Zeros,
+            InitSpec::LastBit,
+            InitSpec::Random(9),
+        ];
+        for form in &table {
+            match form {
+                InitSpec::Ones => (),
+                InitSpec::Zeros => (),
+                InitSpec::LastBit => (),
+                InitSpec::Random(_) => (),
+            }
+        }
+        table
+    }
+
+    fn all_mechanism_forms() -> Vec<MechanismSpec> {
+        let table = vec![
+            MechanismSpec::Cir(16),
+            MechanismSpec::OnesCount(16),
+            MechanismSpec::Saturating(8),
+            MechanismSpec::Resetting(16),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcCir),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir),
+            MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr),
+        ];
+        for form in &table {
+            match form {
+                MechanismSpec::Cir(_) => (),
+                MechanismSpec::OnesCount(_) => (),
+                MechanismSpec::Saturating(_) => (),
+                MechanismSpec::Resetting(_) => (),
+                MechanismSpec::TwoLevel(TwoLevelVariant::PcCir) => (),
+                MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir) => (),
+                MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => (),
+            }
+        }
+        table
+    }
+
+    /// The property: `Display` output parses back to the same form, and
+    /// the one-step `parse_*` builders accept every canonical string.
+    #[test]
+    fn every_spec_form_round_trips_through_display() {
+        for form in all_predictor_forms() {
+            let text = form.to_string();
+            assert_eq!(text.parse::<PredictorSpec>().unwrap(), form, "{text}");
+            parse_predictor(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        for form in all_index_forms() {
+            let text = form.to_string();
+            assert_eq!(text.parse::<IndexForm>().unwrap(), form, "{text}");
+            parse_index(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        for form in all_init_forms() {
+            let text = form.to_string();
+            assert_eq!(text.parse::<InitSpec>().unwrap(), form, "{text}");
+            parse_init(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        for form in all_mechanism_forms() {
+            let text = form.to_string();
+            assert_eq!(text.parse::<MechanismSpec>().unwrap(), form, "{text}");
+            parse_mechanism(&text, IndexSpec::pc(8), InitPolicy::AllOnes)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shorthands_normalize_to_canonical_forms() {
+        let spec: PredictorSpec = "gshare64k".parse().unwrap();
+        assert_eq!(
+            spec,
+            PredictorSpec::Gshare {
+                table_bits: 16,
+                history_bits: 16
+            }
+        );
+        assert_eq!(spec.to_string(), "gshare:16:16");
+        let spec: PredictorSpec = "gshare4k".parse().unwrap();
+        assert_eq!(spec.to_string(), "gshare:12:12");
+    }
 
     #[test]
     fn predictor_specs() {

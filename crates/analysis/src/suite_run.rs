@@ -1,56 +1,25 @@
-//! Suite-level experiment drivers.
+//! Deprecated shims over the canonical suite API.
 //!
-//! The paper reports composite results over the IBS suite, weighting each
-//! benchmark to contribute the same number of dynamic branches (§1.2).
-//! These helpers run a factory-constructed predictor + mechanism pair per
-//! benchmark (fresh tables per benchmark, exactly like simulating each
-//! trace separately), then combine with
-//! [`BucketStats::combine_equal_weight`].
-//!
-//! Execution goes through the shared [`Engine`]:
-//! benchmark traces are materialized once into packed buffers and replayed
-//! by the batched kernel on the process-wide work-stealing pool. Results
-//! are bit-identical to driving [`crate::runner`] sequentially per
-//! benchmark (the engine's golden-equivalence tests assert this) and
-//! independent of the worker count.
+//! The suite-level drivers live on [`Engine`](crate::engine::Engine) —
+//! see [`crate::engine`] for the execution model (trace cache, work-
+//! stealing pool, batched replay kernel) and the paper's equal-dynamic-
+//! branch weighting. The free functions here survive one release as
+//! one-line delegations to [`Engine::global`](crate::engine::Engine::global)
+//! so out-of-tree callers get a deprecation warning instead of a break;
+//! in-tree code calls the engine methods directly.
 
 use cira_core::{ConfidenceEstimator, ConfidenceMechanism};
 use cira_predictor::BranchPredictor;
 use cira_trace::suite::Benchmark;
 
-use crate::buckets::BucketStats;
-use crate::curve::CoverageCurve;
 use crate::engine::Engine;
 use crate::metrics::ConfusionCounts;
 use crate::runner;
 
-/// Per-benchmark and combined bucket statistics for one mechanism
-/// configuration.
-#[derive(Debug, Clone)]
-pub struct SuiteBuckets {
-    /// `(benchmark name, stats)` in suite order.
-    pub per_benchmark: Vec<(String, BucketStats)>,
-    /// Equal-dynamic-branch-weighted combination.
-    pub combined: BucketStats,
-}
+pub use crate::engine::SuiteBuckets;
 
-impl SuiteBuckets {
-    /// The coverage curve of the combined statistics.
-    pub fn curve(&self) -> CoverageCurve {
-        CoverageCurve::from_buckets(&self.combined)
-    }
-
-    /// The coverage curve of one benchmark by name.
-    pub fn benchmark_curve(&self, name: &str) -> Option<CoverageCurve> {
-        self.per_benchmark
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| CoverageCurve::from_buckets(s))
-    }
-}
-
-/// Runs `make_predictor()` + `make_mechanism()` over every benchmark
-/// (`trace_len` dynamic branches each) on the shared engine.
+/// Runs one predictor + mechanism pair over every benchmark.
+#[deprecated(note = "use Engine::global().run_suite_mechanism")]
 pub fn run_suite_mechanism<P, M>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -61,16 +30,11 @@ where
     P: BranchPredictor + Send,
     M: ConfidenceMechanism + Send + 'static,
 {
-    run_suite_mechanisms(suite, trace_len, make_predictor, || {
-        vec![Box::new(make_mechanism()) as Box<dyn ConfidenceMechanism>]
-    })
-    .pop()
-    .expect("one mechanism, one result")
+    Engine::global().run_suite_mechanism(suite, trace_len, make_predictor, make_mechanism)
 }
 
-/// Runs several mechanism configurations over the suite, driving the
-/// predictor once per benchmark (not once per mechanism). Returns one
-/// [`SuiteBuckets`] per factory, in order.
+/// Runs several mechanism configurations over the suite.
+#[deprecated(note = "use Engine::global().run_suite_mechanisms")]
 pub fn run_suite_mechanisms<P>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -84,6 +48,7 @@ where
 }
 
 /// Runs the §2 static analysis (bucket = static PC) over the suite.
+#[deprecated(note = "use Engine::global().run_suite_static")]
 pub fn run_suite_static<P>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -95,9 +60,8 @@ where
     Engine::global().run_suite_static(suite, trace_len, make_predictor)
 }
 
-/// Runs an online estimator over the suite, returning per-benchmark counts
-/// and their sum (benchmarks use equal trace lengths, so summing preserves
-/// the equal-weight convention).
+/// Runs an online estimator over the suite.
+#[deprecated(note = "use Engine::global().run_suite_estimator")]
 pub fn run_suite_estimator<P, E>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -111,8 +75,8 @@ where
     Engine::global().run_suite_estimator(suite, trace_len, make_predictor, make_estimator)
 }
 
-/// Per-benchmark predictor accuracy (no confidence structures) — used by
-/// the calibration harness to report the §1.2 / §5.3 operating points.
+/// Per-benchmark predictor accuracy (no confidence structures).
+#[deprecated(note = "use Engine::global().run_suite_predictor")]
 pub fn run_suite_predictor<P>(
     suite: &[Benchmark],
     trace_len: u64,
@@ -126,92 +90,38 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use cira_core::one_level::ResettingConfidence;
-    use cira_core::{IndexSpec, InitPolicy, LowRule, ThresholdEstimator};
+    use cira_core::{IndexSpec, InitPolicy};
     use cira_predictor::Gshare;
     use cira_trace::suite::ibs_like_suite;
 
-    fn mini_suite() -> Vec<Benchmark> {
-        ibs_like_suite().into_iter().take(3).collect()
-    }
-
+    /// The shims are pure delegation: identical output to the engine
+    /// method they point at (behavioral coverage lives in
+    /// `crate::engine::tests`).
     #[test]
-    fn suite_mechanism_combines_benchmarks() {
-        let suite = mini_suite();
-        let out = run_suite_mechanism(
-            &suite,
-            20_000,
-            || Gshare::new(12, 12),
-            || ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes),
-        );
-        assert_eq!(out.per_benchmark.len(), 3);
-        // Equal weighting: combined refs = number of benchmarks.
-        assert!((out.combined.total_refs() - 3.0).abs() < 1e-9);
-        let curve = out.curve();
-        assert!(curve.coverage_at(100.0) > 99.9);
-        assert!(out.benchmark_curve(suite[0].name()).is_some());
-        assert!(out.benchmark_curve("nope").is_none());
-    }
-
-    #[test]
-    fn multi_mechanism_run_matches_single_runs() {
-        let suite = mini_suite();
-        let single = run_suite_mechanism(
-            &suite,
-            10_000,
-            || Gshare::new(10, 10),
-            || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes),
-        );
-        let multi = run_suite_mechanisms(
-            &suite,
-            10_000,
-            || Gshare::new(10, 10),
-            || {
-                vec![Box::new(ResettingConfidence::new(
-                    IndexSpec::pc(10),
-                    16,
-                    InitPolicy::AllOnes,
-                )) as Box<dyn ConfidenceMechanism>]
-            },
-        );
-        assert_eq!(multi.len(), 1);
-        assert_eq!(multi[0].combined, single.combined);
-    }
-
-    #[test]
-    fn static_run_produces_pc_buckets() {
-        let suite = mini_suite();
-        let out = run_suite_static(&suite, 10_000, || Gshare::new(10, 10));
-        assert!(out.combined.distinct_keys() > 50);
-    }
-
-    #[test]
-    fn estimator_run_totals() {
-        let suite = mini_suite();
-        let (per, total) = run_suite_estimator(
+    fn shims_delegate_to_the_engine() {
+        let suite: Vec<Benchmark> = ibs_like_suite().into_iter().take(2).collect();
+        let via_shim = run_suite_mechanism(
             &suite,
             5_000,
             || Gshare::new(10, 10),
-            || {
-                ThresholdEstimator::new(
-                    ResettingConfidence::new(IndexSpec::pc_xor_bhr(10), 16, InitPolicy::AllOnes),
-                    LowRule::KeyBelow(16),
-                )
-            },
+            || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes),
         );
-        assert_eq!(per.len(), 3);
-        assert_eq!(total.total(), 15_000);
-    }
-
-    #[test]
-    fn predictor_run_reports_each_benchmark() {
-        let suite = mini_suite();
-        let runs = run_suite_predictor(&suite, 5_000, || Gshare::new(10, 10));
-        assert_eq!(runs.len(), 3);
-        for (name, run) in &runs {
-            assert_eq!(run.branches, 5_000, "{name}");
-            assert!(run.miss_rate() < 0.5, "{name}: {}", run.miss_rate());
-        }
+        let via_engine = Engine::global().run_suite_mechanism(
+            &suite,
+            5_000,
+            || Gshare::new(10, 10),
+            || ResettingConfidence::new(IndexSpec::pc(10), 16, InitPolicy::AllOnes),
+        );
+        assert_eq!(via_shim.combined, via_engine.combined);
+        let s = run_suite_static(&suite, 2_000, || Gshare::new(10, 10));
+        assert_eq!(
+            s.combined,
+            Engine::global()
+                .run_suite_static(&suite, 2_000, || Gshare::new(10, 10))
+                .combined
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! checks how much of the confidence-table performance returns.
 
 use cira_analysis::metrics::jackknife;
-use cira_analysis::suite_run::{run_suite_mechanism, run_suite_predictor};
+use cira_analysis::Engine;
 use cira_bench::{banner, trace_len};
 use cira_core::one_level::ResettingConfidence;
 use cira_core::{IndexSpec, InitPolicy};
@@ -29,19 +29,19 @@ fn main() {
     for (name, runs) in [
         (
             "gshare 64K",
-            run_suite_predictor(&suite, len, Gshare::paper_large),
+            Engine::global().run_suite_predictor(&suite, len, Gshare::paper_large),
         ),
         (
             "agree 64K",
-            run_suite_predictor(&suite, len, || Agree::new(16, 16, 16)),
+            Engine::global().run_suite_predictor(&suite, len, || Agree::new(16, 16, 16)),
         ),
         (
             "gshare 4K",
-            run_suite_predictor(&suite, len, Gshare::paper_small),
+            Engine::global().run_suite_predictor(&suite, len, Gshare::paper_small),
         ),
         (
             "agree 4K",
-            run_suite_predictor(&suite, len, || Agree::new(12, 12, 12)),
+            Engine::global().run_suite_predictor(&suite, len, || Agree::new(12, 12, 12)),
         ),
     ] {
         let rates: Vec<f64> = runs.iter().map(|(_, r)| 100.0 * r.miss_rate()).collect();
@@ -55,13 +55,13 @@ fn main() {
     for (name, result) in [
         (
             "gshare 4K + CT 4K",
-            run_suite_mechanism(&suite, len, Gshare::paper_small, || {
+            Engine::global().run_suite_mechanism(&suite, len, Gshare::paper_small, || {
                 ResettingConfidence::new(IndexSpec::pc_xor_bhr(12), 16, InitPolicy::AllOnes)
             }),
         ),
         (
             "agree 4K + CT 4K",
-            run_suite_mechanism(
+            Engine::global().run_suite_mechanism(
                 &suite,
                 len,
                 || Agree::new(12, 12, 12),

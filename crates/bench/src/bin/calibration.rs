@@ -8,7 +8,7 @@
 //!
 //! Also verifies the Fig. 9 ordering: `jpeg` best, `gcc` worst.
 
-use cira_analysis::suite_run::run_suite_predictor;
+use cira_analysis::Engine;
 use cira_bench::{banner, trace_len};
 use cira_predictor::Gshare;
 use cira_trace::suite::ibs_like_suite;
@@ -22,8 +22,8 @@ fn main() {
     );
     let suite = ibs_like_suite();
 
-    let large = run_suite_predictor(&suite, len, Gshare::paper_large);
-    let small = run_suite_predictor(&suite, len, Gshare::paper_small);
+    let large = Engine::global().run_suite_predictor(&suite, len, Gshare::paper_large);
+    let small = Engine::global().run_suite_predictor(&suite, len, Gshare::paper_small);
 
     println!(
         "{:<12} {:>14} {:>14}",

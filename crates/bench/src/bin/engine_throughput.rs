@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use cira_analysis::engine::Engine;
-use cira_analysis::suite_run::SuiteBuckets;
+use cira_analysis::SuiteBuckets;
 use cira_analysis::{runner, BucketStats};
 use cira_bench::{banner, trace_len};
 use cira_core::one_level::ResettingConfidence;

@@ -7,7 +7,7 @@
 //! * a gentle knee compared with the dynamic methods of Fig. 5.
 
 use cira_analysis::export::format_points;
-use cira_analysis::suite_run::run_suite_static;
+use cira_analysis::Engine;
 use cira_bench::{banner, report_curves, trace_len};
 use cira_predictor::Gshare;
 use cira_trace::suite::ibs_like_suite;
@@ -20,7 +20,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let result = run_suite_static(&suite, len, Gshare::paper_large);
+    let result = Engine::global().run_suite_static(&suite, len, Gshare::paper_large);
     let curve = result.curve();
 
     println!(

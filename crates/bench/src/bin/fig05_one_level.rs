@@ -8,7 +8,7 @@
 //! * the all-zeros "zero bucket" holds ≈80% of references and 12–15% of
 //!   mispredictions for the two better methods.
 
-use cira_analysis::suite_run::run_suite_static;
+use cira_analysis::Engine;
 use cira_bench::{banner, run_figure, trace_len, zero_bucket_line};
 use cira_core::one_level::OneLevelCir;
 use cira_core::{ConfidenceMechanism, IndexSpec};
@@ -24,7 +24,7 @@ fn main() {
     );
     let suite = ibs_like_suite();
 
-    let static_curve = run_suite_static(&suite, len, Gshare::paper_large).curve();
+    let static_curve = Engine::global().run_suite_static(&suite, len, Gshare::paper_large).curve();
 
     let series = ["PC", "BHR", "BHRxorPC"];
     let results = run_figure(

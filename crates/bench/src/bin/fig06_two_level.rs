@@ -8,7 +8,7 @@
 //! * PC → CIR slightly better only in the 5–10% region, otherwise worst;
 //! * all roughly comparable to the best one-level method (Fig. 7).
 
-use cira_analysis::suite_run::run_suite_static;
+use cira_analysis::Engine;
 use cira_bench::{banner, run_figure, trace_len};
 use cira_core::two_level::TwoLevelCir;
 use cira_core::ConfidenceMechanism;
@@ -23,7 +23,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let static_curve = run_suite_static(&suite, len, Gshare::paper_large).curve();
+    let static_curve = Engine::global().run_suite_static(&suite, len, Gshare::paper_large).curve();
 
     run_figure(
         "fig06_two_level",

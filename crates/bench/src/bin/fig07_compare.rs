@@ -5,7 +5,7 @@
 //! similar (the two-level, if anything, *slightly worse*), so the second
 //! table is not worth its cost — the paper's central negative result.
 
-use cira_analysis::suite_run::run_suite_static;
+use cira_analysis::Engine;
 use cira_bench::{banner, run_figure, trace_len};
 use cira_core::one_level::OneLevelCir;
 use cira_core::two_level::TwoLevelCir;
@@ -21,7 +21,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let static_curve = run_suite_static(&suite, len, Gshare::paper_large).curve();
+    let static_curve = Engine::global().run_suite_static(&suite, len, Gshare::paper_large).curve();
 
     let results = run_figure(
         "fig07_compare",

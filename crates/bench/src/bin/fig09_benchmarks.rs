@@ -5,7 +5,7 @@
 //! the zero buckets hold similar *fractions of mispredictions* but very
 //! different numbers of branches.
 
-use cira_analysis::suite_run::run_suite_mechanism;
+use cira_analysis::Engine;
 use cira_bench::{banner, report_curves, trace_len, zero_bucket_line};
 use cira_core::one_level::OneLevelCir;
 use cira_core::IndexSpec;
@@ -20,7 +20,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let out = run_suite_mechanism(&suite, len, Gshare::paper_large, || {
+    let out = Engine::global().run_suite_mechanism(&suite, len, Gshare::paper_large, || {
         OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))
     });
 

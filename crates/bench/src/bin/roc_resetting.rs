@@ -3,7 +3,7 @@
 //! "threshold granularity" discussion, extended into a full ROC-style
 //! table with the Grunwald-style PVN/PVP/SPEC metrics).
 
-use cira_analysis::suite_run::run_suite_mechanism;
+use cira_analysis::Engine;
 use cira_analysis::{sweep_to_csv, threshold_sweep};
 use cira_bench::{banner, results_dir, trace_len};
 use cira_core::one_level::ResettingConfidence;
@@ -19,7 +19,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let out = run_suite_mechanism(&suite, len, Gshare::paper_large, || {
+    let out = Engine::global().run_suite_mechanism(&suite, len, Gshare::paper_large, || {
         ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16))
     });
     let sweep = threshold_sweep(&out.combined, 16);

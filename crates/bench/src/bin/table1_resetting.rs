@@ -6,7 +6,7 @@
 //! * counts 0–1: 57.9% in 6.85%;
 //! * counts 0–15 (everything but the saturated bucket): 89.3% in 20.3%.
 
-use cira_analysis::suite_run::run_suite_mechanism;
+use cira_analysis::Engine;
 use cira_analysis::CounterTable;
 use cira_bench::{banner, results_dir, trace_len};
 use cira_core::one_level::ResettingConfidence;
@@ -22,7 +22,7 @@ fn main() {
         len,
     );
     let suite = ibs_like_suite();
-    let out = run_suite_mechanism(&suite, len, Gshare::paper_large, || {
+    let out = Engine::global().run_suite_mechanism(&suite, len, Gshare::paper_large, || {
         ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(16))
     });
     let table = CounterTable::from_buckets(&out.combined, 16);

@@ -50,8 +50,7 @@ pub fn banner(experiment: &str, what: &str, len: u64) {
 }
 
 use cira_analysis::export::{ascii_chart, coverage_summary, save_curves_csv};
-use cira_analysis::suite_run::{self, SuiteBuckets};
-use cira_analysis::CoverageCurve;
+use cira_analysis::{CoverageCurve, Engine, SuiteBuckets};
 use cira_core::ConfidenceMechanism;
 use cira_predictor::BranchPredictor;
 use cira_trace::suite::Benchmark;
@@ -71,7 +70,7 @@ pub fn run_figure<P>(
 where
     P: BranchPredictor + Send,
 {
-    let results = suite_run::run_suite_mechanisms(suite, len, make_predictor, make_mechanisms);
+    let results = Engine::global().run_suite_mechanisms(suite, len, make_predictor, make_mechanisms);
     assert_eq!(results.len(), series.len(), "one name per mechanism");
     let curves: Vec<(String, CoverageCurve)> = series
         .iter()

@@ -60,11 +60,13 @@ COMMANDS
   serve                      run the streaming confidence server
       [--addr HOST:PORT] [--port-file FILE] [--metrics-port PORT]
       [--max-frame BYTES] [--max-inflight N]
+      [--write-timeout SECS] [--max-sessions N]
   replay                     stream a trace through a running server
       --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
-      [--batch N] [--verify] plus the `confidence` spec flags
+      [--batch N] [--verify] [--retries N] [--timeout SECS]
+      plus the `confidence` spec flags
   stats                      inspect a running server's live metrics
-      --connect HOST:PORT
+      --connect HOST:PORT [--retries N] [--timeout SECS]
   help                       show this text
 
 GLOBAL FLAGS
@@ -378,14 +380,54 @@ fn cmd_mix(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// The client-side resilience flags shared by `replay` and `stats`:
+/// `--retries N` enables automatic reconnect-and-resume with exponential
+/// backoff, `--timeout SECS` bounds both connect and per-read waits.
+const CLIENT_FLAGS: &[&str] = &["retries", "timeout"];
+
+fn client_builder(
+    args: &Args,
+    addr: &str,
+) -> Result<cira_serve::ClientBuilder, Box<dyn std::error::Error>> {
+    let mut builder = cira_serve::Client::builder(addr);
+    if let Some(secs) = args.get_parsed::<u64>("timeout", "a timeout in seconds")? {
+        if secs == 0 {
+            return Err("--timeout must be positive".into());
+        }
+        let t = std::time::Duration::from_secs(secs);
+        builder = builder.connect_timeout(t).read_timeout(t);
+    }
+    if let Some(n) = args.get_parsed::<u32>("retries", "an attempt count")? {
+        builder = builder.retry(cira_serve::RetryPolicy::retries(n));
+    }
+    Ok(builder)
+}
+
 fn cmd_serve(args: &Args) -> CliResult {
-    args.check_known(&["addr", "port-file", "metrics-port", "max-frame", "max-inflight"])?;
+    args.check_known(&[
+        "addr",
+        "port-file",
+        "metrics-port",
+        "max-frame",
+        "max-inflight",
+        "write-timeout",
+        "max-sessions",
+    ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let mut cfg = cira_serve::ServerConfig::default();
     cfg.max_frame = args.get_or("max-frame", cfg.max_frame, "a byte count")?;
     cfg.max_inflight = args.get_or("max-inflight", cfg.max_inflight, "a batch count")?;
     if cfg.max_frame == 0 || cfg.max_inflight == 0 {
         return Err("--max-frame and --max-inflight must be positive".into());
+    }
+    // Seconds on the command line, milliseconds in the config; 0 disables
+    // the write timeout entirely.
+    if let Some(secs) = args.get_parsed::<u64>("write-timeout", "a timeout in seconds")? {
+        cfg.write_timeout_ms = secs.saturating_mul(1000);
+    }
+    cfg.max_sessions = args.get_or("max-sessions", cfg.max_sessions, "a session count")?;
+    if cfg.max_sessions == 0 {
+        return Err("--max-sessions must be positive".into());
     }
     if let Some(port) = args.get_parsed::<u16>("metrics-port", "a TCP port")? {
         // Same interface as the protocol listener, so a local server stays
@@ -419,6 +461,7 @@ fn cmd_replay(args: &Args) -> CliResult {
         &[
             TRACE_FLAGS,
             CONF_FLAGS,
+            CLIENT_FLAGS,
             &["connect", "batch", "threshold", "verify"],
         ]
         .concat(),
@@ -438,11 +481,18 @@ fn cmd_replay(args: &Args) -> CliResult {
     let records = load_trace(args)?;
     let trace: codec::PackedTrace = records.iter().copied().collect();
 
-    let mut client = cira_serve::Client::connect(&addr, config.clone())?;
+    let mut client = client_builder(args, &addr)?.connect(config.clone())?;
     println!("connected to {addr} (session {})", client.session_id());
     println!("predictor: {}", client.predictor());
     println!("mechanism: {}", client.mechanism());
     let totals = client.stream(&trace, batch)?;
+    if client.retries() > 0 {
+        println!(
+            "recovered from {} connection failure(s) via {} session resume(s)",
+            client.retries(),
+            client.resumes()
+        );
+    }
     println!(
         "streamed {} records in {} batches: {} mispredicts ({:.3}%), {} low-confidence ({:.1}%)",
         totals.records,
@@ -493,10 +543,10 @@ fn cmd_replay(args: &Args) -> CliResult {
 }
 
 fn cmd_stats(args: &Args) -> CliResult {
-    args.check_known(&["connect"])?;
+    args.check_known(&[CLIENT_FLAGS, &["connect"]].concat())?;
     let addr = args.require("connect")?.to_owned();
     // A raw (sessionless) connection: STATS and METRICS answer pre-HELLO.
-    let mut client = cira_serve::Client::connect_raw(&addr)?;
+    let mut client = client_builder(args, &addr)?.connect_raw()?;
     let pairs = client.stats()?;
     let text = client.metrics_text()?;
     client.goodbye()?;

@@ -1,0 +1,457 @@
+//! A deterministic fault-injecting TCP proxy for resilience tests.
+//!
+//! [`ChaosProxy`] sits between a [`crate::client::Client`] and a real
+//! server, forwarding bytes while injecting faults from a fixed
+//! *schedule*: each accepted connection consumes the next [`FaultSpec`]
+//! in order (connections beyond the schedule pass through clean). A spec
+//! can kill the connection after an exact number of bytes in either
+//! direction — slicing frames mid-header, mid-payload, wherever the
+//! offset lands — and can shred writes into tiny chunks with delays, so
+//! the peer sees frames arrive a few bytes at a time with stalls in
+//! between.
+//!
+//! Schedules are plain data, and [`schedule_from_seed`] derives one from
+//! a seed with a self-contained xorshift PRNG, so a chaos test is fully
+//! reproducible from a single integer. Nothing here is probabilistic at
+//! run time: the same schedule against the same deterministic server and
+//! client produces the same byte trace.
+//!
+//! The proxy is test infrastructure, but it lives in the library (not
+//! `tests/`) so integration tests, benches, and future soak tools share
+//! one implementation. It is std-only, like the rest of the crate.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Faults to inject into one proxied connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Kill the connection after forwarding this many client→server
+    /// bytes (the killing byte is *not* forwarded in full if the limit
+    /// lands mid-read).
+    pub kill_c2s_after: Option<u64>,
+    /// Kill the connection after forwarding this many server→client
+    /// bytes.
+    pub kill_s2c_after: Option<u64>,
+    /// Forward in chunks of at most this many bytes, exercising
+    /// short-read handling (None = forward reads whole).
+    pub chunk: Option<usize>,
+    /// Sleep this long before each forwarded chunk, simulating a stalled
+    /// link.
+    pub delay: Duration,
+    /// After forwarding this many server→client bytes, stop forwarding
+    /// for [`FaultSpec::stall`] — one long freeze mid-stream, without
+    /// closing anything. Long enough a stall makes the client abandon
+    /// the connection and resume elsewhere while this one still looks
+    /// alive to the server.
+    pub stall_after_s2c: Option<u64>,
+    /// Length of the one-shot freeze at `stall_after_s2c`.
+    pub stall: Duration,
+}
+
+impl FaultSpec {
+    /// No faults: forward everything verbatim.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Kill after `n` client→server bytes.
+    pub fn kill_c2s(n: u64) -> Self {
+        Self {
+            kill_c2s_after: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Kill after `n` server→client bytes.
+    pub fn kill_s2c(n: u64) -> Self {
+        Self {
+            kill_s2c_after: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Forward in chunks of at most `n` bytes.
+    #[must_use]
+    pub fn with_chunk(mut self, n: usize) -> Self {
+        self.chunk = Some(n.max(1));
+        self
+    }
+
+    /// Sleep `delay` before each forwarded chunk.
+    #[must_use]
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Freeze the server→client direction once, for `stall`, after `n`
+    /// bytes have been forwarded.
+    #[must_use]
+    pub fn with_stall_s2c(mut self, n: u64, stall: Duration) -> Self {
+        self.stall_after_s2c = Some(n);
+        self.stall = stall;
+        self
+    }
+}
+
+/// One xorshift64 step (never returns the all-zero state).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    if x == 0 {
+        x = 0x243f_6a88_85a3_08d3;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Derives a reproducible schedule of `faults` kill specs from `seed`.
+///
+/// Each spec kills one direction (chosen pseudo-randomly) at a byte
+/// offset in `[24, 4120)` — early enough to hit handshakes, late enough
+/// to land mid-`BATCH` — and sometimes adds chunking (1–16 bytes) and
+/// per-chunk delays (up to ~24 ms). Equal seeds give equal schedules.
+pub fn schedule_from_seed(seed: u64, faults: usize) -> Vec<FaultSpec> {
+    let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+    (0..faults)
+        .map(|_| {
+            let offset = 24 + xorshift64(&mut rng) % 4096;
+            let mut spec = if xorshift64(&mut rng).is_multiple_of(2) {
+                FaultSpec::kill_c2s(offset)
+            } else {
+                FaultSpec::kill_s2c(offset)
+            };
+            if xorshift64(&mut rng).is_multiple_of(2) {
+                spec = spec.with_chunk(1 + (xorshift64(&mut rng) % 16) as usize);
+            }
+            if xorshift64(&mut rng).is_multiple_of(4) {
+                spec = spec.with_delay(Duration::from_millis(xorshift64(&mut rng) % 25));
+            }
+            spec
+        })
+        .collect()
+}
+
+/// A running fault-injecting proxy; see the [module docs](self).
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+    kills: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding every
+    /// accepted connection to `upstream`. The nth connection gets the
+    /// nth entry of `schedule`; later connections pass through clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error if the listening socket cannot be bound.
+    pub fn start(upstream: &str, schedule: Vec<FaultSpec>) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let kills = Arc::new(AtomicU64::new(0));
+        let upstream = upstream.to_owned();
+        let schedule = Arc::new(Mutex::new(schedule));
+        let mut next = 0usize;
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let kills = Arc::clone(&kills);
+            thread::spawn(move || {
+                let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let spec = {
+                                let sched = schedule.lock().unwrap();
+                                let s = sched.get(next).copied().unwrap_or_default();
+                                next += 1;
+                                s
+                            };
+                            connections.fetch_add(1, Ordering::Relaxed);
+                            match TcpStream::connect(&upstream) {
+                                Ok(server) => {
+                                    pumps.extend(spawn_pumps(client, server, spec, &kills))
+                                }
+                                Err(_) => drop(client),
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for p in pumps {
+                    let _ = p.join();
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+            kills,
+        })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections killed by a fault so far.
+    pub fn kills(&self) -> u64 {
+        self.kills.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins the accept thread (which in turn joins
+    /// the per-connection pumps).
+    pub fn shutdown_and_join(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the two forwarding threads for one proxied connection.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    spec: FaultSpec,
+    kills: &Arc<AtomicU64>,
+) -> Vec<JoinHandle<()>> {
+    // Short read timeouts keep pump threads from outliving the test when
+    // one side goes quiet without closing.
+    let _ = client.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let clone = |s: &TcpStream| s.try_clone().expect("clone proxied stream");
+    let c2s = Pump {
+        from: clone(&client),
+        to: clone(&server),
+        other: (clone(&client), clone(&server)),
+        kill_after: spec.kill_c2s_after,
+        chunk: spec.chunk,
+        delay: spec.delay,
+        stall_after: None, // stalls are server→client only
+        stall: Duration::ZERO,
+        kills: Arc::clone(kills),
+    };
+    let s2c = Pump {
+        from: server,
+        to: clone(&client),
+        other: (client, clone(&c2s.other.1)),
+        kill_after: spec.kill_s2c_after,
+        chunk: spec.chunk,
+        delay: spec.delay,
+        stall_after: spec.stall_after_s2c,
+        stall: spec.stall,
+        kills: Arc::clone(kills),
+    };
+    vec![thread::spawn(|| c2s.run()), thread::spawn(|| s2c.run())]
+}
+
+/// One direction of byte forwarding with optional faults.
+struct Pump {
+    from: TcpStream,
+    to: TcpStream,
+    /// Both streams, for tearing the whole connection down on a kill.
+    other: (TcpStream, TcpStream),
+    kill_after: Option<u64>,
+    chunk: Option<usize>,
+    delay: Duration,
+    /// One-shot freeze threshold; cleared after it fires.
+    stall_after: Option<u64>,
+    stall: Duration,
+    kills: Arc<AtomicU64>,
+}
+
+impl Pump {
+    fn run(mut self) {
+        let mut buf = [0u8; 4096];
+        let mut forwarded = 0u64;
+        loop {
+            let n = match self.from.read(&mut buf) {
+                Ok(0) => break, // peer closed: propagate EOF
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => break,
+            };
+            // One-shot mid-stream freeze once the threshold is crossed.
+            if let Some(limit) = self.stall_after {
+                if forwarded >= limit {
+                    thread::sleep(self.stall);
+                    self.stall_after = None;
+                }
+            }
+            // Truncate to the kill offset, forward, then sever.
+            let (n, kill_now) = match self.kill_after {
+                Some(limit) if forwarded + n as u64 >= limit => {
+                    ((limit - forwarded) as usize, true)
+                }
+                _ => (n, false),
+            };
+            if self.forward(&buf[..n]).is_err() {
+                break;
+            }
+            forwarded += n as u64;
+            if kill_now {
+                self.kills.fetch_add(1, Ordering::Relaxed);
+                let _ = self.other.0.shutdown(Shutdown::Both);
+                let _ = self.other.1.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        // EOF or error: drop the whole proxied connection, not just this
+        // direction — the CIRS client treats a half-open socket as a
+        // stall, and a clean teardown is the realistic failure mode.
+        let _ = self.other.0.shutdown(Shutdown::Both);
+        let _ = self.other.1.shutdown(Shutdown::Both);
+    }
+
+    fn forward(&mut self, mut data: &[u8]) -> io::Result<()> {
+        let chunk = self.chunk.unwrap_or(usize::MAX);
+        while !data.is_empty() {
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            let n = data.len().min(chunk);
+            self.to.write_all(&data[..n])?;
+            self.to.flush()?;
+            data = &data[n..];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = schedule_from_seed(7, 8);
+        let b = schedule_from_seed(7, 8);
+        let c = schedule_from_seed(8, 8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert_eq!(a.len(), 8);
+        for spec in &a {
+            let kills = spec.kill_c2s_after.or(spec.kill_s2c_after).unwrap();
+            assert!((24..4120).contains(&kills));
+        }
+    }
+
+    #[test]
+    fn clean_passthrough_roundtrips_bytes() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        let echo = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let n = s.read(&mut buf).unwrap();
+            s.write_all(&buf[..n]).unwrap();
+        });
+        let proxy = ChaosProxy::start(&up_addr, vec![FaultSpec::clean()]).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        assert_eq!(proxy.connections(), 1);
+        assert_eq!(proxy.kills(), 0);
+        echo.join().unwrap();
+        proxy.shutdown_and_join();
+    }
+
+    #[test]
+    fn kill_c2s_severs_at_exact_offset() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        let count = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut total = 0usize;
+            let mut buf = [0u8; 64];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n,
+                }
+            }
+            total
+        });
+        let proxy = ChaosProxy::start(&up_addr, vec![FaultSpec::kill_c2s(10)]).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        // 16 bytes in; only 10 must come out the far side.
+        let _ = conn.write_all(&[0xAA; 16]);
+        assert_eq!(count.join().unwrap(), 10);
+        assert_eq!(proxy.kills(), 1);
+        proxy.shutdown_and_join();
+    }
+
+    #[test]
+    fn chunked_forwarding_preserves_content() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        let collect = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut got = Vec::new();
+            let mut buf = [0u8; 64];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => got.extend_from_slice(&buf[..n]),
+                }
+            }
+            got
+        });
+        let spec = FaultSpec::clean()
+            .with_chunk(3)
+            .with_delay(Duration::from_millis(1));
+        let proxy = ChaosProxy::start(&up_addr, vec![spec]).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let payload: Vec<u8> = (0..=63).collect();
+        conn.write_all(&payload).unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(collect.join().unwrap(), payload);
+        proxy.shutdown_and_join();
+    }
+}

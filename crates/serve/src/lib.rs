@@ -13,10 +13,15 @@
 //! * [`frame`] — length-prefixed framing with idle/stall discrimination;
 //! * [`proto`] — the typed `CIRS` v1 frames and their byte encodings;
 //! * [`session`] — one client's isolated predictor + mechanism + stats;
+//! * [`park`] — the bounded, TTL-evicting store of detached sessions
+//!   awaiting a `RESUME` (rev 1.2);
 //! * [`server`] — accept loop, per-connection readers, batch execution on
 //!   a shared [`cira_analysis::engine::pool::WorkerPool`], backpressure,
-//!   graceful drain;
-//! * [`client`] — a blocking client with windowed batch pipelining;
+//!   graceful drain, capacity shedding, and session parking;
+//! * [`client`] — a blocking client with windowed batch pipelining,
+//!   configured via [`client::ClientBuilder`], that transparently
+//!   reconnects and resumes under a [`client::RetryPolicy`];
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy for tests;
 //! * [`metrics`] — live server-wide counters, gauges, and latency
 //!   histograms ([`cira_obs`] instruments), exposed three ways: the
 //!   `STATS` frame (name/value pairs), the `METRICS` frame (Prometheus
@@ -54,15 +59,17 @@
 
 pub use cira_obs;
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod metrics;
+pub mod park;
 pub mod proto;
 pub mod server;
 pub mod session;
 pub mod shutdown;
 
-pub use client::{Client, ClientError, StreamTotals};
+pub use client::{Client, ClientBuilder, ClientError, RetryPolicy, StreamTotals};
 pub use proto::HelloConfig;
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use shutdown::ShutdownToken;

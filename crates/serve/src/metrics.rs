@@ -13,7 +13,7 @@ use crate::proto::code;
 /// Protocol-error codes with a dedicated breakdown slot, in wire order.
 /// Index 0 is the catch-all for violations that never produce an `ERROR`
 /// frame (mid-frame disconnects and stalls).
-const ERROR_SLOTS: usize = 7;
+const ERROR_SLOTS: usize = 9;
 
 /// The breakdown label for `protocol_errors` slot `i`.
 fn error_slot_name(i: usize) -> &'static str {
@@ -24,6 +24,8 @@ fn error_slot_name(i: usize) -> &'static str {
         code::OVERSIZED => "oversized",
         code::HELLO_REQUIRED => "hello_required",
         code::SHUTTING_DOWN => "shutting_down",
+        code::UNKNOWN_SESSION => "unknown_session",
+        code::IDLE_TIMEOUT => "idle_timeout",
         _ => "stalled",
     }
 }
@@ -63,6 +65,25 @@ pub struct ServerMetrics {
     pub batch_records: Histogram,
     /// Wall-clock time to score one BATCH, in microseconds.
     pub batch_service_us: Histogram,
+    /// Sessions alive right now: attached to a connection or parked
+    /// (rev 1.2).
+    pub sessions_live: Gauge,
+    /// Sessions parked after an unclean disconnect (rev 1.2).
+    pub sessions_parked: Counter,
+    /// Sessions successfully re-attached via `RESUME` (rev 1.2).
+    pub sessions_resumed: Counter,
+    /// `RESUME` frames received, successful or not (rev 1.2).
+    pub resume_attempts: Counter,
+    /// `RESUME` frames that named no parked session (rev 1.2).
+    pub resume_failures: Counter,
+    /// `HELLO`s shed with `BUSY` at session capacity (rev 1.2).
+    pub sessions_shed: Counter,
+    /// Parked sessions evicted by the TTL sweep (rev 1.2).
+    pub park_evicted_ttl: Counter,
+    /// Parked sessions evicted to make room (rev 1.2).
+    pub park_evicted_capacity: Counter,
+    /// Sessions closed by the idle timeout (rev 1.2).
+    pub sessions_idle_evicted: Counter,
     /// Connections dropped for protocol violations, broken down by error
     /// code (slot 0 collects violations with no `ERROR` frame: mid-frame
     /// disconnects and stalls). Increment via
@@ -89,6 +110,15 @@ impl Default for ServerMetrics {
             low_confidence: Counter::new(),
             batch_records: Histogram::new(),
             batch_service_us: Histogram::new(),
+            sessions_live: Gauge::new(),
+            sessions_parked: Counter::new(),
+            sessions_resumed: Counter::new(),
+            resume_attempts: Counter::new(),
+            resume_failures: Counter::new(),
+            sessions_shed: Counter::new(),
+            park_evicted_ttl: Counter::new(),
+            park_evicted_capacity: Counter::new(),
+            sessions_idle_evicted: Counter::new(),
             protocol_errors: Default::default(),
         }
     }
@@ -161,6 +191,22 @@ impl ServerMetrics {
         for (i, c) in self.protocol_errors.iter().enumerate() {
             out.push((format!("protocol_errors_{}", error_slot_name(i)), c.get()));
         }
+        // Rev 1.2 additions below this line.
+        out.push(("sessions_live".into(), self.sessions_live.get().max(0) as u64));
+        out.push(("sessions_parked".into(), self.sessions_parked.get()));
+        out.push(("sessions_resumed".into(), self.sessions_resumed.get()));
+        out.push(("resume_attempts".into(), self.resume_attempts.get()));
+        out.push(("resume_failures".into(), self.resume_failures.get()));
+        out.push(("sessions_shed".into(), self.sessions_shed.get()));
+        out.push(("park_evicted_ttl".into(), self.park_evicted_ttl.get()));
+        out.push((
+            "park_evicted_capacity".into(),
+            self.park_evicted_capacity.get(),
+        ));
+        out.push((
+            "sessions_idle_evicted".into(),
+            self.sessions_idle_evicted.get(),
+        ));
         out
     }
 
@@ -266,6 +312,61 @@ impl ServerMetrics {
                 move || m.protocol_errors[slot].get(),
             );
         }
+        // Rev 1.2: session resumption, shedding, and park instruments.
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_sessions_live",
+            "Sessions alive right now (attached or parked)",
+            move || m.sessions_live.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_parked_total",
+            "Sessions parked after an unclean disconnect",
+            move || m.sessions_parked.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_resumed_total",
+            "Sessions re-attached via RESUME",
+            move || m.sessions_resumed.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_resume_attempts_total",
+            "RESUME frames received, successful or not",
+            move || m.resume_attempts.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_resume_failures_total",
+            "RESUME frames that named no parked session",
+            move || m.resume_failures.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_shed_total",
+            "HELLOs shed with BUSY at session capacity",
+            move || m.sessions_shed.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_evicted_ttl_total",
+            "Parked sessions evicted by the TTL sweep",
+            move || m.park_evicted_ttl.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_evicted_capacity_total",
+            "Parked sessions evicted to make room for newer ones",
+            move || m.park_evicted_capacity.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_sessions_idle_evicted_total",
+            "Sessions closed by the idle timeout",
+            move || m.sessions_idle_evicted.get(),
+        );
     }
 }
 
@@ -337,6 +438,41 @@ mod tests {
         let errs = doc.family("cira_server_protocol_errors_total").unwrap();
         assert_eq!(errs.samples.len(), ERROR_SLOTS);
         assert!(text.contains("cira_server_protocol_errors_total{code=\"oversized\"} 1"));
+    }
+
+    #[test]
+    fn resume_counters_in_snapshot_and_exposition() {
+        let m = Arc::new(ServerMetrics::new());
+        m.sessions_live.inc();
+        m.sessions_parked.inc();
+        m.sessions_resumed.inc();
+        m.resume_attempts.add(2);
+        m.resume_failures.inc();
+        m.sessions_shed.add(3);
+        m.park_evicted_ttl.inc();
+        m.park_evicted_capacity.inc();
+        m.sessions_idle_evicted.inc();
+        let snap = m.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("sessions_live"), 1);
+        assert_eq!(get("sessions_parked"), 1);
+        assert_eq!(get("sessions_resumed"), 1);
+        assert_eq!(get("resume_attempts"), 2);
+        assert_eq!(get("resume_failures"), 1);
+        assert_eq!(get("sessions_shed"), 3);
+        assert_eq!(get("park_evicted_ttl"), 1);
+        assert_eq!(get("park_evicted_capacity"), 1);
+        assert_eq!(get("sessions_idle_evicted"), 1);
+        // And on the Prometheus side.
+        let reg = Registry::new("cira");
+        m.register(&reg);
+        let text = reg.render();
+        let doc = cira_obs::promtext::Exposition::parse_validated(&text).unwrap();
+        assert_eq!(doc.value("cira_server_sessions_resumed_total"), Some(1.0));
+        assert_eq!(doc.value("cira_server_sessions_shed_total"), Some(3.0));
+        assert_eq!(doc.value("cira_server_resume_attempts_total"), Some(2.0));
+        assert_eq!(doc.value("cira_server_sessions_parked_total"), Some(1.0));
+        assert_eq!(doc.value("cira_server_sessions_live"), Some(1.0));
     }
 
     #[test]

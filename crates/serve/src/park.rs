@@ -1,0 +1,189 @@
+//! Parked-session store: detached [`Session`]s awaiting a `RESUME`.
+//!
+//! When a connection drops without a clean `GOODBYE`, the server parks
+//! its session here keyed by resume token. A later `RESUME` carrying the
+//! token takes the session back out and replay continues bit-identically
+//! from the last acked batch. Two eviction policies bound the store:
+//!
+//! * **capacity** — inserting into a full park evicts the oldest parked
+//!   session (parked sessions are never touched in place, so insertion
+//!   order *is* least-recently-used order);
+//! * **TTL** — [`SessionPark::sweep`], called from the accept loop's
+//!   tick, drops sessions parked longer than the configured TTL, and
+//!   [`SessionPark::take`] refuses to resurrect one that expired between
+//!   sweeps.
+//!
+//! Evicting a parked session destroys predictor/CIR state for good; a
+//! client resuming after that draws `ERROR` with
+//! [`code::UNKNOWN_SESSION`](crate::proto::code::UNKNOWN_SESSION).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::session::Session;
+
+/// One detached session with its park timestamp and server session id.
+#[derive(Debug)]
+struct Parked {
+    token: u64,
+    session_id: u64,
+    session: Session,
+    at: Instant,
+}
+
+/// Bounded, TTL-evicting store of detached sessions, keyed by token.
+///
+/// Internally a deque ordered by park time: sessions are only ever
+/// pushed at the back and scanned from the front, so both eviction
+/// policies are O(evicted) per call.
+#[derive(Debug)]
+pub struct SessionPark {
+    capacity: usize,
+    ttl: Duration,
+    inner: Mutex<VecDeque<Parked>>,
+}
+
+impl SessionPark {
+    /// Creates a park holding at most `capacity` sessions for at most
+    /// `ttl` each. A zero capacity disables parking entirely.
+    pub fn new(capacity: usize, ttl: Duration) -> Self {
+        Self {
+            capacity,
+            ttl,
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Parks a detached session. Returns the number of sessions evicted
+    /// to make room (0 or 1 normally; `1` plus the rejected session
+    /// itself when capacity is zero).
+    pub fn insert(&self, token: u64, session_id: u64, session: Session) -> usize {
+        if self.capacity == 0 {
+            return 1; // dropped on the floor: parking disabled
+        }
+        let mut q = self.inner.lock().unwrap();
+        let mut evicted = 0;
+        while q.len() >= self.capacity {
+            q.pop_front();
+            evicted += 1;
+        }
+        q.push_back(Parked {
+            token,
+            session_id,
+            session,
+            at: Instant::now(),
+        });
+        evicted
+    }
+
+    /// Takes the session parked under `token`, unless it has expired
+    /// (expired entries are dropped here rather than resurrected).
+    pub fn take(&self, token: u64) -> Option<(u64, Session)> {
+        let mut q = self.inner.lock().unwrap();
+        let idx = q.iter().position(|p| p.token == token)?;
+        let p = q.remove(idx).unwrap();
+        if p.at.elapsed() > self.ttl {
+            return None; // expired between sweeps; drop it
+        }
+        Some((p.session_id, p.session))
+    }
+
+    /// Drops every session parked longer than the TTL, returning how
+    /// many were evicted. Called from the accept loop's idle tick.
+    pub fn sweep(&self) -> usize {
+        let mut q = self.inner.lock().unwrap();
+        let before = q.len();
+        while q.front().is_some_and(|p| p.at.elapsed() > self.ttl) {
+            q.pop_front();
+        }
+        before - q.len()
+    }
+
+    /// Sessions currently parked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the park is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every parked session (server shutdown).
+    pub fn clear(&self) -> usize {
+        let mut q = self.inner.lock().unwrap();
+        let n = q.len();
+        q.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::HelloConfig;
+
+    fn session(token: u64) -> Session {
+        Session::from_hello(&HelloConfig::default(), token).unwrap()
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let park = SessionPark::new(4, Duration::from_secs(60));
+        assert_eq!(park.insert(7, 100, session(7)), 0);
+        assert_eq!(park.len(), 1);
+        let (id, s) = park.take(7).unwrap();
+        assert_eq!(id, 100);
+        assert_eq!(s.token(), 7);
+        assert!(park.take(7).is_none(), "taken sessions stay gone");
+    }
+
+    #[test]
+    fn unknown_token_is_none() {
+        let park = SessionPark::new(4, Duration::from_secs(60));
+        park.insert(1, 1, session(1));
+        assert!(park.take(2).is_none());
+        assert_eq!(park.len(), 1, "miss must not disturb other entries");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let park = SessionPark::new(2, Duration::from_secs(60));
+        assert_eq!(park.insert(1, 1, session(1)), 0);
+        assert_eq!(park.insert(2, 2, session(2)), 0);
+        assert_eq!(park.insert(3, 3, session(3)), 1);
+        assert!(park.take(1).is_none(), "oldest was evicted");
+        assert!(park.take(2).is_some());
+        assert!(park.take(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_parking() {
+        let park = SessionPark::new(0, Duration::from_secs(60));
+        assert_eq!(park.insert(1, 1, session(1)), 1);
+        assert!(park.take(1).is_none());
+        assert!(park.is_empty());
+    }
+
+    #[test]
+    fn ttl_sweeps_and_blocks_expired_take() {
+        let park = SessionPark::new(4, Duration::from_millis(0));
+        park.insert(1, 1, session(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(park.take(1).is_none(), "expired entries never resurrect");
+        park.insert(2, 2, session(2));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(park.sweep(), 1);
+        assert!(park.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_park() {
+        let park = SessionPark::new(4, Duration::from_secs(60));
+        park.insert(1, 1, session(1));
+        park.insert(2, 2, session(2));
+        assert_eq!(park.clear(), 2);
+        assert!(park.is_empty());
+    }
+}

@@ -15,13 +15,16 @@
 //! | 0x05 | c → s | `RESET` | — |
 //! | 0x06 | c → s | `GOODBYE` | — |
 //! | 0x07 | c → s | `METRICS` | — (rev 1.1) |
-//! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions |
+//! | 0x08 | c → s | `RESUME` | magic `CIRS`, version `u8`, resume token `u64` (rev 1.2) |
+//! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions, resume token `u64` (rev 1.2) |
 //! | 0x82 | s → c | `BATCH_ACK` | seq `u32`, batch records/mispredicts/low `u64`×3, session records `u64`, predicted + low bitmaps |
 //! | 0x83 | s → c | `STATS_REPLY` | `u32` count, then (name string, value `u64`) pairs |
 //! | 0x84 | s → c | `SNAPSHOT_REPLY` | branches/mispredicts/low `u64`×3, `u32` cell count, then (key `u64`, refs `f64`, mispredicts `f64`) sorted by key |
 //! | 0x85 | s → c | `RESET_ACK` | — |
 //! | 0x86 | s → c | `GOODBYE_ACK` | — |
 //! | 0x87 | s → c | `METRICS_REPLY` | `u32` length + Prometheus exposition text (rev 1.1) |
+//! | 0x88 | s → c | `RESUME_ACK` | session `u64`, has-last `u8`, last acked seq `u32`, session batches/records/mispredicts/low `u64`×4, max frame `u32`, max in-flight `u32` (rev 1.2) |
+//! | 0x7e | s → c | `BUSY` | retry-after hint `u32` (ms), message string (rev 1.2) |
 //! | 0x7f | s → c | `ERROR` | code `u16`, message string |
 //!
 //! Negotiation rule: the server accepts exactly [`PROTO_VERSION`]; a
@@ -48,6 +51,28 @@
 //! `STATS_REPLY` pairs are self-describing, and a 1.0 *client* simply
 //! never sends the new frame type. A 1.0 *server* answers `METRICS` with
 //! an `ERROR` (unknown frame type), which 1.1 clients surface as-is.
+//!
+//! Rev **1.2** adds session resumption and load shedding:
+//!
+//! * `HELLO_ACK` carries a trailing **resume token** (`u64`): an opaque,
+//!   unguessable capability for re-attaching to the session after the
+//!   connection drops. Pre-1.2 decoders that reject trailing bytes see a
+//!   longer ack; 1.2 clients talking to a 1.1 server treat the missing
+//!   token as "resume unsupported".
+//! * `RESUME` (0x08) opens a connection *instead of* `HELLO`: it names a
+//!   parked session by token. The server answers `RESUME_ACK` with the
+//!   last acked batch sequence number and the session-lifetime totals so
+//!   the client can reconcile its own counters and retransmit everything
+//!   newer. An unknown/expired token draws `ERROR` with
+//!   [`code::UNKNOWN_SESSION`].
+//! * `BUSY` (0x7e): a typed shed signal sent instead of `HELLO_ACK` when
+//!   the server is at session capacity, carrying a retry-after hint in
+//!   milliseconds. The connection closes after it; the client is expected
+//!   to back off and retry.
+//! * `BATCH_ACK`'s `seq` is a **cumulative** ack: batches are applied in
+//!   submission order, so acking seq *n* implies every earlier sequence
+//!   number was applied. Resumption leans on this — the client drops its
+//!   retransmit buffer up to the acked sequence.
 
 use std::fmt;
 
@@ -60,7 +85,7 @@ pub const PROTO_MAGIC: &[u8; 4] = b"CIRS";
 pub const PROTO_VERSION: u8 = 1;
 /// Additive minor revision within [`PROTO_VERSION`] (see the module docs
 /// for what each revision added). Informational — never negotiated.
-pub const PROTO_REV: u8 = 1;
+pub const PROTO_REV: u8 = 2;
 
 /// Frame type bytes.
 pub mod frame_type {
@@ -78,6 +103,8 @@ pub mod frame_type {
     pub const GOODBYE: u8 = 0x06;
     /// Request a Prometheus text exposition of all metrics (rev 1.1).
     pub const METRICS: u8 = 0x07;
+    /// Re-attach to a parked session by resume token (rev 1.2).
+    pub const RESUME: u8 = 0x08;
     /// Server accepts the hello.
     pub const HELLO_ACK: u8 = 0x81;
     /// Per-batch results.
@@ -92,6 +119,10 @@ pub mod frame_type {
     pub const GOODBYE_ACK: u8 = 0x86;
     /// Prometheus text exposition of all metrics (rev 1.1).
     pub const METRICS_REPLY: u8 = 0x87;
+    /// Resume accepted: last acked seq + session totals (rev 1.2).
+    pub const RESUME_ACK: u8 = 0x88;
+    /// Server at capacity: shed with a retry-after hint (rev 1.2).
+    pub const BUSY: u8 = 0x7e;
     /// Fatal per-connection error.
     pub const ERROR: u8 = 0x7f;
 }
@@ -110,6 +141,10 @@ pub mod code {
     pub const HELLO_REQUIRED: u16 = 5;
     /// The server is shutting down.
     pub const SHUTTING_DOWN: u16 = 6;
+    /// A `RESUME` token named no parked session (rev 1.2).
+    pub const UNKNOWN_SESSION: u16 = 7;
+    /// The session sat idle past the server's idle timeout (rev 1.2).
+    pub const IDLE_TIMEOUT: u16 = 8;
 }
 
 /// Configuration negotiated in a `HELLO`, in the CLI `spec` grammar
@@ -167,6 +202,14 @@ pub enum ClientFrame {
     Goodbye,
     /// Request a Prometheus text exposition of all metrics (rev 1.1).
     Metrics,
+    /// Re-attach to a parked session (rev 1.2). Sent *instead of*
+    /// `Hello` as the first frame on a fresh connection.
+    Resume {
+        /// Requested protocol version.
+        version: u8,
+        /// The resume token issued in the original `HELLO_ACK`.
+        token: u64,
+    },
 }
 
 /// One `(key, refs, mispredicts)` statistics cell on the wire.
@@ -189,6 +232,9 @@ pub enum ServerFrame {
         predictor: String,
         /// Parsed mechanism description.
         mechanism: String,
+        /// Opaque resume token for re-attaching after a disconnect
+        /// (rev 1.2).
+        token: u64,
     },
     /// Results for one batch.
     BatchAck {
@@ -230,6 +276,35 @@ pub enum ServerFrame {
     MetricsReply {
         /// The exposition text, as served on `GET /metrics`.
         text: String,
+    },
+    /// Resume accepted: the client reconciles against these totals and
+    /// retransmits every batch newer than `last_seq` (rev 1.2).
+    ResumeAck {
+        /// Server-assigned session id (unchanged across resumes).
+        session: u64,
+        /// Sequence number of the last applied batch, or `None` if the
+        /// session has not applied any batch yet.
+        last_seq: Option<u32>,
+        /// Session-lifetime applied batches.
+        batches: u64,
+        /// Session-lifetime records.
+        records: u64,
+        /// Session-lifetime mispredictions.
+        mispredicts: u64,
+        /// Session-lifetime low-confidence records.
+        low_confidence: u64,
+        /// Largest frame body the server accepts, bytes.
+        max_frame: u32,
+        /// Batches buffered per session before the reader blocks.
+        max_inflight: u32,
+    },
+    /// Server at session capacity: the connection closes next and the
+    /// client should back off for at least the hint (rev 1.2).
+    Busy {
+        /// Suggested wait before retrying, milliseconds.
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
     },
     /// Fatal per-connection error; connection closes next.
     Error {
@@ -398,6 +473,12 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
         ClientFrame::Reset => out.push(frame_type::RESET),
         ClientFrame::Goodbye => out.push(frame_type::GOODBYE),
         ClientFrame::Metrics => out.push(frame_type::METRICS),
+        ClientFrame::Resume { version, token } => {
+            out.push(frame_type::RESUME);
+            out.extend_from_slice(PROTO_MAGIC);
+            out.push(*version);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
     }
     out
 }
@@ -454,6 +535,18 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, ProtoError> {
             c.finish()?;
             Ok(ClientFrame::Metrics)
         }
+        frame_type::RESUME => {
+            let magic = c.take(4)?;
+            if magic != PROTO_MAGIC {
+                let mut m = [0u8; 4];
+                m.copy_from_slice(magic);
+                return Err(ProtoError::BadMagic(m));
+            }
+            let version = c.u8()?;
+            let token = c.u64()?;
+            c.finish()?;
+            Ok(ClientFrame::Resume { version, token })
+        }
         other => Err(ProtoError::UnknownFrameType(other)),
     }
 }
@@ -469,6 +562,7 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             max_inflight,
             predictor,
             mechanism,
+            token,
         } => {
             out.push(frame_type::HELLO_ACK);
             out.push(*version);
@@ -477,6 +571,7 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             out.extend_from_slice(&max_inflight.to_le_bytes());
             put_string(&mut out, predictor);
             put_string(&mut out, mechanism);
+            out.extend_from_slice(&token.to_le_bytes());
         }
         ServerFrame::BatchAck {
             seq,
@@ -529,6 +624,35 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(bytes);
         }
+        ServerFrame::ResumeAck {
+            session,
+            last_seq,
+            batches,
+            records,
+            mispredicts,
+            low_confidence,
+            max_frame,
+            max_inflight,
+        } => {
+            out.push(frame_type::RESUME_ACK);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.push(last_seq.is_some() as u8);
+            out.extend_from_slice(&last_seq.unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&batches.to_le_bytes());
+            out.extend_from_slice(&records.to_le_bytes());
+            out.extend_from_slice(&mispredicts.to_le_bytes());
+            out.extend_from_slice(&low_confidence.to_le_bytes());
+            out.extend_from_slice(&max_frame.to_le_bytes());
+            out.extend_from_slice(&max_inflight.to_le_bytes());
+        }
+        ServerFrame::Busy {
+            retry_after_ms,
+            message,
+        } => {
+            out.push(frame_type::BUSY);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            put_string(&mut out, message);
+        }
         ServerFrame::Error { code, message } => {
             out.push(frame_type::ERROR);
             out.extend_from_slice(&code.to_le_bytes());
@@ -557,6 +681,7 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
             max_inflight: c.u32()?,
             predictor: c.string()?,
             mechanism: c.string()?,
+            token: c.u64()?,
         },
         frame_type::BATCH_ACK => {
             let seq = c.u32()?;
@@ -615,6 +740,25 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
                 .map_err(|_| ProtoError::BadString)?;
             ServerFrame::MetricsReply { text }
         }
+        frame_type::RESUME_ACK => {
+            let session = c.u64()?;
+            let has_last = c.u8()? != 0;
+            let raw_seq = c.u32()?;
+            ServerFrame::ResumeAck {
+                session,
+                last_seq: has_last.then_some(raw_seq),
+                batches: c.u64()?,
+                records: c.u64()?,
+                mispredicts: c.u64()?,
+                low_confidence: c.u64()?,
+                max_frame: c.u32()?,
+                max_inflight: c.u32()?,
+            }
+        }
+        frame_type::BUSY => ServerFrame::Busy {
+            retry_after_ms: c.u32()?,
+            message: c.string()?,
+        },
         frame_type::ERROR => ServerFrame::Error {
             code: c.u16()?,
             message: c.string()?,
@@ -671,6 +815,10 @@ mod tests {
             ClientFrame::Reset,
             ClientFrame::Goodbye,
             ClientFrame::Metrics,
+            ClientFrame::Resume {
+                version: PROTO_VERSION,
+                token: 0xfeed_face_cafe_f00d,
+            },
         ];
         for f in frames {
             let bytes = encode_client(&f);
@@ -688,6 +836,7 @@ mod tests {
                 max_inflight: 8,
                 predictor: "gshare(16,16)".into(),
                 mechanism: "resetting(16)".into(),
+                token: 0x0123_4567_89ab_cdef,
             },
             ServerFrame::BatchAck {
                 seq: 3,
@@ -710,6 +859,30 @@ mod tests {
             // Exposition text far beyond MAX_STRING must survive intact.
             ServerFrame::MetricsReply {
                 text: "# TYPE cira_x counter\n".repeat(400),
+            },
+            ServerFrame::ResumeAck {
+                session: 7,
+                last_seq: Some(41),
+                batches: 42,
+                records: 344_064,
+                mispredicts: 1234,
+                low_confidence: 5678,
+                max_frame: 1 << 20,
+                max_inflight: 8,
+            },
+            ServerFrame::ResumeAck {
+                session: 9,
+                last_seq: None,
+                batches: 0,
+                records: 0,
+                mispredicts: 0,
+                low_confidence: 0,
+                max_frame: 1 << 20,
+                max_inflight: 8,
+            },
+            ServerFrame::Busy {
+                retry_after_ms: 500,
+                message: "at session capacity".into(),
             },
             ServerFrame::Error {
                 code: code::BAD_SPEC,
@@ -751,6 +924,33 @@ mod tests {
             decode_client(&stats),
             Err(ProtoError::TrailingBytes(1))
         ));
+        // RESUME carries the same magic guard as HELLO, and truncations
+        // at every offset decode to an error.
+        let mut resume = encode_client(&ClientFrame::Resume {
+            version: 1,
+            token: 99,
+        });
+        for cut in 0..resume.len() {
+            assert!(decode_client(&resume[..cut]).is_err(), "cut {cut}");
+        }
+        resume[1] = b'X';
+        assert!(matches!(
+            decode_client(&resume),
+            Err(ProtoError::BadMagic(_))
+        ));
+        let ack = encode_server(&ServerFrame::ResumeAck {
+            session: 1,
+            last_seq: Some(2),
+            batches: 3,
+            records: 4,
+            mispredicts: 5,
+            low_confidence: 6,
+            max_frame: 7,
+            max_inflight: 8,
+        });
+        for cut in 0..ack.len() {
+            assert!(decode_server(&ack[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

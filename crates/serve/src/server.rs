@@ -35,6 +35,7 @@ use cira_trace::codec::PackedTrace;
 
 use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME};
 use crate::metrics::ServerMetrics;
+use crate::park::SessionPark;
 use crate::proto::{
     code, decode_client, encode_server, ClientFrame, ServerFrame, PROTO_VERSION,
 };
@@ -52,6 +53,23 @@ pub struct ServerConfig {
     pub read_tick_ms: u64,
     /// Consecutive mid-frame ticks tolerated before the peer is dropped.
     pub stall_ticks: u32,
+    /// Socket write timeout, milliseconds: a peer that stops reading its
+    /// acks must not pin a pool worker forever. `0` disables the timeout.
+    pub write_timeout_ms: u64,
+    /// Sessions alive at once (attached + parked) before new `HELLO`s
+    /// are shed with a `BUSY` frame (rev 1.2).
+    pub max_sessions: usize,
+    /// Retry-after hint carried in `BUSY` frames, milliseconds.
+    pub busy_retry_ms: u32,
+    /// Detached sessions kept for `RESUME` (rev 1.2); `0` disables
+    /// parking entirely.
+    pub park_capacity: usize,
+    /// How long a parked session survives before TTL eviction,
+    /// milliseconds.
+    pub park_ttl_ms: u64,
+    /// Close (and park) a session whose connection sends no frame for
+    /// this long, milliseconds; `0` disables idle eviction.
+    pub idle_timeout_ms: u64,
     /// Address for the HTTP `GET /metrics` listener (e.g.
     /// `127.0.0.1:9184`), or `None` to expose metrics only over the wire
     /// protocol.
@@ -65,7 +83,53 @@ impl Default for ServerConfig {
             max_inflight: 4,
             read_tick_ms: 100,
             stall_ticks: 600, // 60 s of mid-frame silence at the default tick
+            write_timeout_ms: 30_000,
+            max_sessions: 1024,
+            busy_retry_ms: 500,
+            park_capacity: 64,
+            park_ttl_ms: 60_000,
+            idle_timeout_ms: 0,
             metrics_addr: None,
+        }
+    }
+}
+
+/// Process-wide state every connection shares: metrics, the registry,
+/// session-id/token generation, and the park of detached sessions.
+#[derive(Debug)]
+struct Shared {
+    metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    session_ids: AtomicU64,
+    /// Seed mixed into resume tokens so they are not guessable across
+    /// server restarts.
+    token_seed: u64,
+    token_ids: AtomicU64,
+    park: SessionPark,
+}
+
+impl Shared {
+    /// A fresh, unguessable-enough resume token (splitmix64 over a
+    /// per-process random seed plus a counter — no token collides within
+    /// a process, and values don't repeat across restarts).
+    fn next_token(&self) -> u64 {
+        let x = self
+            .token_seed
+            .wrapping_add(self.token_ids.fetch_add(1, Ordering::Relaxed));
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// TTL-sweeps the park, keeping the eviction counters and the live
+    /// gauge in step. Called from the accept loop's tick.
+    fn sweep_park(&self) {
+        let evicted = self.park.sweep();
+        if evicted > 0 {
+            self.metrics.park_evicted_ttl.add(evicted as u64);
+            self.metrics.sessions_live.add(-(evicted as i64));
+            cira_obs::debug!("parked sessions expired", evicted = evicted);
         }
     }
 }
@@ -137,27 +201,36 @@ impl BatchQueue {
     }
 }
 
+/// A session attached to a live connection, with its server-side id.
+#[derive(Debug)]
+struct Active {
+    id: u64,
+    session: Session,
+}
+
 /// Everything a connection's reader and its drain jobs share.
 #[derive(Debug)]
 struct Conn {
     /// Write half; drain jobs and the reader both send frames.
     writer: Mutex<TcpStream>,
-    session: Mutex<Option<Session>>,
+    session: Mutex<Option<Active>>,
     batches: BatchQueue,
-    metrics: Arc<ServerMetrics>,
-    /// The server's registry, rendered on demand for `METRICS` frames.
-    registry: Arc<Registry>,
+    shared: Arc<Shared>,
 }
 
 impl Conn {
+    fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
     /// Serializes and sends one frame; write errors mark the connection
     /// dead (the reader notices on its next read).
     fn send(&self, frame: &ServerFrame) {
         let body = encode_server(frame);
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if write_frame(&mut *w, &body).is_ok() {
-            self.metrics.frames_out.inc();
-            self.metrics.bytes_out.add(body.len() as u64);
+            self.metrics().frames_out.inc();
+            self.metrics().bytes_out.add(body.len() as u64);
         } else {
             // Give up on the stream; unblock the reader promptly.
             let _ = w.shutdown(std::net::Shutdown::Both);
@@ -166,7 +239,7 @@ impl Conn {
 
     /// Counts a protocol violation and sends its `ERROR` frame.
     fn protocol_error(&self, error_code: u16, message: String) {
-        self.metrics.protocol_error(error_code);
+        self.metrics().protocol_error(error_code);
         cira_obs::debug!("protocol error", code = error_code, detail = message);
         self.send(&ServerFrame::Error {
             code: error_code,
@@ -184,12 +257,12 @@ fn drain(conn: &Arc<Conn>) {
             .session
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let Some(session) = guard.as_mut() else {
+        let Some(active) = guard.as_mut() else {
             continue; // connection torn down mid-drain
         };
         let n = records.len() as u64;
         let t0 = Instant::now();
-        let ack = session.apply_batch(seq, &records);
+        let ack = active.session.apply_batch(seq, &records);
         let service_us = t0.elapsed().as_micros() as u64;
         if let ServerFrame::BatchAck {
             mispredicts,
@@ -197,12 +270,12 @@ fn drain(conn: &Arc<Conn>) {
             ..
         } = &ack
         {
-            conn.metrics.batches.inc();
-            conn.metrics.records.add(n);
-            conn.metrics.mispredicts.add(*mispredicts);
-            conn.metrics.low_confidence.add(*low_confidence);
-            conn.metrics.batch_records.record(n);
-            conn.metrics.batch_service_us.record(service_us);
+            conn.metrics().batches.inc();
+            conn.metrics().records.add(n);
+            conn.metrics().mispredicts.add(*mispredicts);
+            conn.metrics().low_confidence.add(*low_confidence);
+            conn.metrics().batch_records.record(n);
+            conn.metrics().batch_service_us.record(service_us);
         }
         drop(guard);
         conn.send(&ack);
@@ -212,14 +285,17 @@ fn drain(conn: &Arc<Conn>) {
 /// Outcome of one reader loop step.
 enum Step {
     Continue,
-    Close,
+    /// Close after an orderly exchange: the session (if any) is
+    /// destroyed, not parked.
+    CloseClean,
+    /// Close on a fault: the session (if any) is parked for `RESUME`.
+    CloseAbrupt,
 }
 
 fn handle_frame(
     conn: &Arc<Conn>,
     pool: &'static WorkerPool,
     cfg: &ServerConfig,
-    session_ids: &AtomicU64,
     frame: ClientFrame,
 ) -> Step {
     let has_session = conn
@@ -236,11 +312,31 @@ fn handle_frame(
                         "protocol version {version} not supported; this server speaks {PROTO_VERSION}"
                     ),
                 );
-                return Step::Close;
+                return Step::CloseClean;
             }
-            match Session::from_hello(&config) {
+            // Load shedding: every live session (attached or parked)
+            // holds predictor + table state, so cap them and tell the
+            // client when to come back rather than thrash or hang.
+            if !has_session
+                && conn.metrics().sessions_live.get().max(0) as usize >= cfg.max_sessions
+            {
+                conn.metrics().sessions_shed.inc();
+                cira_obs::info!(
+                    "session shed at capacity",
+                    max_sessions = cfg.max_sessions,
+                    retry_after_ms = cfg.busy_retry_ms,
+                );
+                conn.send(&ServerFrame::Busy {
+                    retry_after_ms: cfg.busy_retry_ms,
+                    message: format!("at capacity ({} sessions); retry later", cfg.max_sessions),
+                });
+                return Step::CloseClean;
+            }
+            let token = conn.shared.next_token();
+            match Session::from_hello(&config, token) {
                 Ok(session) => {
-                    let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
+                    let session_id =
+                        conn.shared.session_ids.fetch_add(1, Ordering::Relaxed);
                     let ack = ServerFrame::HelloAck {
                         version: PROTO_VERSION,
                         session: session_id,
@@ -248,6 +344,7 @@ fn handle_frame(
                         max_inflight: cfg.max_inflight,
                         predictor: session.predictor_desc().to_owned(),
                         mechanism: session.mechanism_desc().to_owned(),
+                        token,
                     };
                     cira_obs::info!(
                         "session opened",
@@ -255,43 +352,99 @@ fn handle_frame(
                         predictor = session.predictor_desc(),
                         mechanism = session.mechanism_desc(),
                     );
-                    *conn
+                    let replaced = conn
                         .session
                         .lock()
-                        .unwrap_or_else(|e| e.into_inner()) = Some(session);
-                    conn.metrics.sessions_opened.inc();
+                        .unwrap_or_else(|e| e.into_inner())
+                        .replace(Active {
+                            id: session_id,
+                            session,
+                        });
+                    conn.metrics().sessions_opened.inc();
+                    // Re-HELLO on a live connection destroys the old
+                    // session, so the live gauge only moves for new ones.
+                    if replaced.is_none() {
+                        conn.metrics().sessions_live.inc();
+                    }
                     conn.send(&ack);
                     Step::Continue
                 }
                 Err(message) => {
                     conn.protocol_error(code::BAD_SPEC, message);
-                    Step::Close
+                    Step::CloseClean
+                }
+            }
+        }
+        ClientFrame::Resume { version, token } => {
+            if version != PROTO_VERSION {
+                conn.protocol_error(
+                    code::UNSUPPORTED_VERSION,
+                    format!(
+                        "protocol version {version} not supported; this server speaks {PROTO_VERSION}"
+                    ),
+                );
+                return Step::CloseClean;
+            }
+            conn.metrics().resume_attempts.inc();
+            if has_session {
+                conn.protocol_error(
+                    code::MALFORMED,
+                    "RESUME on a connection that already has a session".to_owned(),
+                );
+                return Step::CloseAbrupt;
+            }
+            match conn.shared.park.take(token) {
+                Some((session_id, session)) => {
+                    let ack = session.resume_ack(session_id, cfg.max_frame, cfg.max_inflight);
+                    cira_obs::info!(
+                        "session resumed",
+                        session = session_id,
+                        last_seq = format!("{:?}", session.last_seq()),
+                    );
+                    *conn
+                        .session
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(Active {
+                        id: session_id,
+                        session,
+                    });
+                    conn.metrics().sessions_resumed.inc();
+                    conn.send(&ack);
+                    Step::Continue
+                }
+                None => {
+                    conn.metrics().resume_failures.inc();
+                    conn.protocol_error(
+                        code::UNKNOWN_SESSION,
+                        "resume token names no parked session (expired or evicted)".to_owned(),
+                    );
+                    Step::CloseClean
                 }
             }
         }
         // Observability and close frames need no session (rev 1.1):
         // operator tooling like `cira stats` connects, asks, disconnects.
         ClientFrame::Stats => {
-            conn.send(&ServerFrame::StatsReply(conn.metrics.snapshot()));
+            conn.send(&ServerFrame::StatsReply(conn.metrics().snapshot()));
             Step::Continue
         }
         ClientFrame::Metrics => {
             conn.send(&ServerFrame::MetricsReply {
-                text: conn.registry.render(),
+                text: conn.shared.registry.render(),
             });
             Step::Continue
         }
         ClientFrame::Goodbye => {
             conn.batches.wait_drained();
             conn.send(&ServerFrame::GoodbyeAck);
-            Step::Close
+            Step::CloseClean
         }
         _ if !has_session => {
             conn.protocol_error(
                 code::HELLO_REQUIRED,
                 "first frame must be HELLO".to_owned(),
             );
-            Step::Close
+            Step::CloseClean
         }
         ClientFrame::Batch { seq, records } => {
             if conn.batches.push(seq, records, cfg.max_inflight) {
@@ -308,7 +461,11 @@ fn handle_frame(
                 .session
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            let reply = guard.as_ref().expect("session checked above").snapshot();
+            let reply = guard
+                .as_ref()
+                .expect("session checked above")
+                .session
+                .snapshot();
             drop(guard);
             conn.send(&reply);
             Step::Continue
@@ -319,9 +476,13 @@ fn handle_frame(
                 .session
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            guard.as_mut().expect("session checked above").reset();
+            guard
+                .as_mut()
+                .expect("session checked above")
+                .session
+                .reset();
             drop(guard);
-            conn.metrics.sessions_reset.inc();
+            conn.metrics().sessions_reset.inc();
             conn.send(&ServerFrame::ResetAck);
             Step::Continue
         }
@@ -333,56 +494,90 @@ fn run_connection(
     stream: TcpStream,
     pool: &'static WorkerPool,
     cfg: ServerConfig,
-    metrics: Arc<ServerMetrics>,
-    registry: Arc<Registry>,
-    session_ids: Arc<AtomicU64>,
+    shared: Arc<Shared>,
     shutdown: ShutdownToken,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_tick_ms.max(1))));
     // A peer that stops reading its acks must not pin a pool worker
     // forever: writes give up after a bounded wait and the connection dies.
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    if cfg.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
+    }
     let Ok(writer) = stream.try_clone() else {
         return;
     };
     let mut reader = stream;
+    let metrics = Arc::clone(&shared.metrics);
     let conn = Arc::new(Conn {
         writer: Mutex::new(writer),
         session: Mutex::new(None),
         batches: BatchQueue::default(),
-        metrics: Arc::clone(&metrics),
-        registry,
+        shared: Arc::clone(&shared),
     });
+
+    // Whether the close was orderly. Anything else — mid-frame
+    // disconnect, stall, protocol garbage, idle eviction — parks the
+    // session so the client can RESUME it.
+    let mut clean_close = false;
+    let mut last_frame = Instant::now();
+    let idle_timeout = Duration::from_millis(cfg.idle_timeout_ms);
 
     loop {
         if shutdown.is_triggered() {
             // Finish everything already accepted, tell the peer, close.
+            // The process is going away, so the session is *not* parked.
             conn.batches.wait_drained();
             conn.send(&ServerFrame::Error {
                 code: code::SHUTTING_DOWN,
                 message: "server is shutting down".to_owned(),
             });
+            clean_close = true;
             break;
         }
         match read_frame(&mut reader, cfg.max_frame, cfg.stall_ticks) {
             Ok(ReadOutcome::Frame(body)) => {
+                last_frame = Instant::now();
                 metrics.frames_in.inc();
                 metrics.bytes_in.add(body.len() as u64);
                 match decode_client(&body) {
-                    Ok(frame) => {
-                        match handle_frame(&conn, pool, &cfg, &session_ids, frame) {
-                            Step::Continue => {}
-                            Step::Close => break,
+                    Ok(frame) => match handle_frame(&conn, pool, &cfg, frame) {
+                        Step::Continue => {}
+                        Step::CloseClean => {
+                            clean_close = true;
+                            break;
                         }
-                    }
+                        Step::CloseAbrupt => break,
+                    },
                     Err(e) => {
                         conn.protocol_error(code::MALFORMED, e.to_string());
                         break;
                     }
                 }
             }
-            Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Idle) => {
+                if !idle_timeout.is_zero() && last_frame.elapsed() > idle_timeout {
+                    let has_session = conn
+                        .session
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .is_some();
+                    if has_session {
+                        // Idle sessions park (resumable) rather than
+                        // dying outright.
+                        metrics.sessions_idle_evicted.inc();
+                        conn.protocol_error(
+                            code::IDLE_TIMEOUT,
+                            format!("no frame for {} ms; session parked", cfg.idle_timeout_ms),
+                        );
+                        break;
+                    }
+                    // Session-less idlers (stats pollers that wandered
+                    // off) just close.
+                    clean_close = true;
+                    break;
+                }
+            }
             Ok(ReadOutcome::Eof) => break,
             Err(FrameError::Oversized { len, max }) => {
                 conn.protocol_error(
@@ -404,10 +599,26 @@ fn run_connection(
     // Drain whatever was accepted, then tear down: in-flight batches are
     // never dropped even on abrupt disconnects.
     conn.batches.wait_drained();
-    *conn
+    let detached = conn
         .session
         .lock()
-        .unwrap_or_else(|e| e.into_inner()) = None;
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(active) = detached {
+        if clean_close || cfg.park_capacity == 0 {
+            metrics.sessions_live.dec();
+        } else {
+            // Park for RESUME; the last acked batch is durable state.
+            let token = active.session.token();
+            let evicted = shared.park.insert(token, active.id, active.session);
+            if evicted > 0 {
+                metrics.park_evicted_capacity.add(evicted as u64);
+                metrics.sessions_live.add(-(evicted as i64));
+            }
+            metrics.sessions_parked.inc();
+            cira_obs::debug!("session parked", session = active.id);
+        }
+    }
     let w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
     let _ = w.shutdown(std::net::Shutdown::Both);
     metrics.connections_active.dec();
@@ -504,13 +715,26 @@ pub fn serve(
     listener.set_nonblocking(true)?;
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = ShutdownToken::new();
-    let session_ids = Arc::new(AtomicU64::new(1));
 
     // One registry covers the whole process view: server counters,
     // session histograms, and the shared worker pool.
     let registry = Arc::new(Registry::new("cira"));
     metrics.register(&registry);
     pool.register_metrics(&registry);
+    let token_seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ ((local.port() as u64) << 48)
+        ^ (std::process::id() as u64).rotate_left(32);
+    let shared = Arc::new(Shared {
+        metrics: Arc::clone(&metrics),
+        registry: Arc::clone(&registry),
+        session_ids: AtomicU64::new(1),
+        token_seed,
+        token_ids: AtomicU64::new(1),
+        park: SessionPark::new(cfg.park_capacity, Duration::from_millis(cfg.park_ttl_ms)),
+    });
     let metrics_http = match &cfg.metrics_addr {
         Some(http_addr) => {
             let server = cira_obs::http::serve_metrics(http_addr, Arc::clone(&registry))?;
@@ -522,7 +746,7 @@ pub fn serve(
     cira_obs::info!("server listening", addr = local, workers = pool.workers());
 
     let accept_metrics = Arc::clone(&metrics);
-    let accept_registry = Arc::clone(&registry);
+    let accept_shared = Arc::clone(&shared);
     let accept_shutdown = shutdown.clone();
     let accept_thread = std::thread::Builder::new()
         .name("cira-serve-accept".into())
@@ -535,16 +759,13 @@ pub fn serve(
                         accept_metrics.connections_active.inc();
                         cira_obs::debug!("connection accepted", peer = peer);
                         let cfg = cfg.clone();
-                        let metrics = Arc::clone(&accept_metrics);
-                        let registry = Arc::clone(&accept_registry);
-                        let ids = Arc::clone(&session_ids);
+                        let shared = Arc::clone(&accept_shared);
                         let token = accept_shutdown.clone();
                         conns.retain(|t| !t.is_finished());
                         match std::thread::Builder::new()
                             .name("cira-serve-conn".into())
-                            .spawn(move || {
-                                run_connection(stream, pool, cfg, metrics, registry, ids, token)
-                            }) {
+                            .spawn(move || run_connection(stream, pool, cfg, shared, token))
+                        {
                             Ok(t) => conns.push(t),
                             Err(_) => {
                                 accept_metrics.connections_active.dec();
@@ -552,6 +773,7 @@ pub fn serve(
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        accept_shared.sweep_park();
                         accept_shutdown.wait_timeout(Duration::from_millis(50));
                     }
                     Err(_) => {
@@ -559,6 +781,9 @@ pub fn serve(
                     }
                 }
             }
+            // Shutdown destroys parked sessions; keep the gauge honest.
+            let dropped = accept_shared.park.clear();
+            accept_metrics.sessions_live.add(-(dropped as i64));
             conns
         })?;
 

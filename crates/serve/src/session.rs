@@ -23,16 +23,23 @@ pub struct Session {
     /// Descriptions reported in `HELLO_ACK`.
     predictor_desc: String,
     mechanism_desc: String,
+    /// Opaque resume capability issued in `HELLO_ACK` (rev 1.2).
+    token: u64,
+    /// Sequence number of the last applied batch (cumulative ack).
+    last_seq: Option<u32>,
+    /// Batches applied over the session's lifetime.
+    batches: u64,
 }
 
 impl Session {
-    /// Builds a session from a `HELLO` config.
+    /// Builds a session from a `HELLO` config with the given resume
+    /// token.
     ///
     /// # Errors
     ///
     /// Returns the spec parser's message when any spec string is
     /// malformed (sent back to the client as a `BAD_SPEC` error frame).
-    pub fn from_hello(config: &HelloConfig) -> Result<Session, String> {
+    pub fn from_hello(config: &HelloConfig, token: u64) -> Result<Session, String> {
         let replay = Self::build_replay(config)?;
         Ok(Session {
             predictor_desc: replay.predictor_describe(),
@@ -40,6 +47,9 @@ impl Session {
             config: config.clone(),
             replay,
             low_confidence: 0,
+            token,
+            last_seq: None,
+            batches: 0,
         })
     }
 
@@ -67,6 +77,32 @@ impl Session {
         self.replay.run().branches
     }
 
+    /// The resume token issued to this session's client.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Sequence number of the last applied batch, if any.
+    pub fn last_seq(&self) -> Option<u32> {
+        self.last_seq
+    }
+
+    /// The session's `RESUME_ACK` for re-attachment: last acked seq plus
+    /// session-lifetime totals so the client can reconcile lost acks.
+    pub fn resume_ack(&self, session: u64, max_frame: u32, max_inflight: u32) -> ServerFrame {
+        let run = self.replay.run();
+        ServerFrame::ResumeAck {
+            session,
+            last_seq: self.last_seq,
+            batches: self.batches,
+            records: run.branches,
+            mispredicts: run.mispredicts,
+            low_confidence: self.low_confidence,
+            max_frame,
+            max_inflight,
+        }
+    }
+
     /// Scores and trains on one batch, returning its `BATCH_ACK`.
     pub fn apply_batch(&mut self, seq: u32, records: &PackedTrace) -> ServerFrame {
         let n = records.len();
@@ -88,6 +124,8 @@ impl Session {
             }
         }
         self.low_confidence += low_count;
+        self.last_seq = Some(seq);
+        self.batches += 1;
         ServerFrame::BatchAck {
             seq,
             records: n as u64,
@@ -123,6 +161,8 @@ impl Session {
         self.replay =
             Self::build_replay(&self.config).expect("config validated at session creation");
         self.low_confidence = 0;
+        self.last_seq = None;
+        self.batches = 0;
     }
 }
 
@@ -158,7 +198,7 @@ mod tests {
                 "index" => c.index = value.into(),
                 _ => c.init = value.into(),
             }
-            let err = Session::from_hello(&c).unwrap_err();
+            let err = Session::from_hello(&c, 0).unwrap_err();
             assert!(err.contains("expected one of"), "{field}: {err}");
         }
     }
@@ -166,7 +206,7 @@ mod tests {
     #[test]
     fn batches_accumulate_and_snapshot_matches_engine_kernel() {
         let trace: PackedTrace = ibs_like_suite()[0].walker().take(20_000).collect();
-        let mut session = Session::from_hello(&config()).unwrap();
+        let mut session = Session::from_hello(&config(), 0).unwrap();
         // Feed in uneven splits.
         let mut at = 0;
         let mut acked = 0u64;
@@ -215,7 +255,7 @@ mod tests {
     #[test]
     fn predicted_bitmap_consistent_with_mispredicts() {
         let trace: PackedTrace = ibs_like_suite()[1].walker().take(5_000).collect();
-        let mut session = Session::from_hello(&config()).unwrap();
+        let mut session = Session::from_hello(&config(), 0).unwrap();
         let ack = session.apply_batch(9, &trace);
         let ServerFrame::BatchAck {
             mispredicts,
@@ -238,7 +278,7 @@ mod tests {
     #[test]
     fn reset_restores_fresh_state() {
         let trace: PackedTrace = ibs_like_suite()[2].walker().take(4_000).collect();
-        let mut a = Session::from_hello(&config()).unwrap();
+        let mut a = Session::from_hello(&config(), 0).unwrap();
         let first = a.apply_batch(0, &trace);
         a.reset();
         assert_eq!(a.branches(), 0);

@@ -3,7 +3,7 @@
 //! traces, so the assertions hold in debug-mode CI runs).
 
 use cira::prelude::*;
-use cira_analysis::suite_run::{run_suite_mechanism, run_suite_mechanisms, run_suite_static};
+use cira_analysis::Engine;
 use cira_core::two_level::TwoLevelCir;
 
 const LEN: u64 = 400_000;
@@ -19,8 +19,8 @@ fn mini_suite() -> Vec<Benchmark> {
 #[test]
 fn dynamic_confidence_beats_static_at_20_percent() {
     let suite = mini_suite();
-    let stat = run_suite_static(&suite, LEN, Gshare::paper_large).curve();
-    let dyn_ = run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
+    let stat = Engine::global().run_suite_static(&suite, LEN, Gshare::paper_large).curve();
+    let dyn_ = Engine::global().run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
         OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))
     })
     .curve();
@@ -35,7 +35,7 @@ fn dynamic_confidence_beats_static_at_20_percent() {
 #[test]
 fn xor_indexing_beats_pc_only() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
         vec![
             Box::new(OneLevelCir::paper_default(IndexSpec::pc(16))) as Box<dyn ConfidenceMechanism>,
             Box::new(OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))),
@@ -49,7 +49,7 @@ fn xor_indexing_beats_pc_only() {
 #[test]
 fn resetting_counters_track_the_ideal_reduction() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
         let idx = IndexSpec::pc_xor_bhr(16);
         vec![
             Box::new(OneLevelCir::paper_default(idx.clone())) as Box<dyn ConfidenceMechanism>,
@@ -67,7 +67,7 @@ fn resetting_counters_track_the_ideal_reduction() {
 #[test]
 fn saturating_counters_swell_the_max_bucket() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
         let idx = IndexSpec::pc_xor_bhr(16);
         vec![
             Box::new(SaturatingConfidence::paper_default(idx.clone()))
@@ -95,7 +95,7 @@ fn saturating_counters_swell_the_max_bucket() {
 #[test]
 fn all_zeros_initialization_is_worst() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
         let idx = IndexSpec::pc_xor_bhr(16);
         vec![
             Box::new(OneLevelCir::new(idx.clone(), 16, InitPolicy::AllOnes))
@@ -116,7 +116,7 @@ fn all_zeros_initialization_is_worst() {
 #[test]
 fn two_level_is_not_better_than_one_level() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_large, || {
         vec![
             Box::new(OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16)))
                 as Box<dyn ConfidenceMechanism>,
@@ -136,7 +136,7 @@ fn two_level_is_not_better_than_one_level() {
 #[test]
 fn small_tables_degrade_gracefully() {
     let suite = mini_suite();
-    let results = run_suite_mechanisms(&suite, LEN, Gshare::paper_small, || {
+    let results = Engine::global().run_suite_mechanisms(&suite, LEN, Gshare::paper_small, || {
         vec![
             Box::new(ResettingConfidence::new(
                 IndexSpec::pc_xor_bhr(12),
@@ -163,7 +163,7 @@ fn small_tables_degrade_gracefully() {
 #[test]
 fn jpeg_is_more_predictable_than_gcc() {
     let suite = mini_suite();
-    let out = run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
+    let out = Engine::global().run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
         OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))
     });
     let rate = |name: &str| {
@@ -184,7 +184,7 @@ fn jpeg_is_more_predictable_than_gcc() {
 #[test]
 fn zero_bucket_dominates_references() {
     let suite = mini_suite();
-    let out = run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
+    let out = Engine::global().run_suite_mechanism(&suite, LEN, Gshare::paper_large, || {
         OneLevelCir::paper_default(IndexSpec::pc_xor_bhr(16))
     });
     let zero = out.combined.cell(0).expect("zero bucket exists");
