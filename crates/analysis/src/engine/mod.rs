@@ -60,6 +60,7 @@
 pub mod cache;
 pub mod pool;
 pub mod replay;
+pub mod simd;
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;

@@ -6,13 +6,16 @@
 //!
 //! * the trace comes from a [`PackedTrace`] (no regeneration, no iterator
 //!   plumbing in the hot path);
-//! * records are processed in chunks: one monomorphized pass drives the
-//!   predictor and records `(pc, history, correct)` into flat buffers,
-//!   then each mechanism consumes the whole chunk in its own tight loop —
-//!   hoisting the `&mut dyn ConfidenceMechanism` dispatch pattern out of
-//!   the per-record interleave (mechanisms are independent observers, so
-//!   per-mechanism chunk loops produce bit-identical statistics to the
-//!   per-record interleave of [`crate::runner`]);
+//! * records are processed in chunks: the [`super::simd`] fill pass expands
+//!   each chunk's `(pc, history, taken)` lanes from the SoA trace with no
+//!   loop-carried history dependency, one
+//!   [`predict_train_batch`](BranchPredictor::predict_train_batch) call
+//!   drives the predictor's branchless kernel over the whole chunk, then
+//!   each mechanism consumes the chunk in its own tight loop — hoisting the
+//!   `&mut dyn ConfidenceMechanism` dispatch pattern out of the per-record
+//!   interleave (mechanisms are independent observers, so per-mechanism
+//!   chunk loops produce bit-identical statistics to the per-record
+//!   interleave of [`crate::runner`]);
 //! * per-key counts accumulate in dense integer arrays when the mechanism
 //!   exposes a small [`key_space`](cira_core::ConfidenceMechanism::key_space),
 //!   instead of a hash-map probe per record, and are folded into
@@ -40,14 +43,25 @@ const DENSE_MAX: u64 = 1 << 20;
 /// small and enumerable.
 enum KeyCounts {
     /// `(refs, mispredicts)` per key — one indexed access per record.
-    Dense(Vec<(u64, u64)>),
+    /// Keys at or beyond the declared `key_space` indicate a buggy
+    /// mechanism; they spill into `overflow` (with a one-shot warning)
+    /// rather than aborting a whole suite run mid-grid.
+    Dense {
+        cells: Vec<(u64, u64)>,
+        overflow: HashMap<u64, (u64, u64)>,
+        warned: bool,
+    },
     Sparse(HashMap<u64, (u64, u64)>),
 }
 
 impl KeyCounts {
     fn for_key_space(key_space: Option<u64>) -> Self {
         match key_space {
-            Some(n) if n <= DENSE_MAX => KeyCounts::Dense(vec![(0, 0); n as usize]),
+            Some(n) if n <= DENSE_MAX => KeyCounts::Dense {
+                cells: vec![(0, 0); n as usize],
+                overflow: HashMap::new(),
+                warned: false,
+            },
             _ => KeyCounts::Sparse(HashMap::new()),
         }
     }
@@ -55,14 +69,31 @@ impl KeyCounts {
     #[inline]
     fn observe(&mut self, key: u64, mispredicted: bool) {
         match self {
-            KeyCounts::Dense(cells) => match cells.get_mut(key as usize) {
+            KeyCounts::Dense {
+                cells,
+                overflow,
+                warned,
+            } => match cells.get_mut(key as usize) {
                 Some(cell) => {
                     cell.0 += 1;
                     cell.1 += mispredicted as u64;
                 }
                 // A mechanism whose keys exceed its declared key_space is a
-                // bug upstream, but losing the sample would be worse.
-                None => panic!("key {key} outside declared key_space"),
+                // bug upstream, but neither losing the sample nor panicking
+                // mid-grid would serve the caller: count it sparsely.
+                None => {
+                    if !*warned {
+                        *warned = true;
+                        cira_obs::warn!(
+                            "confidence key outside declared key_space",
+                            key = key,
+                            key_space = cells.len() as u64
+                        );
+                    }
+                    let e = overflow.entry(key).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += mispredicted as u64;
+                }
             },
             KeyCounts::Sparse(map) => {
                 let e = map.entry(key).or_insert((0, 0));
@@ -76,9 +107,18 @@ impl KeyCounts {
     fn into_stats(self) -> BucketStats {
         let mut stats = BucketStats::new();
         match self {
-            KeyCounts::Dense(cells) => {
+            KeyCounts::Dense {
+                cells, overflow, ..
+            } => {
                 for (key, (r, m)) in cells.into_iter().enumerate() {
                     stats.record_batch(key as u64, r, m);
+                }
+                // Overflow keys all exceed the dense range, so appending
+                // them sorted preserves ascending key order overall.
+                let mut spill: Vec<(u64, (u64, u64))> = overflow.into_iter().collect();
+                spill.sort_unstable_by_key(|&(k, _)| k);
+                for (k, (r, m)) in spill {
+                    stats.record_batch(k, r, m);
                 }
             }
             KeyCounts::Sparse(map) => {
@@ -97,6 +137,7 @@ impl KeyCounts {
 struct ChunkBufs {
     pcs: Vec<u64>,
     hists: Vec<u64>,
+    takens: Vec<bool>,
     correct: Vec<bool>,
 }
 
@@ -105,6 +146,7 @@ impl ChunkBufs {
         Self {
             pcs: vec![0; CHUNK],
             hists: vec![0; CHUNK],
+            takens: vec![false; CHUNK],
             correct: vec![false; CHUNK],
         }
     }
@@ -112,6 +154,12 @@ impl ChunkBufs {
 
 /// Drives `predictor` over the first `len` records of `trace`, filling the
 /// chunk buffers and invoking `consume(chunk_len, bufs)` after each chunk.
+///
+/// Per chunk: the [`super::simd`] pass expands `(pc, history, taken)` lanes
+/// straight from the SoA trace (no serial BHR pushes), then one
+/// `predict_train_batch` call runs the predictor's branchless kernel — or
+/// the trait's scalar default for predictors without an override.
+/// Bit-identical to the per-record §1.2 loop by the kernel contracts.
 fn drive_chunks<P: BranchPredictor>(
     trace: &PackedTrace,
     len: usize,
@@ -119,23 +167,33 @@ fn drive_chunks<P: BranchPredictor>(
     mut consume: impl FnMut(usize, &ChunkBufs),
 ) -> PredictorRun {
     let n = trace.len().min(len);
-    let mut bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let bhr = HistoryRegister::new(DRIVER_BHR_WIDTH);
+    let mask = bhr.mask();
+    let mut h = bhr.value();
     let mut bufs = ChunkBufs::new();
     let mut run = PredictorRun::default();
     let mut start = 0;
     while start < n {
+        // CHUNK is a multiple of 64, so every chunk start is word-aligned
+        // in the taken bitmap, as the simd fill requires.
         let c = CHUNK.min(n - start);
-        for (j, slot) in (start..start + c).enumerate() {
-            let pc = trace.site_pc(trace.site_index_at(slot));
-            let taken = trace.taken_at(slot);
-            let h = bhr.value();
-            let correct = predictor.predict_train(pc, h, taken) == taken;
-            bufs.pcs[j] = pc;
-            bufs.hists[j] = h;
-            bufs.correct[j] = correct;
-            run.mispredicts += !correct as u64;
-            bhr.push(taken);
-        }
+        h = super::simd::fill_chunk(
+            trace,
+            start,
+            c,
+            h,
+            mask,
+            &mut bufs.pcs,
+            &mut bufs.hists,
+            &mut bufs.takens,
+        );
+        predictor.predict_train_batch(
+            &bufs.pcs[..c],
+            &bufs.hists[..c],
+            &bufs.takens[..c],
+            &mut bufs.correct[..c],
+        );
+        run.mispredicts += bufs.correct[..c].iter().filter(|&&ok| !ok).count() as u64;
         run.branches += c as u64;
         consume(c, &bufs);
         start += c;
@@ -288,6 +346,7 @@ pub struct StreamingReplay {
     run: PredictorRun,
     pcs: Vec<u64>,
     hists: Vec<u64>,
+    takens: Vec<bool>,
     correct: Vec<bool>,
     keys: Vec<u64>,
 }
@@ -328,6 +387,7 @@ impl StreamingReplay {
             run: PredictorRun::default(),
             pcs: Vec::new(),
             hists: Vec::new(),
+            takens: Vec::new(),
             correct: Vec::new(),
             keys: Vec::new(),
         }
@@ -342,41 +402,58 @@ impl StreamingReplay {
         self.pcs.resize(n, 0);
         self.hists.clear();
         self.hists.resize(n, 0);
+        self.takens.clear();
+        self.takens.resize(n, false);
         self.correct.clear();
         self.correct.resize(n, false);
         self.keys.clear();
         self.keys.resize(n, 0);
+        let mask = self.bhr.mask();
+        let mut h = self.bhr.value();
         let mut mispredicts = 0u64;
-        for i in 0..n {
-            let pc = batch.site_pc(batch.site_index_at(i));
-            let taken = batch.taken_at(i);
-            let h = self.bhr.value();
-            let correct = self.predictor.predict_train(pc, h, taken) == taken;
-            self.pcs[i] = pc;
-            self.hists[i] = h;
-            self.correct[i] = correct;
-            mispredicts += !correct as u64;
-            self.bhr.push(taken);
-        }
-        // Same chunk discipline as `replay_mechanisms` (the mechanism's
-        // batch loop is bit-identical to per-record calls at any size, but
-        // CHUNK keeps the working set cache-resident for huge batches).
+        // Same vectorized kernel and chunk discipline as the offline
+        // drivers, so cira-serve sessions inherit the speedup; the chunk's
+        // predictor, mechanism, and stats passes touch independent state,
+        // so interleaving them per chunk is bit-identical to whole-batch
+        // passes. A batch's bitmap starts at its own bit 0, so chunk
+        // starts stay word-aligned regardless of how the stream is split.
         let mut start = 0;
         while start < n {
             let c = CHUNK.min(n - start);
+            h = super::simd::fill_chunk(
+                batch,
+                start,
+                c,
+                h,
+                mask,
+                &mut self.pcs[start..start + c],
+                &mut self.hists[start..start + c],
+                &mut self.takens[start..start + c],
+            );
+            self.predictor.predict_train_batch(
+                &self.pcs[start..start + c],
+                &self.hists[start..start + c],
+                &self.takens[start..start + c],
+                &mut self.correct[start..start + c],
+            );
             self.mechanism.observe_batch(
                 &self.pcs[start..start + c],
                 &self.hists[start..start + c],
                 &self.correct[start..start + c],
                 &mut self.keys[start..start + c],
             );
+            for (key, correct) in self.keys[start..start + c]
+                .iter()
+                .zip(&self.correct[start..start + c])
+            {
+                // Unit-weight integer accumulation is exact in f64, so this
+                // equals the engine's fold-at-the-end in every bit.
+                self.stats.observe(*key, !correct);
+                mispredicts += !correct as u64;
+            }
             start += c;
         }
-        for (key, correct) in self.keys.iter().zip(&self.correct) {
-            // Unit-weight integer accumulation is exact in f64, so this
-            // equals the engine's fold-at-the-end in every bit.
-            self.stats.observe(*key, !correct);
-        }
+        self.bhr.set(h);
         self.run.branches += n as u64;
         self.run.mispredicts += mispredicts;
         FedBatch {
@@ -517,6 +594,51 @@ mod tests {
             assert_eq!(streaming.run(), ref_run);
             assert_eq!(fed_miss, ref_run.mispredicts);
         }
+    }
+
+    #[test]
+    fn key_counts_spill_out_of_range_keys() {
+        // Dense accumulator declared for keys 0..4; keys beyond that must
+        // accumulate (not panic) and fold back with exact counts.
+        let mut counts = KeyCounts::for_key_space(Some(4));
+        counts.observe(1, false);
+        counts.observe(10, true);
+        counts.observe(10, false);
+        counts.observe(7, true);
+        let stats = counts.into_stats();
+        assert_eq!(stats.cell(1).map(|c| c.refs), Some(1.0));
+        assert_eq!(stats.cell(7).map(|c| (c.refs, c.mispredicts)), Some((1.0, 1.0)));
+        assert_eq!(stats.cell(10).map(|c| (c.refs, c.mispredicts)), Some((2.0, 1.0)));
+        assert_eq!(stats.total_refs(), 4.0);
+        assert_eq!(stats.total_mispredicts(), 2.0);
+    }
+
+    /// A buggy mechanism that declares `key_space() == Some(4)` but emits
+    /// key 10 for every branch.
+    struct LyingMechanism;
+
+    impl ConfidenceMechanism for LyingMechanism {
+        fn read_key(&self, _pc: u64, _bhr: u64) -> u64 {
+            10
+        }
+        fn update(&mut self, _pc: u64, _bhr: u64, _correct: bool) {}
+        fn key_space(&self) -> Option<u64> {
+            Some(4)
+        }
+        fn describe(&self) -> String {
+            "lying".into()
+        }
+        fn flush(&mut self) {}
+    }
+
+    #[test]
+    fn out_of_range_keys_do_not_panic_replay() {
+        let trace = packed(0, 2_000);
+        let mut lying = LyingMechanism;
+        let mut refs: Vec<&mut dyn ConfidenceMechanism> = vec![&mut lying];
+        let stats = replay_mechanisms(&trace, 2_000, &mut Gshare::new(8, 8), &mut refs).remove(0);
+        assert_eq!(stats.total_refs(), 2_000.0);
+        assert!(stats.cell(10).is_some(), "spilled key is still reported");
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub fn trace_len() -> u64 {
     }
 }
 
+/// The `rustc --version` string the bench binaries were compiled with,
+/// captured by the build script — recorded in benchmark artifacts so a
+/// number can always be traced back to its toolchain.
+pub fn rustc_version() -> &'static str {
+    env!("CIRA_RUSTC_VERSION")
+}
+
 /// Results directory: `CIRA_RESULTS_DIR` or `results/`.
 pub fn results_dir() -> PathBuf {
     std::env::var_os("CIRA_RESULTS_DIR")

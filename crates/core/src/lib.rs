@@ -143,10 +143,66 @@ impl<M: ConfidenceMechanism + ?Sized> ConfidenceMechanism for Box<M> {
     }
 }
 
+/// Pins a mechanism to the scalar per-record observe path.
+///
+/// Forwards everything *except* [`ConfidenceMechanism::observe_batch`], so
+/// the trait's default `read_key`-then-`update` loop runs even when the
+/// wrapped mechanism carries a batched fast path. This is the reference
+/// side of the scalar-vs-vector differential tests and of the
+/// `engine_throughput` kernel comparison; it is not intended for
+/// production replays.
+#[derive(Debug, Clone)]
+pub struct ScalarObserve<M>(pub M);
+
+impl<M: ConfidenceMechanism> ConfidenceMechanism for ScalarObserve<M> {
+    fn read_key(&self, pc: u64, bhr: u64) -> u64 {
+        self.0.read_key(pc, bhr)
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
+        self.0.update(pc, bhr, correct)
+    }
+
+    // observe_batch deliberately NOT forwarded: the default per-record
+    // loop is the scalar reference.
+
+    fn key_space(&self) -> Option<u64> {
+        self.0.key_space()
+    }
+
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
+
+    fn flush(&mut self) {
+        self.0.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::one_level::ResettingConfidence;
+
+    #[test]
+    fn scalar_observe_matches_batched_mechanism() {
+        // Same record stream through the batched fast path and through the
+        // suppressed-override scalar loop: keys and final state must agree.
+        let mut fast = ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(6));
+        let mut scalar = ScalarObserve(ResettingConfidence::paper_default(IndexSpec::pc_xor_bhr(6)));
+        let n = 300;
+        let pcs: Vec<u64> = (0..n as u64).map(|i| (i * 29) << 2).collect();
+        let bhrs: Vec<u64> = (0..n as u64).map(|i| i * 13).collect();
+        let correct: Vec<bool> = (0..n).map(|i| i % 7 != 0).collect();
+        let mut keys_f = vec![0u64; n];
+        let mut keys_s = vec![0u64; n];
+        fast.observe_batch(&pcs, &bhrs, &correct, &mut keys_f);
+        scalar.observe_batch(&pcs, &bhrs, &correct, &mut keys_s);
+        assert_eq!(keys_f, keys_s);
+        for (&pc, &h) in pcs.iter().zip(&bhrs).take(64) {
+            assert_eq!(fast.read_key(pc, h), scalar.read_key(pc, h));
+        }
+    }
 
     #[test]
     fn boxed_mechanism_dispatches() {

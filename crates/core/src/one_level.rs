@@ -14,10 +14,8 @@
 //!   (increment on correct, clear on a misprediction): tracks the ideal
 //!   reduction closely and is the paper's recommended practical design.
 
-use cira_predictor::SaturatingCounter;
-
 use crate::cir::Cir;
-use crate::index::{IndexInputs, IndexSpec};
+use crate::index::{IndexInputs, IndexSpec, PcBhrXor};
 use crate::init::InitPolicy;
 use crate::table::CirTable;
 use crate::ConfidenceMechanism;
@@ -30,6 +28,87 @@ fn check_not_second_level(index: &IndexSpec) {
         !index.uses_cir(),
         "one-level mechanisms cannot index with the level-one CIR source"
     );
+}
+
+/// Sub-chunk size of the two-phase batch fast path (matches the replay
+/// kernel's lane-group width).
+const FAST_BLOCK: usize = 64;
+
+/// Two-phase gather driver for the compiled PC⊕BHR fast path shared by the
+/// one-level mechanisms: slots for the *next* 64-record sub-chunk are
+/// computed (a tight vectorizable loop) and prefetched while the current
+/// sub-chunk is applied serially. The apply pass must stay serial and in
+/// order — aliasing records in one batch must observe each other's updates.
+///
+/// `rmw(storage, slot, correct)` performs one read-modify-write and
+/// returns the pre-update key.
+#[allow(clippy::too_many_arguments)] // internal kernel driver: parallel record slices
+fn fast_batch<S>(
+    storage: &mut S,
+    fast: PcBhrXor,
+    pcs: &[u64],
+    bhrs: &[u64],
+    correct: &[bool],
+    keys: &mut [u64],
+    prefetch: impl Fn(&S, usize),
+    rmw: impl Fn(&mut S, usize, bool) -> u64,
+) {
+    let n = pcs.len();
+    let mut cur = [0u32; FAST_BLOCK];
+    let mut nxt = [0u32; FAST_BLOCK];
+    let fill = |out: &mut [u32], pcs: &[u64], bhrs: &[u64]| {
+        for (slot, (&pc, &h)) in out.iter_mut().zip(pcs.iter().zip(bhrs)) {
+            *slot = fast.index(pc, h) as u32;
+        }
+    };
+    let mut start = 0;
+    let mut c = FAST_BLOCK.min(n);
+    fill(&mut cur[..c], &pcs[..c], &bhrs[..c]);
+    for &s in &cur[..c] {
+        prefetch(storage, s as usize);
+    }
+    while start < n {
+        let next_start = start + c;
+        let nc = FAST_BLOCK.min(n - next_start);
+        if nc > 0 {
+            fill(
+                &mut nxt[..nc],
+                &pcs[next_start..next_start + nc],
+                &bhrs[next_start..next_start + nc],
+            );
+            for &s in &nxt[..nc] {
+                prefetch(storage, s as usize);
+            }
+        }
+        let out = &mut keys[start..start + c];
+        for ((&slot, &ok), key) in cur[..c].iter().zip(&correct[start..start + c]).zip(out) {
+            *key = rmw(storage, slot as usize, ok);
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+        start = next_start;
+        c = nc;
+    }
+}
+
+/// Prefetches (x86_64) or touches (elsewhere) the slice element at `i`.
+/// Out-of-range indices are ignored.
+#[inline]
+fn touch<T: Copy>(values: &[T], i: usize) {
+    if let Some(v) = values.get(i) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `v` is a live reference, so the pointer is valid;
+        // prefetch has no architectural side effects.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                (v as *const T).cast::<i8>(),
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            std::hint::black_box(*v);
+        }
+    }
 }
 
 /// One-level CIR table: the generic mechanism of Fig. 3.
@@ -122,11 +201,24 @@ impl ConfidenceMechanism for OneLevelCir {
         // One slot computation serves both halves: `read_key` and `update`
         // see the same pre-update global CIR, so the slot is the same.
         if let Some(fast) = self.index.compile_pc_bhr_xor() {
-            for i in 0..pcs.len() {
-                let slot = fast.index(pcs[i], bhrs[i]);
-                keys[i] = self.table.get(slot).value() as u64;
-                self.table.record(slot, correct[i]);
-                self.global_cir.push(correct[i]);
+            // Fast-path slots do not read the global CIR, so its pushes can
+            // be replayed after the table pass with identical final state.
+            fast_batch(
+                &mut self.table,
+                fast,
+                pcs,
+                bhrs,
+                correct,
+                keys,
+                CirTable::prefetch,
+                |t, slot, ok| {
+                    let key = t.get(slot).value() as u64;
+                    t.record(slot, ok);
+                    key
+                },
+            );
+            for &ok in correct {
+                self.global_cir.push(ok);
             }
         } else {
             for i in 0..pcs.len() {
@@ -240,7 +332,10 @@ impl<M: ConfidenceMechanism> ConfidenceMechanism for MappedKey<M> {
 /// value: `max` plays the role of the zero bucket.
 #[derive(Debug, Clone)]
 pub struct SaturatingConfidence {
-    counters: Vec<SaturatingCounter>,
+    /// Raw counter values (≤ `max`); packing the value alone — rather than
+    /// a `SaturatingCounter` with its embedded max — halves the entry size
+    /// and lets the batch fast path update without branches.
+    counters: Vec<u32>,
     index: IndexSpec,
     max: u32,
     init: InitPolicy,
@@ -257,7 +352,7 @@ impl SaturatingConfidence {
         check_not_second_level(&index);
         assert!(max > 0, "counter max must be positive");
         let counters = (0..index.table_len())
-            .map(|i| SaturatingCounter::new(init.initial_count(max, i), max))
+            .map(|i| init.initial_count(max, i))
             .collect();
         Self {
             counters,
@@ -296,16 +391,17 @@ impl SaturatingConfidence {
 
 impl ConfidenceMechanism for SaturatingConfidence {
     fn read_key(&self, pc: u64, bhr: u64) -> u64 {
-        self.counters[self.slot(pc, bhr)].value() as u64
+        self.counters[self.slot(pc, bhr)] as u64
     }
 
     fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
         let slot = self.slot(pc, bhr);
-        if correct {
-            self.counters[slot].inc();
-        } else {
-            self.counters[slot].dec();
-        }
+        let max = self.max;
+        let v = &mut self.counters[slot];
+        // Branchless saturating ±1: the inc term vanishes at max, the dec
+        // term at zero, and `correct` selects between them.
+        let c = correct as u32;
+        *v = *v + (c & (*v < max) as u32) - ((1 - c) & (*v > 0) as u32);
         self.global_cir.push(correct);
     }
 
@@ -315,26 +411,32 @@ impl ConfidenceMechanism for SaturatingConfidence {
             "observe_batch slices must have equal lengths"
         );
         if let Some(fast) = self.index.compile_pc_bhr_xor() {
-            for i in 0..pcs.len() {
-                let counter = &mut self.counters[fast.index(pcs[i], bhrs[i])];
-                keys[i] = counter.value() as u64;
-                if correct[i] {
-                    counter.inc();
-                } else {
-                    counter.dec();
-                }
-                self.global_cir.push(correct[i]);
+            let max = self.max;
+            fast_batch(
+                &mut self.counters,
+                fast,
+                pcs,
+                bhrs,
+                correct,
+                keys,
+                |values, i| touch(values, i),
+                |values, slot, ok| {
+                    let v = values[slot];
+                    let c = ok as u32;
+                    values[slot] = v + (c & (v < max) as u32) - ((1 - c) & (v > 0) as u32);
+                    v as u64
+                },
+            );
+            for &ok in correct {
+                self.global_cir.push(ok);
             }
         } else {
             for i in 0..pcs.len() {
                 let slot = self.slot(pcs[i], bhrs[i]);
-                let counter = &mut self.counters[slot];
-                keys[i] = counter.value() as u64;
-                if correct[i] {
-                    counter.inc();
-                } else {
-                    counter.dec();
-                }
+                let v = &mut self.counters[slot];
+                keys[i] = *v as u64;
+                let c = correct[i] as u32;
+                *v = *v + (c & (*v < self.max) as u32) - ((1 - c) & (*v > 0) as u32);
                 self.global_cir.push(correct[i]);
             }
         }
@@ -352,8 +454,8 @@ impl ConfidenceMechanism for SaturatingConfidence {
     }
 
     fn flush(&mut self) {
-        for (i, c) in self.counters.iter_mut().enumerate() {
-            c.set(self.init.initial_count(self.max, i));
+        for (i, v) in self.counters.iter_mut().enumerate() {
+            *v = self.init.initial_count(self.max, i);
         }
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
     }
@@ -383,7 +485,8 @@ impl ConfidenceMechanism for SaturatingConfidence {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResettingConfidence {
-    counters: Vec<SaturatingCounter>,
+    /// Raw counter values (≤ `max`); see [`SaturatingConfidence::counters`].
+    counters: Vec<u32>,
     index: IndexSpec,
     max: u32,
     init: InitPolicy,
@@ -400,7 +503,7 @@ impl ResettingConfidence {
         check_not_second_level(&index);
         assert!(max > 0, "counter max must be positive");
         let counters = (0..index.table_len())
-            .map(|i| SaturatingCounter::new(init.initial_count(max, i), max))
+            .map(|i| init.initial_count(max, i))
             .collect();
         Self {
             counters,
@@ -439,16 +542,16 @@ impl ResettingConfidence {
 
 impl ConfidenceMechanism for ResettingConfidence {
     fn read_key(&self, pc: u64, bhr: u64) -> u64 {
-        self.counters[self.slot(pc, bhr)].value() as u64
+        self.counters[self.slot(pc, bhr)] as u64
     }
 
     fn update(&mut self, pc: u64, bhr: u64, correct: bool) {
         let slot = self.slot(pc, bhr);
-        if correct {
-            self.counters[slot].inc();
-        } else {
-            self.counters[slot].reset();
-        }
+        let max = self.max;
+        let v = &mut self.counters[slot];
+        // Branchless increment-or-clear: `correct` zeroes the whole result
+        // on a misprediction, the saturation term vanishes at max.
+        *v = (correct as u32) * (*v + (*v < max) as u32);
         self.global_cir.push(correct);
     }
 
@@ -458,26 +561,30 @@ impl ConfidenceMechanism for ResettingConfidence {
             "observe_batch slices must have equal lengths"
         );
         if let Some(fast) = self.index.compile_pc_bhr_xor() {
-            for i in 0..pcs.len() {
-                let counter = &mut self.counters[fast.index(pcs[i], bhrs[i])];
-                keys[i] = counter.value() as u64;
-                if correct[i] {
-                    counter.inc();
-                } else {
-                    counter.reset();
-                }
-                self.global_cir.push(correct[i]);
+            let max = self.max;
+            fast_batch(
+                &mut self.counters,
+                fast,
+                pcs,
+                bhrs,
+                correct,
+                keys,
+                |values, i| touch(values, i),
+                |values, slot, ok| {
+                    let v = values[slot];
+                    values[slot] = (ok as u32) * (v + (v < max) as u32);
+                    v as u64
+                },
+            );
+            for &ok in correct {
+                self.global_cir.push(ok);
             }
         } else {
             for i in 0..pcs.len() {
                 let slot = self.slot(pcs[i], bhrs[i]);
-                let counter = &mut self.counters[slot];
-                keys[i] = counter.value() as u64;
-                if correct[i] {
-                    counter.inc();
-                } else {
-                    counter.reset();
-                }
+                let v = &mut self.counters[slot];
+                keys[i] = *v as u64;
+                *v = (correct[i] as u32) * (*v + (*v < self.max) as u32);
                 self.global_cir.push(correct[i]);
             }
         }
@@ -495,8 +602,8 @@ impl ConfidenceMechanism for ResettingConfidence {
     }
 
     fn flush(&mut self) {
-        for (i, c) in self.counters.iter_mut().enumerate() {
-            c.set(self.init.initial_count(self.max, i));
+        for (i, v) in self.counters.iter_mut().enumerate() {
+            *v = self.init.initial_count(self.max, i);
         }
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
     }

@@ -95,6 +95,27 @@ impl CirTable {
         self.entries[index].push(correct);
     }
 
+    /// Hints that the entry at `index` will be accessed soon (x86_64
+    /// prefetch, plain touch elsewhere). Out-of-range indices are ignored.
+    #[inline]
+    pub fn prefetch(&self, index: usize) {
+        if let Some(e) = self.entries.get(index) {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `e` is a live reference, so the pointer is valid;
+            // prefetch has no architectural side effects.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    (e as *const Cir).cast::<i8>(),
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                std::hint::black_box(*e);
+            }
+        }
+    }
+
     /// Re-initializes every entry (models a context-switch flush).
     pub fn reinitialize(&mut self) {
         for (i, e) in self.entries.iter_mut().enumerate() {

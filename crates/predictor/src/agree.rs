@@ -8,8 +8,8 @@
 //! direction. Two aliasing branches that both usually agree reinforce each
 //! other instead of fighting.
 
-use crate::counter::TwoBitCounter;
-use crate::{mask, table_len, BranchPredictor};
+use crate::packed::{PackedTwoBit, BLOCK};
+use crate::{assert_batch_shape, mask, table_len, BranchPredictor};
 
 /// Agree predictor: PC-indexed bias bits + gshare-style agree counters.
 ///
@@ -25,9 +25,13 @@ use crate::{mask, table_len, BranchPredictor};
 #[derive(Debug, Clone)]
 pub struct Agree {
     /// Agree/disagree counters, indexed like gshare (PC ⊕ BHR).
-    counters: Vec<TwoBitCounter>,
-    /// Bias bits with a valid flag, indexed by PC.
-    bias: Vec<Option<bool>>,
+    counters: PackedTwoBit,
+    /// Whether the bias for entry `i` has been set (bit `i % 64` of word
+    /// `i / 64`). Together with `bias_dir` this packs the old
+    /// `Vec<Option<bool>>` into two bitmaps for branchless access.
+    bias_valid: Vec<u64>,
+    /// The cached bias direction; meaningful only where `bias_valid` is set.
+    bias_dir: Vec<u64>,
     table_bits: u32,
     history_bits: u32,
     bias_bits: u32,
@@ -49,10 +53,12 @@ impl Agree {
             history_bits <= table_bits,
             "history_bits {history_bits} must not exceed table_bits {table_bits}"
         );
+        let bias_words = table_len(bias_bits).div_ceil(64);
         Self {
             // Weakly-taken state doubles as "weakly agree".
-            counters: vec![TwoBitCounter::weakly_taken(); table_len(table_bits)],
-            bias: vec![None; table_len(bias_bits)],
+            counters: PackedTwoBit::new(table_len(table_bits), 2),
+            bias_valid: vec![0; bias_words],
+            bias_dir: vec![0; bias_words],
             table_bits,
             history_bits,
             bias_bits,
@@ -67,10 +73,36 @@ impl Agree {
         ((pc >> 2) & mask(self.bias_bits)) as usize
     }
 
+    /// Reads `(valid, direction)` for bias entry `bi`.
+    #[inline]
+    fn bias_entry(&self, bi: usize) -> (bool, bool) {
+        let bit = 1u64 << (bi % 64);
+        (
+            self.bias_valid[bi / 64] & bit != 0,
+            self.bias_dir[bi / 64] & bit != 0,
+        )
+    }
+
+    /// Installs `taken` as the bias of entry `bi` if it is not yet valid,
+    /// and returns the (possibly just-installed) bias — branchless
+    /// equivalent of the old `Option::get_or_insert`.
+    #[inline]
+    fn bias_get_or_insert(&mut self, bi: usize, taken: bool) -> bool {
+        let sh = bi % 64;
+        let bit = 1u64 << sh;
+        let valid = self.bias_valid[bi / 64] & bit != 0;
+        let dir = self.bias_dir[bi / 64] & bit != 0;
+        let bias = (valid & dir) | (!valid & taken);
+        self.bias_dir[bi / 64] |= ((!valid & taken) as u64) << sh;
+        self.bias_valid[bi / 64] |= bit;
+        bias
+    }
+
     /// The bias direction currently cached for `pc` (None before the
     /// branch's first update, or after an aliasing overwrite).
     pub fn bias_of(&self, pc: u64) -> Option<bool> {
-        self.bias[self.bias_index(pc)]
+        let (valid, dir) = self.bias_entry(self.bias_index(pc));
+        valid.then_some(dir)
     }
 }
 
@@ -78,21 +110,82 @@ impl BranchPredictor for Agree {
     fn predict(&self, pc: u64, bhr: u64) -> bool {
         // Until the bias is known, fall back to predicting taken (the
         // common static heuristic).
-        let bias = self.bias[self.bias_index(pc)].unwrap_or(true);
-        let agrees = self.counters[self.counter_index(pc, bhr)].predicts_taken();
-        if agrees {
-            bias
-        } else {
-            !bias
-        }
+        let (valid, dir) = self.bias_entry(self.bias_index(pc));
+        let bias = dir | !valid;
+        let agrees = self.counters.predicts_taken(self.counter_index(pc, bhr));
+        // agrees → bias, disagrees → !bias, i.e. XNOR.
+        !(bias ^ agrees)
     }
 
     fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
         let bi = self.bias_index(pc);
-        let bias = *self.bias[bi].get_or_insert(taken);
+        let bias = self.bias_get_or_insert(bi, taken);
         let agreed = taken == bias;
         let ci = self.counter_index(pc, bhr);
-        self.counters[ci].train(agreed);
+        self.counters.train(ci, agreed);
+    }
+
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        // Shares the two index computations between the halves; the bias
+        // must be read *before* a first-touch install, as in predict.
+        let bi = self.bias_index(pc);
+        let ci = self.counter_index(pc, bhr);
+        let (valid, dir) = self.bias_entry(bi);
+        let agrees = self.counters.predicts_taken(ci);
+        let predicted = !((dir | !valid) ^ agrees);
+        let bias = self.bias_get_or_insert(bi, taken);
+        self.counters.train(ci, taken == bias);
+        predicted
+    }
+
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        assert_batch_shape(pcs, bhrs, takens, out_correct);
+        let hmask = mask(self.history_bits);
+        let tmask = mask(self.table_bits);
+        let bmask = mask(self.bias_bits);
+        let n = pcs.len();
+        let mut ci = [0u32; BLOCK];
+        let mut bi = [0u32; BLOCK];
+        let mut start = 0;
+        while start < n {
+            let c = BLOCK.min(n - start);
+            // Phase 1: vectorizable index computation for both tables.
+            for (slot, (&pc, &h)) in ci[..c]
+                .iter_mut()
+                .zip(pcs[start..].iter().zip(&bhrs[start..]))
+            {
+                *slot = (((pc >> 2) ^ (h & hmask)) & tmask) as u32;
+            }
+            for (slot, &pc) in bi[..c].iter_mut().zip(&pcs[start..start + c]) {
+                *slot = ((pc >> 2) & bmask) as u32;
+            }
+            // Phase 2: touch the counter words (the bias bitmaps are tiny).
+            for &i in &ci[..c] {
+                self.counters.prefetch(i as usize);
+            }
+            // Phase 3: serial branchless read-modify-write.
+            let out = &mut out_correct[start..start + c];
+            for (((&i, &b), &t), oc) in ci[..c]
+                .iter()
+                .zip(&bi[..c])
+                .zip(&takens[start..start + c])
+                .zip(out)
+            {
+                let (valid, dir) = self.bias_entry(b as usize);
+                let agrees = self.counters.predicts_taken(i as usize);
+                let predicted = !((dir | !valid) ^ agrees);
+                let bias = self.bias_get_or_insert(b as usize, t);
+                self.counters.train(i as usize, t == bias);
+                *oc = predicted == t;
+            }
+            start += c;
+        }
     }
 
     fn describe(&self) -> String {
@@ -171,6 +264,32 @@ mod tests {
             miss > 300,
             "gshare should thrash on this alias pair: {miss}"
         );
+    }
+
+    #[test]
+    fn batch_matches_scalar_kernel() {
+        use crate::ScalarKernel;
+        let mut vector = Agree::new(5, 5, 4); // tiny tables: heavy aliasing
+        let mut scalar = ScalarKernel(Agree::new(5, 5, 4));
+        let mut x = 99u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n = 1000;
+        let pcs: Vec<u64> = (0..n).map(|_| next()).collect();
+        let bhrs: Vec<u64> = (0..n).map(|_| next()).collect();
+        let takens: Vec<bool> = (0..n).map(|_| next() & 1 == 1).collect();
+        let mut out_v = vec![false; n];
+        let mut out_s = vec![false; n];
+        vector.predict_train_batch(&pcs, &bhrs, &takens, &mut out_v);
+        scalar.predict_train_batch(&pcs, &bhrs, &takens, &mut out_s);
+        assert_eq!(out_v, out_s);
+        for &pc in pcs.iter().take(64) {
+            assert_eq!(vector.bias_of(pc), scalar.0.bias_of(pc));
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The bimodal predictor (J. E. Smith, ISCA 1981): a PC-indexed table of
 //! two-bit counters.
 
-use crate::counter::TwoBitCounter;
-use crate::{mask, table_len, BranchPredictor};
+use crate::packed::{batch_predict_train, PackedTwoBit};
+use crate::{assert_batch_shape, mask, table_len, BranchPredictor};
 
 /// PC-indexed two-bit-counter predictor.
 ///
@@ -23,7 +23,7 @@ use crate::{mask, table_len, BranchPredictor};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bimodal {
-    table: Vec<TwoBitCounter>,
+    table: PackedTwoBit,
     bits: u32,
 }
 
@@ -36,7 +36,7 @@ impl Bimodal {
     /// Panics if `bits` is 0 or greater than 28.
     pub fn new(bits: u32) -> Self {
         Self {
-            table: vec![TwoBitCounter::weakly_taken(); table_len(bits)],
+            table: PackedTwoBit::new(table_len(bits), 2),
             bits,
         }
     }
@@ -63,12 +63,31 @@ impl Bimodal {
 
 impl BranchPredictor for Bimodal {
     fn predict(&self, pc: u64, _bhr: u64) -> bool {
-        self.table[self.index(pc)].predicts_taken()
+        self.table.predicts_taken(self.index(pc))
     }
 
     fn update(&mut self, pc: u64, _bhr: u64, taken: bool) {
         let idx = self.index(pc);
-        self.table[idx].train(taken);
+        self.table.train(idx, taken);
+    }
+
+    fn predict_train(&mut self, pc: u64, _bhr: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        self.table.predict_train(idx, taken)
+    }
+
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        assert_batch_shape(pcs, bhrs, takens, out_correct);
+        let m = mask(self.bits);
+        batch_predict_train(&mut self.table, pcs, bhrs, takens, out_correct, |pc, _h| {
+            ((pc >> 2) & m) as usize
+        });
     }
 
     fn describe(&self) -> String {

@@ -5,8 +5,8 @@
 //! notes (§3.1) that XOR-composition beats concatenation for confidence
 //! tables, mirroring gshare-vs-gselect for prediction.
 
-use crate::counter::TwoBitCounter;
-use crate::{mask, table_len, BranchPredictor};
+use crate::packed::{batch_predict_train, PackedTwoBit};
+use crate::{assert_batch_shape, mask, table_len, BranchPredictor};
 
 /// Concatenated-index global-history predictor.
 ///
@@ -24,7 +24,7 @@ use crate::{mask, table_len, BranchPredictor};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GSelect {
-    table: Vec<TwoBitCounter>,
+    table: PackedTwoBit,
     table_bits: u32,
     history_bits: u32,
 }
@@ -43,7 +43,7 @@ impl GSelect {
             "history_bits {history_bits} must not exceed table_bits {table_bits}"
         );
         Self {
-            table: vec![TwoBitCounter::weakly_taken(); len],
+            table: PackedTwoBit::new(len, 2),
             table_bits,
             history_bits,
         }
@@ -70,12 +70,33 @@ impl GSelect {
 
 impl BranchPredictor for GSelect {
     fn predict(&self, pc: u64, bhr: u64) -> bool {
-        self.table[self.index(pc, bhr)].predicts_taken()
+        self.table.predicts_taken(self.index(pc, bhr))
     }
 
     fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
         let idx = self.index(pc, bhr);
-        self.table[idx].train(taken);
+        self.table.train(idx, taken);
+    }
+
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        let idx = self.index(pc, bhr);
+        self.table.predict_train(idx, taken)
+    }
+
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        assert_batch_shape(pcs, bhrs, takens, out_correct);
+        let pc_mask = mask(self.table_bits - self.history_bits);
+        let h_mask = mask(self.history_bits);
+        let h_bits = self.history_bits;
+        batch_predict_train(&mut self.table, pcs, bhrs, takens, out_correct, |pc, h| {
+            ((((pc >> 2) & pc_mask) << h_bits) | (h & h_mask)) as usize
+        });
     }
 
     fn describe(&self) -> String {

@@ -1,8 +1,8 @@
 //! The gshare predictor (McFarling, DEC WRL TN-36, 1993) — the underlying
 //! predictor of every experiment in the paper.
 
-use crate::counter::TwoBitCounter;
-use crate::{mask, table_len, BranchPredictor};
+use crate::packed::{batch_predict_train, PackedTwoBit};
+use crate::{assert_batch_shape, mask, table_len, BranchPredictor};
 
 /// Global-history predictor indexing its counter table with
 /// `PC ⊕ BHR`.
@@ -29,7 +29,7 @@ use crate::{mask, table_len, BranchPredictor};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gshare {
-    table: Vec<TwoBitCounter>,
+    table: PackedTwoBit,
     table_bits: u32,
     history_bits: u32,
 }
@@ -53,7 +53,8 @@ impl Gshare {
             history_bits = history_bits
         );
         Self {
-            table: vec![TwoBitCounter::weakly_taken(); len],
+            // Weakly taken (state 2) — the paper's initial value.
+            table: PackedTwoBit::new(len, 2),
             table_bits,
             history_bits,
         }
@@ -87,27 +88,39 @@ impl Gshare {
 
     /// The raw counter state at the index for `(pc, bhr)` (0..=3).
     pub fn counter_state(&self, pc: u64, bhr: u64) -> u32 {
-        self.table[self.index(pc, bhr)].state()
+        self.table.state(self.index(pc, bhr))
     }
 }
 
 impl BranchPredictor for Gshare {
     fn predict(&self, pc: u64, bhr: u64) -> bool {
-        self.table[self.index(pc, bhr)].predicts_taken()
+        self.table.predicts_taken(self.index(pc, bhr))
     }
 
     fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
         let idx = self.index(pc, bhr);
-        self.table[idx].train(taken);
+        self.table.train(idx, taken);
     }
 
     fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
         // One index computation and one table access for both halves.
         let idx = self.index(pc, bhr);
-        let counter = &mut self.table[idx];
-        let predicted = counter.predicts_taken();
-        counter.train(taken);
-        predicted
+        self.table.predict_train(idx, taken)
+    }
+
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        assert_batch_shape(pcs, bhrs, takens, out_correct);
+        let hmask = mask(self.history_bits);
+        let tmask = mask(self.table_bits);
+        batch_predict_train(&mut self.table, pcs, bhrs, takens, out_correct, |pc, h| {
+            (((pc >> 2) ^ (h & hmask)) & tmask) as usize
+        });
     }
 
     fn describe(&self) -> String {
@@ -184,6 +197,35 @@ mod tests {
         }
         let rate = wrong_late as f64 / n as f64;
         assert!(rate < 0.02, "late misprediction rate {rate}");
+    }
+
+    #[test]
+    fn batch_matches_scalar_kernel() {
+        use crate::ScalarKernel;
+        let mut vector = Gshare::new(6, 6); // tiny table: heavy aliasing
+        let mut scalar = ScalarKernel(Gshare::new(6, 6));
+        let mut x = 7u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n = 4097;
+        let pcs: Vec<u64> = (0..n).map(|_| next()).collect();
+        let bhrs: Vec<u64> = (0..n).map(|_| next()).collect();
+        let takens: Vec<bool> = (0..n).map(|_| next() & 1 == 1).collect();
+        let mut out_v = vec![false; n];
+        let mut out_s = vec![false; n];
+        vector.predict_train_batch(&pcs, &bhrs, &takens, &mut out_v);
+        scalar.predict_train_batch(&pcs, &bhrs, &takens, &mut out_s);
+        assert_eq!(out_v, out_s);
+        for (pc, h) in pcs.iter().zip(&bhrs).take(64) {
+            assert_eq!(
+                vector.counter_state(*pc, *h),
+                scalar.0.counter_state(*pc, *h)
+            );
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod gshare;
 pub mod history;
 pub mod hybrid;
 pub mod local;
+pub mod packed;
 pub mod statics;
 
 pub use agree::Agree;
@@ -58,6 +59,7 @@ pub use gshare::Gshare;
 pub use history::HistoryRegister;
 pub use hybrid::Hybrid;
 pub use local::LocalTwoLevel;
+pub use packed::PackedTwoBit;
 pub use statics::StaticDirection;
 
 /// A dynamic conditional-branch direction predictor.
@@ -87,8 +89,86 @@ pub trait BranchPredictor {
         predicted
     }
 
+    /// Predicts and trains a whole batch of resolved branches, writing
+    /// whether each prediction was correct into `out_correct`.
+    ///
+    /// `bhrs[i]` must be the global-history value *before* record `i`
+    /// resolved — the same value a scalar driver would pass to
+    /// [`predict_train`](Self::predict_train). Records are processed in
+    /// order: record `i`'s training is visible to record `j > i`, exactly
+    /// as in the scalar loop.
+    ///
+    /// The default implementation is the scalar per-record loop; overrides
+    /// (gshare, gselect, bimodal, agree) substitute the branchless
+    /// lane-parallel kernel and **must remain bit-identical** to the
+    /// default — the replay engine's scalar-equivalence suite relies on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four slices differ in length.
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        assert_batch_shape(pcs, bhrs, takens, out_correct);
+        for (((&pc, &h), &t), oc) in pcs
+            .iter()
+            .zip(bhrs)
+            .zip(takens)
+            .zip(out_correct.iter_mut())
+        {
+            *oc = self.predict_train(pc, h, t) == t;
+        }
+    }
+
     /// Short human-readable description (e.g. `"gshare(16,16)"`).
     fn describe(&self) -> String;
+}
+
+/// Validates that the four batch slices agree in length.
+pub(crate) fn assert_batch_shape(pcs: &[u64], bhrs: &[u64], takens: &[bool], out: &[bool]) {
+    assert!(
+        pcs.len() == bhrs.len() && pcs.len() == takens.len() && pcs.len() == out.len(),
+        "batch slices disagree in length: pcs {} bhrs {} takens {} out {}",
+        pcs.len(),
+        bhrs.len(),
+        takens.len(),
+        out.len()
+    );
+}
+
+/// Pins a predictor to the scalar per-record replay path.
+///
+/// Forwards everything *except* [`BranchPredictor::predict_train_batch`],
+/// so the trait's default scalar loop runs even when the wrapped predictor
+/// carries a vectorized override. This is the reference side of the
+/// scalar-vs-vector differential tests and of the `engine_throughput`
+/// kernel comparison; it is not intended for production replays.
+#[derive(Debug, Clone)]
+pub struct ScalarKernel<P>(pub P);
+
+impl<P: BranchPredictor> BranchPredictor for ScalarKernel<P> {
+    fn predict(&self, pc: u64, bhr: u64) -> bool {
+        self.0.predict(pc, bhr)
+    }
+
+    fn update(&mut self, pc: u64, bhr: u64, taken: bool) {
+        self.0.update(pc, bhr, taken)
+    }
+
+    fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
+        self.0.predict_train(pc, bhr, taken)
+    }
+
+    // predict_train_batch deliberately NOT forwarded: the default
+    // per-record loop over `predict_train` is the scalar reference.
+
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -102,6 +182,16 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
         (**self).predict_train(pc, bhr, taken)
+    }
+
+    fn predict_train_batch(
+        &mut self,
+        pcs: &[u64],
+        bhrs: &[u64],
+        takens: &[bool],
+        out_correct: &mut [bool],
+    ) {
+        (**self).predict_train_batch(pcs, bhrs, takens, out_correct)
     }
 
     fn describe(&self) -> String {
@@ -170,5 +260,49 @@ mod tests {
         assert_eq!(mask(1), 1);
         assert_eq!(mask(16), 0xffff);
         assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn default_batch_is_the_scalar_loop() {
+        // LocalTwoLevel has no batch override, so predict_train_batch must
+        // behave exactly like the per-record loop.
+        let mut batched = crate::LocalTwoLevel::new(4, 4);
+        let mut serial = crate::LocalTwoLevel::new(4, 4);
+        let pcs = [0x40u64, 0x80, 0x40, 0x40, 0x80];
+        let bhrs = [0u64; 5];
+        let takens = [true, false, true, true, false];
+        let mut out = [false; 5];
+        batched.predict_train_batch(&pcs, &bhrs, &takens, &mut out);
+        for i in 0..5 {
+            let correct = serial.predict_train(pcs[i], bhrs[i], takens[i]) == takens[i];
+            assert_eq!(out[i], correct, "record {i}");
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_suppresses_batch_override() {
+        // Same inputs through the vector batch and through ScalarKernel:
+        // outputs and final table state must agree (the override is
+        // bit-identical), and ScalarKernel must expose the inner describe.
+        let mut vector = crate::Gshare::new(4, 4);
+        let mut scalar = ScalarKernel(crate::Gshare::new(4, 4));
+        assert_eq!(scalar.describe(), "gshare(4,4)");
+        let pcs: Vec<u64> = (0..200u64).map(|i| i * 4).collect();
+        let bhrs: Vec<u64> = (0..200u64).map(|i| i * 7).collect();
+        let takens: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let mut out_v = vec![false; 200];
+        let mut out_s = vec![false; 200];
+        vector.predict_train_batch(&pcs, &bhrs, &takens, &mut out_v);
+        scalar.predict_train_batch(&pcs, &bhrs, &takens, &mut out_s);
+        assert_eq!(out_v, out_s);
+        assert_eq!(vector.counter_state(0, 0), scalar.0.counter_state(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree in length")]
+    fn batch_shape_mismatch_rejected() {
+        let mut p = crate::Bimodal::new(4);
+        let mut out = [false; 2];
+        p.predict_train_batch(&[0, 4, 8], &[0, 0, 0], &[true, true, true], &mut out);
     }
 }

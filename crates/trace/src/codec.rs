@@ -346,6 +346,27 @@ impl PackedTrace {
         self.taken[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// The per-record site-dictionary indices, for bulk (SoA) consumers
+    /// like the vectorized replay kernel.
+    pub fn site_indices(&self) -> &[u32] {
+        &self.site_idx
+    }
+
+    /// The site dictionary (distinct PCs in first-appearance order);
+    /// `site_indices()[i]` indexes into this slice.
+    pub fn site_pc_table(&self) -> &[u64] {
+        &self.site_pcs
+    }
+
+    /// The raw taken bitmap: bit `i % 64` of word `i / 64` is record `i`'s
+    /// outcome (LSB-first within each word). Bits at or beyond [`len`]
+    /// within the last word are zero.
+    ///
+    /// [`len`]: PackedTrace::len
+    pub fn taken_words(&self) -> &[u64] {
+        &self.taken
+    }
+
     /// Approximate heap footprint in bytes (used by cache budgeting).
     pub fn approx_bytes(&self) -> usize {
         self.site_pcs.capacity() * 8 + self.site_idx.capacity() * 4 + self.taken.capacity() * 8

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Rejects committed benchmark artifacts recorded at smoke trace lengths.
+#
+# The figure binaries honour CIRA_TRACE_LEN so CI can smoke-run them
+# cheaply — but the *committed* BENCH_*.json artifacts are the repo's
+# reference numbers and must always be recorded at the full reference
+# length (1M branches per benchmark). This guard fails the build if a
+# smoke-length artifact is ever checked in by mistake.
+#
+# Usage: scripts/check_bench_reference.sh [min_trace_len]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN=${1:-1000000}
+status=0
+
+for artifact in BENCH_engine.json BENCH_obs.json; do
+    if [ ! -f "$artifact" ]; then
+        echo "FAIL: $artifact is missing" >&2
+        status=1
+        continue
+    fi
+    len=$(grep -o '"trace_len": *[0-9]*' "$artifact" | head -n1 | grep -o '[0-9]*$' || true)
+    if [ -z "$len" ]; then
+        echo "FAIL: $artifact does not record a trace_len" >&2
+        status=1
+    elif [ "$len" -lt "$MIN" ]; then
+        echo "FAIL: $artifact recorded at trace_len=$len (< $MIN): re-record with" >&2
+        echo "      taskset -c 0 cargo run --release -p cira-bench --bin <bench>" >&2
+        status=1
+    else
+        echo "ok: $artifact recorded at trace_len=$len (>= $MIN)"
+    fi
+done
+
+exit $status
