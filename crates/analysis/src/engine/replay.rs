@@ -482,6 +482,66 @@ impl StreamingReplay {
     pub fn mechanism_describe(&self) -> String {
         self.mechanism.describe()
     }
+
+    /// The current global history register value — part of the replayer's
+    /// checkpointable state.
+    pub fn bhr_value(&self) -> u64 {
+        self.bhr.value()
+    }
+
+    /// Restores the global history register (masked to the driver width).
+    pub fn set_bhr(&mut self, value: u64) {
+        self.bhr.set(value);
+    }
+
+    /// Serializes the predictor's mutable table state
+    /// (see [`BranchPredictor::state_save`]).
+    pub fn predictor_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.predictor.state_save(&mut out);
+        out
+    }
+
+    /// Restores predictor state saved from an identically configured
+    /// replayer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob does not match the predictor's
+    /// configuration.
+    pub fn load_predictor_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.predictor.state_load(bytes)
+    }
+
+    /// Serializes the confidence mechanism's mutable table state
+    /// (see [`ConfidenceMechanism::state_save`]).
+    pub fn mechanism_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.mechanism.state_save(&mut out);
+        out
+    }
+
+    /// Restores mechanism state saved from an identically configured
+    /// replayer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob does not match the mechanism's
+    /// configuration.
+    pub fn load_mechanism_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.mechanism.state_load(bytes)
+    }
+
+    /// Replaces the accumulated per-key statistics (checkpoint restore).
+    pub fn restore_stats(&mut self, stats: BucketStats) {
+        self.stats = stats;
+    }
+
+    /// Replaces the accumulated branch/mispredict totals (checkpoint
+    /// restore).
+    pub fn restore_run(&mut self, run: PredictorRun) {
+        self.run = run;
+    }
 }
 
 #[cfg(test)]
@@ -594,6 +654,48 @@ mod tests {
             assert_eq!(streaming.run(), ref_run);
             assert_eq!(fed_miss, ref_run.mispredicts);
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical_mid_stream() {
+        // Save every piece of streaming state mid-trace, rebuild a fresh
+        // replayer, restore, and finish: stats and totals must match an
+        // uninterrupted replay in every bit.
+        let trace = packed(1, 20_000);
+        let build = || {
+            StreamingReplay::new(
+                Box::new(Gshare::new(11, 11)) as Box<dyn cira_predictor::BranchPredictor + Send>,
+                Box::new(ResettingConfidence::new(
+                    IndexSpec::pc_xor_bhr(11),
+                    16,
+                    InitPolicy::AllOnes,
+                )) as Box<dyn ConfidenceMechanism + Send>,
+            )
+        };
+        let mut uninterrupted = build();
+        uninterrupted.feed(&trace.iter().collect());
+
+        let first: PackedTrace = trace.iter().take(9_000).collect();
+        let rest: PackedTrace = trace.iter().skip(9_000).collect();
+        let mut before = build();
+        before.feed(&first);
+        let predictor_blob = before.predictor_state();
+        let mechanism_blob = before.mechanism_state();
+        let bhr = before.bhr_value();
+        let stats = before.stats().clone();
+        let run = before.run();
+        drop(before);
+
+        let mut after = build();
+        after.load_predictor_state(&predictor_blob).unwrap();
+        after.load_mechanism_state(&mechanism_blob).unwrap();
+        after.set_bhr(bhr);
+        after.restore_stats(stats);
+        after.restore_run(run);
+        after.feed(&rest);
+
+        assert_eq!(after.stats(), uninterrupted.stats());
+        assert_eq!(after.run(), uninterrupted.run());
     }
 
     #[test]

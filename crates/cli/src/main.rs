@@ -60,13 +60,18 @@ COMMANDS
   serve                      run the streaming confidence server
       [--addr HOST:PORT] [--port-file FILE] [--metrics-port PORT]
       [--max-frame BYTES] [--max-inflight N]
-      [--write-timeout SECS] [--max-sessions N]
+      [--write-timeout SECS] [--max-sessions N] [--idle-timeout SECS]
+      [--park-capacity N] [--park-ttl SECS]
+      [--park-dir DIR] [--park-disk-capacity BYTES]
   replay                     stream a trace through a running server
       --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
       [--batch N] [--verify] [--retries N] [--timeout SECS]
+      [--park] [--resume TOKEN]
       plus the `confidence` spec flags
   stats                      inspect a running server's live metrics
       --connect HOST:PORT [--retries N] [--timeout SECS]
+  store inspect FILE         examine a durable park store (*.cirstore)
+      [--decode]             also decode each CIRD checkpoint
   help                       show this text
 
 GLOBAL FLAGS
@@ -132,6 +137,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
         "stats" => cmd_stats(&args),
+        "store" => cmd_store(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -412,6 +418,11 @@ fn cmd_serve(args: &Args) -> CliResult {
         "max-inflight",
         "write-timeout",
         "max-sessions",
+        "idle-timeout",
+        "park-capacity",
+        "park-ttl",
+        "park-dir",
+        "park-disk-capacity",
     ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let mut cfg = cira_serve::ServerConfig::default();
@@ -428,6 +439,29 @@ fn cmd_serve(args: &Args) -> CliResult {
     cfg.max_sessions = args.get_or("max-sessions", cfg.max_sessions, "a session count")?;
     if cfg.max_sessions == 0 {
         return Err("--max-sessions must be positive".into());
+    }
+    // Idle/TTL flags follow the write-timeout convention: seconds on the
+    // command line, milliseconds in the config, 0 disables.
+    if let Some(secs) = args.get_parsed::<u64>("idle-timeout", "a timeout in seconds")? {
+        cfg.idle_timeout_ms = secs.saturating_mul(1000);
+    }
+    cfg.park_capacity = args.get_or("park-capacity", cfg.park_capacity, "a session count")?;
+    if let Some(secs) = args.get_parsed::<u64>("park-ttl", "a TTL in seconds")? {
+        if secs == 0 {
+            return Err("--park-ttl must be positive".into());
+        }
+        cfg.park_ttl_ms = secs.saturating_mul(1000);
+    }
+    if let Some(dir) = args.get("park-dir") {
+        cfg.park_dir = Some(std::path::PathBuf::from(dir));
+    }
+    cfg.park_disk_capacity = args.get_or(
+        "park-disk-capacity",
+        cfg.park_disk_capacity,
+        "a byte budget (0 = unlimited)",
+    )?;
+    if cfg.park_disk_capacity != 0 && cfg.park_dir.is_none() {
+        return Err("--park-disk-capacity needs --park-dir".into());
     }
     if let Some(port) = args.get_parsed::<u16>("metrics-port", "a TCP port")? {
         // Same interface as the protocol listener, so a local server stays
@@ -462,7 +496,7 @@ fn cmd_replay(args: &Args) -> CliResult {
             TRACE_FLAGS,
             CONF_FLAGS,
             CLIENT_FLAGS,
-            &["connect", "batch", "threshold", "verify"],
+            &["connect", "batch", "threshold", "verify", "park", "resume"],
         ]
         .concat(),
     )?;
@@ -481,10 +515,26 @@ fn cmd_replay(args: &Args) -> CliResult {
     let records = load_trace(args)?;
     let trace: codec::PackedTrace = records.iter().copied().collect();
 
-    let mut client = client_builder(args, &addr)?.connect(config.clone())?;
-    println!("connected to {addr} (session {})", client.session_id());
-    println!("predictor: {}", client.predictor());
-    println!("mechanism: {}", client.mechanism());
+    let resume = args.get_parsed::<u64>("resume", "a resume token")?;
+    if resume.is_some() && args.has("verify") {
+        return Err("--verify replays the whole trace locally; it cannot follow --resume".into());
+    }
+    let mut client = match resume {
+        // A parked session: the server restores predictor, mechanism, and
+        // statistics from its durable store; the spec flags are ignored.
+        Some(token) => {
+            let client = client_builder(args, &addr)?.resume(token)?;
+            println!("resumed session {} on {addr}", client.session_id());
+            client
+        }
+        None => {
+            let client = client_builder(args, &addr)?.connect(config.clone())?;
+            println!("connected to {addr} (session {})", client.session_id());
+            println!("predictor: {}", client.predictor());
+            println!("mechanism: {}", client.mechanism());
+            client
+        }
+    };
     let totals = client.stream(&trace, batch)?;
     if client.retries() > 0 {
         println!(
@@ -523,7 +573,12 @@ fn cmd_replay(args: &Args) -> CliResult {
         100.0 * mispredicts as f64 / records.max(1) as f64,
         100.0 * low as f64 / records.max(1) as f64,
     );
-    client.goodbye()?;
+    if args.has("park") {
+        let token = client.park()?;
+        println!("parked durably; resume with: cira replay --connect {addr} --resume {token}");
+    } else {
+        client.goodbye()?;
+    }
 
     if args.has("verify") {
         // Re-run locally and require bit-identical bucket statistics.
@@ -585,6 +640,68 @@ fn cmd_stats(args: &Args) -> CliResult {
             h.quantile(0.90),
             h.quantile(0.99),
         );
+    }
+    Ok(())
+}
+
+fn cmd_store(args: &Args) -> CliResult {
+    args.check_known(&["decode"])?;
+    let (sub, path) = match args.positional() {
+        [sub, path] => (sub.as_str(), path.as_str()),
+        _ => return Err("usage: cira store inspect FILE [--decode]".into()),
+    };
+    if sub != "inspect" {
+        return Err(format!("unknown store subcommand {sub:?}; try `cira store inspect FILE`").into());
+    }
+    // Capacity 0 = no byte budget: inspection never needs to write.
+    let mut store = cira_store::SessionStore::open(std::path::Path::new(path), 0)?;
+    let bytes = std::fs::metadata(path)?.len();
+    let now_ms = cira_serve::park::unix_now_ms();
+    println!("store:        {path}");
+    println!(
+        "file size:    {bytes} bytes ({} pages of {})",
+        bytes / cira_store::page::PAGE_SIZE as u64,
+        cira_store::page::PAGE_SIZE
+    );
+    println!("live records: {}", store.len());
+    println!("bytes used:   {}", store.bytes_used());
+    let mut entries = store.entries();
+    entries.sort_by_key(|(token, _)| *token);
+    if !entries.is_empty() {
+        println!();
+        println!(
+            "{:>20} {:>10} {:>6} {:>14} {:>10}",
+            "token", "session", "epoch", "deadline", "blob"
+        );
+    }
+    for (token, meta) in entries {
+        let (_, blob) = store.get(token)?;
+        let deadline = if meta.deadline_unix_ms == 0 {
+            "never".to_owned()
+        } else if meta.deadline_unix_ms <= now_ms {
+            "expired".to_owned()
+        } else {
+            format!("+{:.1}s", (meta.deadline_unix_ms - now_ms) as f64 / 1000.0)
+        };
+        println!(
+            "{:>20} {:>10} {:>6} {:>14} {:>10}",
+            token,
+            meta.session_id,
+            meta.epoch,
+            deadline,
+            format!("{} B", blob.len()),
+        );
+        if args.has("decode") {
+            let c = cira_store::Checkpoint::decode(&blob)?;
+            println!(
+                "{:>20}   predictor {} | mechanism {} | index {} | init {} | threshold {}",
+                "", c.predictor, c.mechanism, c.index, c.init, c.threshold
+            );
+            println!(
+                "{:>20}   {} branches in {} batches, {} mispredicts, {} low-confidence, last seq {:?}",
+                "", c.branches, c.batches, c.mispredicts, c.low_confidence, c.last_seq
+            );
+        }
     }
     Ok(())
 }

@@ -198,6 +198,11 @@ fn malformed_specs_fail_with_usage_in_the_message() {
 
 /// Starts `cira serve` on an ephemeral port and returns (child, port).
 fn start_server(port_file: &std::path::Path) -> (std::process::Child, u16) {
+    start_server_with(port_file, &[])
+}
+
+/// Starts `cira serve` with extra flags and returns (child, port).
+fn start_server_with(port_file: &std::path::Path, extra: &[&str]) -> (std::process::Child, u16) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_cira"))
         .args([
             "serve",
@@ -206,6 +211,7 @@ fn start_server(port_file: &std::path::Path) -> (std::process::Child, u16) {
             "--port-file",
             port_file.to_str().unwrap(),
         ])
+        .args(extra)
         .stdout(std::process::Stdio::null())
         .spawn()
         .expect("server starts");
@@ -265,6 +271,87 @@ fn serve_and_replay_verify_bit_identical() {
 
     server.kill().expect("stop server");
     let _ = server.wait();
+}
+
+/// Runs `cira replay`, asserts success, and returns stdout.
+fn replay_ok(args: &[&str]) -> String {
+    let out = cira(&[&["replay"], args].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    stdout(&out)
+}
+
+/// Extracts the resume token from `replay --park` output.
+fn park_token(text: &str) -> String {
+    text.lines()
+        .find(|l| l.contains("--resume"))
+        .and_then(|l| l.rsplit(' ').next())
+        .unwrap_or_else(|| panic!("no resume token in:\n{text}"))
+        .to_owned()
+}
+
+/// Extracts the `streamed N records ...` summary line.
+fn streamed_line(text: &str) -> String {
+    text.lines()
+        .find(|l| l.starts_with("streamed "))
+        .unwrap_or_else(|| panic!("no streamed line in:\n{text}"))
+        .to_owned()
+}
+
+#[test]
+fn park_survives_kill_dash_nine_and_resumes() {
+    let park_dir = temp_path("park9");
+    let store_file = park_dir.join("park.cirstore");
+    let _ = std::fs::remove_dir_all(&park_dir);
+    let park_flags = ["--park-dir", park_dir.to_str().unwrap()];
+
+    let (mut first, port) = start_server_with(&temp_path("park9-a.port"), &park_flags);
+    let addr = format!("127.0.0.1:{port}");
+
+    // Two sessions fed the identical head (the bench walker is seeded, so
+    // both replays see the same records), both parked durably.
+    let head = ["--bench", "gcc", "--len", "20000"];
+    let token_crash = park_token(&replay_ok(
+        &[&["--connect", &addr], &head[..], &["--park"]].concat(),
+    ));
+    let token_control = park_token(&replay_ok(
+        &[&["--connect", &addr], &head[..], &["--park"]].concat(),
+    ));
+
+    // Control: resume on the SAME server process (no crash) and stream a
+    // tail. Its per-batch totals are the no-crash reference.
+    let tail = ["--bench", "jpeg", "--len", "8000"];
+    let control = streamed_line(&replay_ok(
+        &[&["--connect", &addr, "--resume", &token_control], &tail[..]].concat(),
+    ));
+
+    // kill -9: no drain, no flush, no goodbye.
+    first.kill().expect("SIGKILL server");
+    let _ = first.wait();
+
+    // The store on disk still holds exactly the un-resumed session (the
+    // control session's record was removed durably when it was taken).
+    let out = cira(&["store", "inspect", store_file.to_str().unwrap(), "--decode"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("live records: 1"), "{text}");
+    assert!(text.contains(&token_crash), "{text}");
+    assert!(text.contains("20000 branches"), "{text}");
+
+    // A fresh process on the same directory recovers the park index; the
+    // resumed session must behave exactly like the un-crashed control.
+    let (mut second, port) = start_server_with(&temp_path("park9-b.port"), &park_flags);
+    let addr = format!("127.0.0.1:{port}");
+    let crashed = streamed_line(&replay_ok(
+        &[&["--connect", &addr, "--resume", &token_crash], &tail[..]].concat(),
+    ));
+    assert_eq!(
+        crashed, control,
+        "post-crash resume diverged from the no-crash control"
+    );
+
+    second.kill().expect("stop server");
+    let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&park_dir);
 }
 
 #[test]

@@ -115,6 +115,37 @@ pub trait ConfidenceMechanism {
     /// models the context-switch flush discussed (but not studied) in
     /// §5.4. Global history is owned by the driver and is *not* affected.
     fn flush(&mut self);
+
+    /// Appends this mechanism's **mutable** state (table entries, counters,
+    /// the global CIR) to `out` using the `cira_predictor::state` byte
+    /// discipline. Configuration — index spec, widths, init policy — is
+    /// *not* serialized: checkpoints carry the spec string separately and
+    /// rebuild the mechanism before loading state into it.
+    ///
+    /// Stateless mechanisms write nothing (the default).
+    fn state_save(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores mutable state from bytes produced by
+    /// [`state_save`](Self::state_save) on an **identically configured**
+    /// instance. After a successful load the mechanism must behave
+    /// bit-identically to the instance that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob is truncated, oversized, or does not
+    /// match this mechanism's configuration. The default accepts only an
+    /// empty blob (the stateless mechanism's save output).
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} carries no serializable state but got a {}-byte blob",
+                self.describe(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 impl<M: ConfidenceMechanism + ?Sized> ConfidenceMechanism for Box<M> {
@@ -140,6 +171,14 @@ impl<M: ConfidenceMechanism + ?Sized> ConfidenceMechanism for Box<M> {
 
     fn flush(&mut self) {
         (**self).flush()
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        (**self).state_save(out)
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).state_load(bytes)
     }
 }
 
@@ -176,6 +215,14 @@ impl<M: ConfidenceMechanism> ConfidenceMechanism for ScalarObserve<M> {
 
     fn flush(&mut self) {
         self.0.flush()
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        self.0.state_save(out)
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.0.state_load(bytes)
     }
 }
 

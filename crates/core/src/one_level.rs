@@ -90,6 +90,23 @@ fn fast_batch<S>(
     }
 }
 
+/// Validates and installs restored counter values: the count must match the
+/// table and every value must be within `0..=max`.
+fn load_counters(into: &mut [u32], values: &[u32], max: u32, what: &str) -> Result<(), String> {
+    if values.len() != into.len() {
+        return Err(format!(
+            "{what} restore: {} counters, table needs {}",
+            values.len(),
+            into.len()
+        ));
+    }
+    if let Some(v) = values.iter().find(|&&v| v > max) {
+        return Err(format!("{what} restore: counter {v} exceeds max {max}"));
+    }
+    into.copy_from_slice(values);
+    Ok(())
+}
+
 /// Prefetches (x86_64) or touches (elsewhere) the slice element at `i`.
 /// Out-of-range indices are ignored.
 #[inline]
@@ -247,6 +264,20 @@ impl ConfidenceMechanism for OneLevelCir {
         self.table.reinitialize();
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        cira_predictor::state::put_u32_slice(out, &self.table.entry_bits());
+        cira_predictor::state::put_u32(out, self.global_cir.value());
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = cira_predictor::state::StateReader::new(bytes);
+        let bits = r.u32_vec()?;
+        let global = r.u32()?;
+        self.table.load_entry_bits(&bits)?;
+        self.global_cir = Cir::from_bits(global, GLOBAL_CIR_WIDTH);
+        r.finish()
+    }
 }
 
 /// Wraps a mechanism, exposing `map(key)` as the key — e.g. a ones count
@@ -322,6 +353,14 @@ impl<M: ConfidenceMechanism> ConfidenceMechanism for MappedKey<M> {
 
     fn flush(&mut self) {
         self.inner.flush();
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        self.inner.state_save(out)
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.inner.state_load(bytes)
     }
 }
 
@@ -458,6 +497,20 @@ impl ConfidenceMechanism for SaturatingConfidence {
             *v = self.init.initial_count(self.max, i);
         }
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        cira_predictor::state::put_u32_slice(out, &self.counters);
+        cira_predictor::state::put_u32(out, self.global_cir.value());
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = cira_predictor::state::StateReader::new(bytes);
+        let counters = r.u32_vec()?;
+        let global = r.u32()?;
+        load_counters(&mut self.counters, &counters, self.max, "saturating")?;
+        self.global_cir = Cir::from_bits(global, GLOBAL_CIR_WIDTH);
+        r.finish()
     }
 }
 
@@ -606,6 +659,20 @@ impl ConfidenceMechanism for ResettingConfidence {
             *v = self.init.initial_count(self.max, i);
         }
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        cira_predictor::state::put_u32_slice(out, &self.counters);
+        cira_predictor::state::put_u32(out, self.global_cir.value());
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = cira_predictor::state::StateReader::new(bytes);
+        let counters = r.u32_vec()?;
+        let global = r.u32()?;
+        load_counters(&mut self.counters, &counters, self.max, "resetting")?;
+        self.global_cir = Cir::from_bits(global, GLOBAL_CIR_WIDTH);
+        r.finish()
     }
 }
 

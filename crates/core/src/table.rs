@@ -116,6 +116,40 @@ impl CirTable {
         }
     }
 
+    /// The raw bit pattern of every entry, in index order — the table's
+    /// checkpointable state (width and init policy are configuration).
+    pub fn entry_bits(&self) -> Vec<u32> {
+        self.entries.iter().map(Cir::value).collect()
+    }
+
+    /// Restores every entry from raw bit patterns produced by
+    /// [`entry_bits`](Self::entry_bits) on an identically configured table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the entry count differs or any pattern has bits
+    /// above the table's CIR width.
+    pub fn load_entry_bits(&mut self, bits: &[u32]) -> Result<(), String> {
+        if bits.len() != self.entries.len() {
+            return Err(format!(
+                "cir table restore: {} entries, table needs {}",
+                bits.len(),
+                self.entries.len()
+            ));
+        }
+        let mask = Cir::from_bits(0, self.width).mask();
+        if let Some(b) = bits.iter().find(|&&b| b & !mask != 0) {
+            return Err(format!(
+                "cir table restore: pattern {b:#x} exceeds {}-bit CIR width",
+                self.width
+            ));
+        }
+        for (e, &b) in self.entries.iter_mut().zip(bits) {
+            *e = Cir::from_bits(b, self.width);
+        }
+        Ok(())
+    }
+
     /// Re-initializes every entry (models a context-switch flush).
     pub fn reinitialize(&mut self) {
         for (i, e) in self.entries.iter_mut().enumerate() {

@@ -181,6 +181,23 @@ impl ConfidenceMechanism for TwoLevelCir {
         self.level2.reinitialize();
         self.global_cir = Cir::zeroed(GLOBAL_CIR_WIDTH);
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        cira_predictor::state::put_u32_slice(out, &self.level1.entry_bits());
+        cira_predictor::state::put_u32_slice(out, &self.level2.entry_bits());
+        cira_predictor::state::put_u32(out, self.global_cir.value());
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = cira_predictor::state::StateReader::new(bytes);
+        let l1 = r.u32_vec()?;
+        let l2 = r.u32_vec()?;
+        let global = r.u32()?;
+        self.level1.load_entry_bits(&l1)?;
+        self.level2.load_entry_bits(&l2)?;
+        self.global_cir = Cir::from_bits(global, GLOBAL_CIR_WIDTH);
+        r.finish()
+    }
 }
 
 #[cfg(test)]

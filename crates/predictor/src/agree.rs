@@ -194,6 +194,31 @@ impl BranchPredictor for Agree {
             self.table_bits, self.history_bits, self.bias_bits
         )
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        crate::state::put_u64_slice(out, self.counters.words());
+        crate::state::put_u64_slice(out, &self.bias_valid);
+        crate::state::put_u64_slice(out, &self.bias_dir);
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = crate::state::StateReader::new(bytes);
+        let counters = r.u64_vec()?;
+        let valid = r.u64_vec()?;
+        let dir = r.u64_vec()?;
+        if valid.len() != self.bias_valid.len() || dir.len() != self.bias_dir.len() {
+            return Err(format!(
+                "agree restore: bias bitmaps of {}/{} words, table needs {}",
+                valid.len(),
+                dir.len(),
+                self.bias_valid.len()
+            ));
+        }
+        self.counters.load_words(&counters)?;
+        self.bias_valid = valid;
+        self.bias_dir = dir;
+        r.finish()
+    }
 }
 
 #[cfg(test)]

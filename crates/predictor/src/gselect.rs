@@ -102,6 +102,16 @@ impl BranchPredictor for GSelect {
     fn describe(&self) -> String {
         format!("gselect({},{})", self.table_bits, self.history_bits)
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        crate::state::put_u64_slice(out, self.table.words());
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = crate::state::StateReader::new(bytes);
+        self.table.load_words(&r.u64_vec()?)?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,38 @@ impl<A: BranchPredictor, B: BranchPredictor> BranchPredictor for Hybrid<A, B> {
             self.chooser_bits
         )
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        let mut first = Vec::new();
+        self.first.state_save(&mut first);
+        crate::state::put_blob(out, &first);
+        let mut second = Vec::new();
+        self.second.state_save(&mut second);
+        crate::state::put_blob(out, &second);
+        let states: Vec<u32> = self.chooser.iter().map(TwoBitCounter::state).collect();
+        crate::state::put_u32_slice(out, &states);
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = crate::state::StateReader::new(bytes);
+        let first = r.blob()?.to_vec();
+        let second = r.blob()?.to_vec();
+        let states = r.u32_vec()?;
+        if states.len() != self.chooser.len() {
+            return Err(format!(
+                "hybrid restore: {} chooser states, table needs {}",
+                states.len(),
+                self.chooser.len()
+            ));
+        }
+        if let Some(s) = states.iter().find(|&&s| s > 3) {
+            return Err(format!("hybrid restore: chooser state {s} out of 0..=3"));
+        }
+        self.first.state_load(&first)?;
+        self.second.state_load(&second)?;
+        self.chooser = states.iter().map(|&s| TwoBitCounter::with_state(s)).collect();
+        r.finish()
+    }
 }
 
 #[cfg(test)]

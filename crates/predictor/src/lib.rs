@@ -49,6 +49,7 @@ pub mod history;
 pub mod hybrid;
 pub mod local;
 pub mod packed;
+pub mod state;
 pub mod statics;
 
 pub use agree::Agree;
@@ -126,6 +127,37 @@ pub trait BranchPredictor {
 
     /// Short human-readable description (e.g. `"gshare(16,16)"`).
     fn describe(&self) -> String;
+
+    /// Appends this predictor's **mutable** state (table words, histories,
+    /// counters) to `out` using the [`state`] byte discipline. The
+    /// immutable configuration — table sizes, index widths — is *not*
+    /// serialized: checkpoints carry the spec string separately and rebuild
+    /// the predictor before loading state into it.
+    ///
+    /// Stateless predictors write nothing (the default).
+    fn state_save(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores mutable state from bytes produced by
+    /// [`state_save`](Self::state_save) on an **identically configured**
+    /// instance. After a successful load the predictor must behave
+    /// bit-identically to the instance that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob is truncated, oversized, or does not
+    /// match this predictor's configuration. The default accepts only an
+    /// empty blob (the stateless predictor's save output).
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} carries no serializable state but got a {}-byte blob",
+                self.describe(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// Validates that the four batch slices agree in length.
@@ -169,6 +201,14 @@ impl<P: BranchPredictor> BranchPredictor for ScalarKernel<P> {
     fn describe(&self) -> String {
         self.0.describe()
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        self.0.state_save(out)
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.0.state_load(bytes)
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -196,6 +236,14 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn describe(&self) -> String {
         (**self).describe()
+    }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        (**self).state_save(out)
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).state_load(bytes)
     }
 }
 

@@ -76,6 +76,33 @@ impl BranchPredictor for LocalTwoLevel {
     fn describe(&self) -> String {
         format!("local({},{})", self.bht_bits, self.history_bits)
     }
+
+    fn state_save(&self, out: &mut Vec<u8>) {
+        crate::state::put_u64_slice(out, &self.histories);
+        let states: Vec<u32> = self.pht.iter().map(TwoBitCounter::state).collect();
+        crate::state::put_u32_slice(out, &states);
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = crate::state::StateReader::new(bytes);
+        let histories = r.u64_vec()?;
+        let states = r.u32_vec()?;
+        if histories.len() != self.histories.len() || states.len() != self.pht.len() {
+            return Err(format!(
+                "local restore: {} histories / {} pht states, table needs {}/{}",
+                histories.len(),
+                states.len(),
+                self.histories.len(),
+                self.pht.len()
+            ));
+        }
+        if let Some(s) = states.iter().find(|&&s| s > 3) {
+            return Err(format!("local restore: pht state {s} out of 0..=3"));
+        }
+        self.histories = histories;
+        self.pht = states.iter().map(|&s| TwoBitCounter::with_state(s)).collect();
+        r.finish()
+    }
 }
 
 #[cfg(test)]

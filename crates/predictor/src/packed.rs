@@ -117,6 +117,34 @@ impl PackedTwoBit {
         s >= 2
     }
 
+    /// The packed backing words — 32 counters per `u64`, counter `i` in
+    /// bits `2*(i % 32)..` of word `i / 32`. Exposed for checkpoint
+    /// serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replaces the backing words with `words` (a checkpoint restore).
+    /// Every 2-bit lane is a valid counter state by construction, so only
+    /// the word count needs validating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `words` does not have exactly the word count
+    /// this table was created with.
+    pub fn load_words(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.words.len() {
+            return Err(format!(
+                "packed table restore: got {} words, table of {} counters needs {}",
+                words.len(),
+                self.len,
+                self.words.len()
+            ));
+        }
+        self.words.copy_from_slice(words);
+        Ok(())
+    }
+
     /// Hints that the word holding counter `i` will be accessed soon.
     ///
     /// On x86_64 this issues an L1 prefetch; elsewhere it degrades to a

@@ -60,6 +60,15 @@ pub enum ClientError {
         /// The server's message.
         message: String,
     },
+    /// The server's disk park tier is at capacity (`STORE_FULL`,
+    /// rev 1.3). The session is still attached: keep streaming, or back
+    /// off for the hint and ask to park again.
+    StoreFull {
+        /// The server's suggested wait before retrying, milliseconds.
+        retry_after_ms: u32,
+        /// The server's message.
+        message: String,
+    },
     /// The server sent a well-formed frame we did not expect here.
     Unexpected(String),
 }
@@ -76,6 +85,13 @@ impl fmt::Display for ClientError {
                 retry_after_ms,
                 message,
             } => write!(f, "server busy (retry after {retry_after_ms} ms): {message}"),
+            ClientError::StoreFull {
+                retry_after_ms,
+                message,
+            } => write!(
+                f,
+                "server park store full (retry after {retry_after_ms} ms): {message}"
+            ),
             ClientError::Unexpected(m) => write!(f, "unexpected server frame: {m}"),
         }
     }
@@ -348,6 +364,106 @@ impl ClientBuilder {
         self.connect_inner(None)
     }
 
+    /// Re-attaches to a parked session by resume token (rev 1.3): the
+    /// crash-recovery entry point. A *fresh process* — possibly talking
+    /// to a freshly restarted server that recovered the park from its
+    /// disk tier — adopts the session and continues streaming where the
+    /// last cumulative ack left off (`next_seq` continues after the
+    /// server's last acked sequence number).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`code::UNKNOWN_SESSION`] when the
+    /// token names nothing (expired, evicted, or already resumed);
+    /// connect failures and `BUSY` sheds after retries.
+    pub fn resume(self, token: u64) -> Result<Client, ClientError> {
+        let mut rng = self.retry.jitter_seed;
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_resume_fresh(token) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    attempt += 1;
+                    let retryable = e.is_transport() || matches!(e, ClientError::Busy { .. });
+                    if !retryable || attempt > self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    if let Some(d) = self.retry.deadline {
+                        if started.elapsed() >= d {
+                            return Err(e);
+                        }
+                    }
+                    let mut delay = self.retry.backoff(attempt, &mut rng);
+                    if let ClientError::Busy { retry_after_ms, .. } = &e {
+                        delay = delay.max(Duration::from_millis(u64::from(*retry_after_ms)));
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// One dial + `RESUME` attempt from a token alone (no prior client
+    /// state to reconcile — the server's totals are adopted wholesale).
+    fn try_resume_fresh(&self, token: u64) -> Result<Client, ClientError> {
+        let stream = self.dial()?;
+        let mut client = Client {
+            stream,
+            builder: self.clone(),
+            session: 0,
+            token: Some(token),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 1,
+            predictor: String::new(),
+            mechanism: String::new(),
+            next_seq: 0,
+            unacked: Vec::new(),
+            totals: StreamTotals::default(),
+            retries: 0,
+            resumes: 0,
+            rng: self.retry.jitter_seed ^ 0xc0ff_ee00,
+        };
+        client.send(&ClientFrame::Resume {
+            version: PROTO_VERSION,
+            token,
+        })?;
+        match client.recv()? {
+            ServerFrame::ResumeAck {
+                session,
+                last_seq,
+                batches,
+                records,
+                mispredicts,
+                low_confidence,
+                max_frame,
+                max_inflight,
+            } => {
+                client.session = session;
+                client.max_frame = max_frame;
+                client.max_inflight = max_inflight.max(1);
+                client.totals = StreamTotals {
+                    batches,
+                    records,
+                    mispredicts,
+                    low_confidence,
+                };
+                client.next_seq = last_seq.map_or(0, |s| s.wrapping_add(1));
+                client.resumes = 1;
+                Ok(client)
+            }
+            ServerFrame::Busy {
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Busy {
+                retry_after_ms,
+                message,
+            }),
+            ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     fn connect_inner(self, config: Option<HelloConfig>) -> Result<Client, ClientError> {
         let mut rng = self.retry.jitter_seed;
         let started = Instant::now();
@@ -532,6 +648,14 @@ impl Client {
     /// The server's parsed mechanism description.
     pub fn mechanism(&self) -> &str {
         &self.mechanism
+    }
+
+    /// The session's resume token, if one was negotiated (rev 1.2).
+    /// Save it across process restarts: [`ClientBuilder::resume`] (or a
+    /// `RESUME` frame from any client) re-attaches with it — including
+    /// after the *server* restarts, when it runs a durable park.
+    pub fn resume_token(&self) -> Option<u64> {
+        self.token
     }
 
     /// Reconnect attempts made over this client's lifetime (rev 1.2).
@@ -874,6 +998,37 @@ impl Client {
                 self.totals = StreamTotals::default();
                 Ok(())
             }
+            ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to checkpoint and park the session durably
+    /// (rev 1.3), returning the resume token on success. The server
+    /// closes the connection after acking, so the client should be
+    /// dropped; re-attach later with [`ClientBuilder::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::StoreFull`] when the server's disk park tier is at
+    /// capacity — the session is **still attached** and this client
+    /// remains usable (keep streaming, or retry after the hint).
+    /// Server `ERROR` frames (e.g. [`code::STORE_FULL`] from a server
+    /// with parking disabled) and transport failures otherwise.
+    pub fn park(&mut self) -> Result<u64, ClientError> {
+        // Everything unacked must land first: the checkpoint covers
+        // exactly the batches the server has applied.
+        self.pump_acks_until(0)?;
+        self.send(&ClientFrame::Park)?;
+        match self.recv()? {
+            ServerFrame::ParkedAck { token } => Ok(token),
+            ServerFrame::StoreFull {
+                retry_after_ms,
+                message,
+            } => Err(ClientError::StoreFull {
+                retry_after_ms,
+                message,
+            }),
             ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

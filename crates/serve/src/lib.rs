@@ -14,7 +14,11 @@
 //! * [`proto`] — the typed `CIRS` v1 frames and their byte encodings;
 //! * [`session`] — one client's isolated predictor + mechanism + stats;
 //! * [`park`] — the bounded, TTL-evicting store of detached sessions
-//!   awaiting a `RESUME` (rev 1.2);
+//!   awaiting a `RESUME` (rev 1.2); since rev 1.3 a **two-tier,
+//!   write-through** store: parked sessions are checkpointed to a
+//!   durable [`cira_store`] page file (when
+//!   [`server::ServerConfig::park_dir`] is set), survive `kill -9`, and
+//!   are recovered — bit-identically — by the next server process;
 //! * [`server`] — accept loop, per-connection readers, batch execution on
 //!   a shared [`cira_analysis::engine::pool::WorkerPool`], backpressure,
 //!   graceful drain, capacity shedding, and session parking;

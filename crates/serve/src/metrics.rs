@@ -13,7 +13,7 @@ use crate::proto::code;
 /// Protocol-error codes with a dedicated breakdown slot, in wire order.
 /// Index 0 is the catch-all for violations that never produce an `ERROR`
 /// frame (mid-frame disconnects and stalls).
-const ERROR_SLOTS: usize = 9;
+const ERROR_SLOTS: usize = 10;
 
 /// The breakdown label for `protocol_errors` slot `i`.
 fn error_slot_name(i: usize) -> &'static str {
@@ -26,6 +26,7 @@ fn error_slot_name(i: usize) -> &'static str {
         code::SHUTTING_DOWN => "shutting_down",
         code::UNKNOWN_SESSION => "unknown_session",
         code::IDLE_TIMEOUT => "idle_timeout",
+        code::STORE_FULL => "store_full",
         _ => "stalled",
     }
 }
@@ -84,6 +85,22 @@ pub struct ServerMetrics {
     pub park_evicted_capacity: Counter,
     /// Sessions closed by the idle timeout (rev 1.2).
     pub sessions_idle_evicted: Counter,
+    /// Parked sessions dropped from the hot tier with their disk copy
+    /// kept (rev 1.3).
+    pub park_spilled: Counter,
+    /// Resumes served by decoding a disk checkpoint — the hot tier had
+    /// no copy (rev 1.3).
+    pub park_loaded: Counter,
+    /// Parks refused because the disk tier was at capacity (rev 1.3).
+    pub park_store_full: Counter,
+    /// Checkpoint records currently in the disk tier (rev 1.3).
+    pub park_disk_records: Gauge,
+    /// Bytes of live checkpoint pages in the disk tier (rev 1.3).
+    pub park_disk_bytes: Gauge,
+    /// Store buffer-pool page hits (rev 1.3).
+    pub store_page_hits: Gauge,
+    /// Store buffer-pool page misses, i.e. disk reads (rev 1.3).
+    pub store_page_misses: Gauge,
     /// Connections dropped for protocol violations, broken down by error
     /// code (slot 0 collects violations with no `ERROR` frame: mid-frame
     /// disconnects and stalls). Increment via
@@ -119,6 +136,13 @@ impl Default for ServerMetrics {
             park_evicted_ttl: Counter::new(),
             park_evicted_capacity: Counter::new(),
             sessions_idle_evicted: Counter::new(),
+            park_spilled: Counter::new(),
+            park_loaded: Counter::new(),
+            park_store_full: Counter::new(),
+            park_disk_records: Gauge::new(),
+            park_disk_bytes: Gauge::new(),
+            store_page_hits: Gauge::new(),
+            store_page_misses: Gauge::new(),
             protocol_errors: Default::default(),
         }
     }
@@ -206,6 +230,26 @@ impl ServerMetrics {
         out.push((
             "sessions_idle_evicted".into(),
             self.sessions_idle_evicted.get(),
+        ));
+        // Rev 1.3 additions below this line.
+        out.push(("park_spilled".into(), self.park_spilled.get()));
+        out.push(("park_loaded".into(), self.park_loaded.get()));
+        out.push(("park_store_full".into(), self.park_store_full.get()));
+        out.push((
+            "park_disk_records".into(),
+            self.park_disk_records.get().max(0) as u64,
+        ));
+        out.push((
+            "park_disk_bytes".into(),
+            self.park_disk_bytes.get().max(0) as u64,
+        ));
+        out.push((
+            "store_page_hits".into(),
+            self.store_page_hits.get().max(0) as u64,
+        ));
+        out.push((
+            "store_page_misses".into(),
+            self.store_page_misses.get().max(0) as u64,
         ));
         out
     }
@@ -367,6 +411,49 @@ impl ServerMetrics {
             "Sessions closed by the idle timeout",
             move || m.sessions_idle_evicted.get(),
         );
+        // Rev 1.3: durable park tier instruments.
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_spilled_total",
+            "Parked sessions dropped from the hot tier with their disk copy kept",
+            move || m.park_spilled.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_loaded_total",
+            "Resumes served by decoding a disk checkpoint",
+            move || m.park_loaded.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_store_full_total",
+            "Parks refused because the disk tier was at capacity",
+            move || m.park_store_full.get(),
+        );
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_park_disk_records",
+            "Checkpoint records currently in the disk tier",
+            move || m.park_disk_records.get(),
+        );
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_park_disk_bytes",
+            "Bytes of live checkpoint pages in the disk tier",
+            move || m.park_disk_bytes.get(),
+        );
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_store_page_hits",
+            "Store buffer-pool page hits",
+            move || m.store_page_hits.get(),
+        );
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_store_page_misses",
+            "Store buffer-pool page misses (disk reads)",
+            move || m.store_page_misses.get(),
+        );
     }
 }
 
@@ -473,6 +560,40 @@ mod tests {
         assert_eq!(doc.value("cira_server_resume_attempts_total"), Some(2.0));
         assert_eq!(doc.value("cira_server_sessions_parked_total"), Some(1.0));
         assert_eq!(doc.value("cira_server_sessions_live"), Some(1.0));
+    }
+
+    #[test]
+    fn park_store_instruments_in_snapshot_and_exposition() {
+        let m = Arc::new(ServerMetrics::new());
+        m.park_spilled.add(4);
+        m.park_loaded.add(2);
+        m.park_store_full.inc();
+        m.park_disk_records.set(7);
+        m.park_disk_bytes.set(7 * 4096);
+        m.store_page_hits.set(100);
+        m.store_page_misses.set(9);
+        m.protocol_error(code::STORE_FULL);
+        let snap = m.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("park_spilled"), 4);
+        assert_eq!(get("park_loaded"), 2);
+        assert_eq!(get("park_store_full"), 1);
+        assert_eq!(get("park_disk_records"), 7);
+        assert_eq!(get("park_disk_bytes"), 7 * 4096);
+        assert_eq!(get("store_page_hits"), 100);
+        assert_eq!(get("store_page_misses"), 9);
+        assert_eq!(get("protocol_errors_store_full"), 1);
+        let reg = Registry::new("cira");
+        m.register(&reg);
+        let text = reg.render();
+        let doc = cira_obs::promtext::Exposition::parse_validated(&text).unwrap();
+        assert_eq!(doc.value("cira_server_park_spilled_total"), Some(4.0));
+        assert_eq!(doc.value("cira_server_park_loaded_total"), Some(2.0));
+        assert_eq!(doc.value("cira_server_park_store_full_total"), Some(1.0));
+        assert_eq!(doc.value("cira_server_park_disk_records"), Some(7.0));
+        assert_eq!(doc.value("cira_server_store_page_hits"), Some(100.0));
+        assert_eq!(doc.value("cira_server_store_page_misses"), Some(9.0));
+        assert!(text.contains("cira_server_protocol_errors_total{code=\"store_full\"} 1"));
     }
 
     #[test]

@@ -1,27 +1,54 @@
 //! Parked-session store: detached [`Session`]s awaiting a `RESUME`.
 //!
-//! When a connection drops without a clean `GOODBYE`, the server parks
-//! its session here keyed by resume token. A later `RESUME` carrying the
-//! token takes the session back out and replay continues bit-identically
-//! from the last acked batch. Two eviction policies bound the store:
+//! When a connection drops without a clean `GOODBYE` (or a client sends
+//! an explicit `PARK`), the server parks its session here keyed by
+//! resume token. A later `RESUME` carrying the token takes the session
+//! back out and replay continues bit-identically from the last acked
+//! batch.
 //!
-//! * **capacity** — inserting into a full park evicts the oldest parked
-//!   session (parked sessions are never touched in place, so insertion
-//!   order *is* least-recently-used order);
-//! * **TTL** — [`SessionPark::sweep`], called from the accept loop's
-//!   tick, drops sessions parked longer than the configured TTL, and
-//!   [`SessionPark::take`] refuses to resurrect one that expired between
-//!   sweeps.
+//! # Two tiers (rev 1.3)
 //!
-//! Evicting a parked session destroys predictor/CIR state for good; a
-//! client resuming after that draws `ERROR` with
-//! [`code::UNKNOWN_SESSION`](crate::proto::code::UNKNOWN_SESSION).
+//! The park is **write-through** over an optional durable tier:
+//!
+//! * the **hot tier** is a bounded in-memory deque of live [`Session`]s
+//!   — resuming from it costs nothing but a lookup;
+//! * the **disk tier** is a [`cira_store::SessionStore`]: at park time
+//!   the session is serialized to a [`cira_store::Checkpoint`] and
+//!   written through *immediately*, synced before [`SessionPark::insert`]
+//!   returns. From that instant the park survives `kill -9`.
+//!
+//! Because every parked session is already durable, hot-tier eviction
+//! (capacity pressure) merely *spills*: it drops the decoded copy and
+//! keeps the disk record, so the park's real capacity is the disk
+//! tier's byte budget, not RAM. A resume that misses the hot tier loads
+//! and decodes the checkpoint ([`Resumed::from_disk`] reports which
+//! path served it). Without a disk tier the old rev 1.2 semantics are
+//! unchanged: hot eviction destroys state for good.
+//!
+//! Expiry is tracked two ways for the same TTL: hot entries by a
+//! monotonic [`Instant`], disk records by an **absolute wall-clock
+//! deadline** (milliseconds since the Unix epoch) persisted in the
+//! record metadata — a relative TTL could not survive a restart.
+//! [`SessionPark::sweep`] enforces both; [`SessionPark::take`] refuses
+//! to resurrect anything expired between sweeps.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
+
+use cira_store::{Checkpoint, SessionStore, StoreError};
 
 use crate::session::Session;
+
+/// Milliseconds since the Unix epoch, saturating (a pre-1970 clock
+/// reads as 0).
+pub fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// One detached session with its park timestamp and server session id.
 #[derive(Debug)]
@@ -30,79 +57,327 @@ struct Parked {
     session_id: u64,
     session: Session,
     at: Instant,
+    /// Whether a disk copy exists (write-through succeeded).
+    durable: bool,
 }
 
-/// Bounded, TTL-evicting store of detached sessions, keyed by token.
+/// What happened to a parked session and its neighbours.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParkOutcome {
+    /// Sessions destroyed for good (no disk copy retained).
+    pub evicted: usize,
+    /// Hot entries dropped with their disk copy kept.
+    pub spilled: usize,
+    /// The parked session was durably persisted before returning.
+    pub persisted: bool,
+    /// The disk tier refused the write at capacity (the session may
+    /// still be parked hot-only).
+    pub store_full: bool,
+}
+
+/// Why [`SessionPark::insert_durable`] refused a park, handing the
+/// session back untouched.
+#[derive(Debug)]
+pub enum ParkRefusal {
+    /// The disk tier is at its byte budget; transient — retry after
+    /// sweeps or resumes free pages. Mirrors `BUSY` on the wire.
+    Full(Box<Session>),
+    /// The server has no way to park at all (no disk tier and a zero
+    /// hot capacity); permanent for this server configuration.
+    Disabled(Box<Session>),
+}
+
+/// A session taken back out of the park.
+#[derive(Debug)]
+pub struct Resumed {
+    /// The server session id the session was parked under.
+    pub session_id: u64,
+    /// The live session.
+    pub session: Session,
+    /// Whether the resume decoded a disk checkpoint (hot-tier miss).
+    pub from_disk: bool,
+}
+
+/// TTL sweep results.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Unique parked sessions destroyed by this sweep.
+    pub expired: usize,
+}
+
+/// Bounded, TTL-evicting, optionally durable store of detached
+/// sessions, keyed by token.
 ///
-/// Internally a deque ordered by park time: sessions are only ever
-/// pushed at the back and scanned from the front, so both eviction
-/// policies are O(evicted) per call.
+/// The hot tier is a deque ordered by park time: sessions are only
+/// ever pushed at the back and scanned from the front, so capacity and
+/// TTL eviction are O(evicted) per call. The disk tier is keyed by
+/// token with its own byte budget.
 #[derive(Debug)]
 pub struct SessionPark {
     capacity: usize,
     ttl: Duration,
-    inner: Mutex<VecDeque<Parked>>,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    hot: VecDeque<Parked>,
+    disk: Option<SessionStore>,
 }
 
 impl SessionPark {
-    /// Creates a park holding at most `capacity` sessions for at most
-    /// `ttl` each. A zero capacity disables parking entirely.
+    /// Creates a memory-only park holding at most `capacity` sessions
+    /// for at most `ttl` each. A zero capacity disables parking
+    /// entirely (rev 1.2 semantics).
     pub fn new(capacity: usize, ttl: Duration) -> Self {
         Self {
             capacity,
             ttl,
-            inner: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner {
+                hot: VecDeque::new(),
+                disk: None,
+            }),
         }
     }
 
-    /// Parks a detached session. Returns the number of sessions evicted
-    /// to make room (0 or 1 normally; `1` plus the rejected session
-    /// itself when capacity is zero).
-    pub fn insert(&self, token: u64, session_id: u64, session: Session) -> usize {
+    /// Creates a two-tier park over the store file at `path` (created
+    /// if absent), holding at most `capacity` sessions hot and at most
+    /// `disk_capacity_bytes` of checkpoint pages on disk (0 =
+    /// unlimited).
+    ///
+    /// Recovery happens here: records already in the store — survivors
+    /// of a previous process, crashed or not — are scanned, expired
+    /// ones are removed, and the rest become immediately resumable
+    /// (their sessions decode lazily, on first `RESUME`, so a large
+    /// park does not inflate startup memory). Returns the park and the
+    /// number of sessions recovered.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a file that is not a cira-store page file.
+    pub fn with_disk(
+        capacity: usize,
+        ttl: Duration,
+        path: &Path,
+        disk_capacity_bytes: u64,
+    ) -> Result<(Self, usize), StoreError> {
+        let mut store = SessionStore::open(path, disk_capacity_bytes)?;
+        // Expired records are dead weight from a previous life; drop
+        // them before they count against capacity.
+        let now = unix_now_ms();
+        for (token, meta) in store.entries() {
+            if meta.deadline_unix_ms != 0 && meta.deadline_unix_ms < now {
+                let _ = store.remove(token);
+            }
+        }
+        let recovered = store.len();
+        cira_obs::debug!("park recovered from disk", sessions = recovered);
+        Ok((
+            Self {
+                capacity,
+                ttl,
+                inner: Mutex::new(Inner {
+                    hot: VecDeque::new(),
+                    disk: Some(store),
+                }),
+            },
+            recovered,
+        ))
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.inner.lock().unwrap().disk.is_some()
+    }
+
+    /// The absolute wall-clock deadline for a park made now.
+    fn deadline_unix_ms(&self) -> u64 {
+        unix_now_ms().saturating_add(self.ttl.as_millis() as u64)
+    }
+
+    /// Parks a detached session: writes it through to the disk tier
+    /// (when present), then into the hot tier, evicting or spilling the
+    /// oldest hot entries to stay within capacity.
+    pub fn insert(&self, token: u64, session_id: u64, session: Session) -> ParkOutcome {
+        let mut outcome = ParkOutcome::default();
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if let Some(store) = inner.disk.as_mut() {
+            let blob = session.to_checkpoint(session_id).encode();
+            match store.put(token, session_id, self.deadline_unix_ms(), &blob) {
+                Ok(()) => outcome.persisted = true,
+                Err(StoreError::Full { .. }) => outcome.store_full = true,
+                Err(e) => {
+                    cira_obs::warn!("park write-through failed", error = format!("{e}"));
+                }
+            }
+        }
         if self.capacity == 0 {
-            return 1; // dropped on the floor: parking disabled
+            if !outcome.persisted {
+                outcome.evicted = 1; // dropped on the floor: parking disabled
+            }
+            return outcome;
         }
-        let mut q = self.inner.lock().unwrap();
-        let mut evicted = 0;
-        while q.len() >= self.capacity {
-            q.pop_front();
-            evicted += 1;
+        Self::hot_insert(inner, self.capacity, &mut outcome, token, session_id, session);
+        outcome
+    }
+
+    /// Parks only if the session will survive: durably when a disk tier
+    /// exists, hot otherwise. A full disk tier or a park-less server
+    /// hands the session back untouched instead of degrading — the
+    /// caller can keep it attached and tell the client why.
+    pub fn insert_durable(
+        &self,
+        token: u64,
+        session_id: u64,
+        session: Session,
+    ) -> Result<ParkOutcome, ParkRefusal> {
+        let mut outcome = ParkOutcome::default();
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if let Some(store) = inner.disk.as_mut() {
+            let blob = session.to_checkpoint(session_id).encode();
+            match store.put(token, session_id, self.deadline_unix_ms(), &blob) {
+                Ok(()) => outcome.persisted = true,
+                Err(StoreError::Full { .. }) => return Err(ParkRefusal::Full(Box::new(session))),
+                Err(e) => {
+                    cira_obs::warn!("park write-through failed", error = format!("{e}"));
+                    return Err(ParkRefusal::Full(Box::new(session)));
+                }
+            }
         }
-        q.push_back(Parked {
+        if self.capacity == 0 {
+            if outcome.persisted {
+                return Ok(outcome); // disk-only park
+            }
+            return Err(ParkRefusal::Disabled(Box::new(session)));
+        }
+        Self::hot_insert(inner, self.capacity, &mut outcome, token, session_id, session);
+        Ok(outcome)
+    }
+
+    /// Pushes into the hot tier, evicting or spilling the oldest
+    /// entries to stay within `capacity` (which must be nonzero).
+    fn hot_insert(
+        inner: &mut Inner,
+        capacity: usize,
+        outcome: &mut ParkOutcome,
+        token: u64,
+        session_id: u64,
+        session: Session,
+    ) {
+        while inner.hot.len() >= capacity {
+            let old = inner.hot.pop_front().expect("len checked");
+            if old.durable {
+                outcome.spilled += 1;
+            } else {
+                outcome.evicted += 1;
+            }
+        }
+        inner.hot.push_back(Parked {
             token,
             session_id,
             session,
             at: Instant::now(),
+            durable: outcome.persisted,
         });
-        evicted
     }
 
-    /// Takes the session parked under `token`, unless it has expired
-    /// (expired entries are dropped here rather than resurrected).
-    pub fn take(&self, token: u64) -> Option<(u64, Session)> {
-        let mut q = self.inner.lock().unwrap();
-        let idx = q.iter().position(|p| p.token == token)?;
-        let p = q.remove(idx).unwrap();
-        if p.at.elapsed() > self.ttl {
-            return None; // expired between sweeps; drop it
+    /// Takes the session parked under `token`: from the hot tier when
+    /// resident, else by decoding its disk checkpoint. Either way the
+    /// disk copy is removed (durably), so a session never resurrects
+    /// after being resumed. Expired entries are dropped here rather
+    /// than resurrected.
+    pub fn take(&self, token: u64) -> Option<Resumed> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if let Some(idx) = inner.hot.iter().position(|p| p.token == token) {
+            let p = inner.hot.remove(idx).expect("index from position");
+            if p.durable {
+                if let Some(store) = inner.disk.as_mut() {
+                    let _ = store.remove(token);
+                }
+            }
+            if p.at.elapsed() > self.ttl {
+                return None; // expired between sweeps; drop it
+            }
+            return Some(Resumed {
+                session_id: p.session_id,
+                session: p.session,
+                from_disk: false,
+            });
         }
-        Some((p.session_id, p.session))
-    }
-
-    /// Drops every session parked longer than the TTL, returning how
-    /// many were evicted. Called from the accept loop's idle tick.
-    pub fn sweep(&self) -> usize {
-        let mut q = self.inner.lock().unwrap();
-        let before = q.len();
-        while q.front().is_some_and(|p| p.at.elapsed() > self.ttl) {
-            q.pop_front();
+        let store = inner.disk.as_mut()?;
+        let (meta, blob) = match store.get(token) {
+            Ok(hit) => hit,
+            Err(StoreError::NotFound(_)) => return None,
+            Err(e) => {
+                cira_obs::warn!("park disk read failed", error = format!("{e}"));
+                let _ = store.remove(token);
+                return None;
+            }
+        };
+        let _ = store.remove(token);
+        if meta.deadline_unix_ms != 0 && meta.deadline_unix_ms < unix_now_ms() {
+            return None; // expired on disk between sweeps
         }
-        before - q.len()
+        let checkpoint = match Checkpoint::decode(&blob) {
+            Ok(cp) => cp,
+            Err(e) => {
+                cira_obs::warn!("park checkpoint undecodable", error = e);
+                return None;
+            }
+        };
+        match Session::from_checkpoint(&checkpoint, token) {
+            Ok(session) => Some(Resumed {
+                session_id: meta.session_id,
+                session,
+                from_disk: true,
+            }),
+            Err(e) => {
+                cira_obs::warn!("park checkpoint unrestorable", error = e);
+                None
+            }
+        }
     }
 
-    /// Sessions currently parked.
+    /// Drops every session parked longer than the TTL — hot entries by
+    /// monotonic age, disk records by their absolute deadline — and
+    /// returns how many unique sessions were destroyed.
+    pub fn sweep(&self) -> SweepOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let mut expired = 0;
+        while inner.hot.front().is_some_and(|p| p.at.elapsed() > self.ttl) {
+            let p = inner.hot.pop_front().expect("front checked");
+            if p.durable {
+                if let Some(store) = inner.disk.as_mut() {
+                    let _ = store.remove(p.token);
+                }
+            }
+            expired += 1;
+        }
+        if let Some(store) = inner.disk.as_mut() {
+            // Anything left on disk past its deadline is a spilled or
+            // recovered record (hot copies were just handled above).
+            let now = unix_now_ms();
+            for (token, meta) in store.entries() {
+                if meta.deadline_unix_ms != 0 && meta.deadline_unix_ms < now {
+                    let _ = store.remove(token);
+                    expired += 1;
+                }
+            }
+        }
+        SweepOutcome { expired }
+    }
+
+    /// Unique sessions currently parked (hot-only entries plus every
+    /// disk record; write-through entries count once).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        let inner = self.inner.lock().unwrap();
+        let hot_only = inner.hot.iter().filter(|p| !p.durable).count();
+        let disk = inner.disk.as_ref().map_or(0, SessionStore::len);
+        hot_only + disk
     }
 
     /// Whether the park is empty.
@@ -110,12 +385,54 @@ impl SessionPark {
         self.len() == 0
     }
 
-    /// Drops every parked session (server shutdown).
-    pub fn clear(&self) -> usize {
-        let mut q = self.inner.lock().unwrap();
-        let n = q.len();
-        q.clear();
-        n
+    /// Checkpoint records currently in the disk tier.
+    pub fn disk_records(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.disk.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// Bytes of live checkpoint pages in the disk tier.
+    pub fn disk_bytes(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.disk.as_ref().map_or(0, SessionStore::bytes_used)
+    }
+
+    /// Disk-tier buffer-pool `(hits, misses)`.
+    pub fn page_cache_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .disk
+            .as_ref()
+            .map_or((0, 0), |s| (s.page_hits(), s.page_misses()))
+    }
+
+    /// Shuts the park down. Without a disk tier, every parked session is
+    /// dropped (rev 1.2 `clear`). With one, hot-only entries are written
+    /// through first, so every parked session survives the restart.
+    /// Returns `(persisted, dropped)` — sessions made durable on the way
+    /// down, and sessions destroyed for good.
+    pub fn shutdown_drain(&self) -> (usize, usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let mut persisted = 0;
+        let mut dropped = 0;
+        let deadline = self.deadline_unix_ms();
+        while let Some(p) = inner.hot.pop_front() {
+            if p.durable {
+                continue; // already on disk
+            }
+            match inner.disk.as_mut() {
+                Some(store) => {
+                    let blob = p.session.to_checkpoint(p.session_id).encode();
+                    match store.put(p.token, p.session_id, deadline, &blob) {
+                        Ok(()) => persisted += 1,
+                        Err(_) => dropped += 1,
+                    }
+                }
+                None => dropped += 1,
+            }
+        }
+        (persisted, dropped)
     }
 }
 
@@ -123,19 +440,42 @@ impl SessionPark {
 mod tests {
     use super::*;
     use crate::proto::HelloConfig;
+    use cira_trace::codec::PackedTrace;
+    use cira_trace::suite::ibs_like_suite;
 
     fn session(token: u64) -> Session {
         Session::from_hello(&HelloConfig::default(), token).unwrap()
     }
 
+    /// A session whose checkpoint fits in one page, for byte-budget
+    /// tests (the default `gshare64k` tables span dozens of pages).
+    fn small_session(token: u64) -> Session {
+        let config = HelloConfig {
+            predictor: "gshare:6:6".to_owned(),
+            mechanism: "resetting:4".to_owned(),
+            index: "pcxorbhr:6".to_owned(),
+            init: "ones".to_owned(),
+            threshold: 4,
+        };
+        Session::from_hello(&config, token).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cira-park-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("park.cirstore")
+    }
+
     #[test]
     fn insert_take_roundtrip() {
         let park = SessionPark::new(4, Duration::from_secs(60));
-        assert_eq!(park.insert(7, 100, session(7)), 0);
+        let outcome = park.insert(7, 100, session(7));
+        assert_eq!(outcome, ParkOutcome::default());
         assert_eq!(park.len(), 1);
-        let (id, s) = park.take(7).unwrap();
-        assert_eq!(id, 100);
-        assert_eq!(s.token(), 7);
+        let r = park.take(7).unwrap();
+        assert_eq!(r.session_id, 100);
+        assert_eq!(r.session.token(), 7);
+        assert!(!r.from_disk);
         assert!(park.take(7).is_none(), "taken sessions stay gone");
     }
 
@@ -150,9 +490,9 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest_first() {
         let park = SessionPark::new(2, Duration::from_secs(60));
-        assert_eq!(park.insert(1, 1, session(1)), 0);
-        assert_eq!(park.insert(2, 2, session(2)), 0);
-        assert_eq!(park.insert(3, 3, session(3)), 1);
+        assert_eq!(park.insert(1, 1, session(1)).evicted, 0);
+        assert_eq!(park.insert(2, 2, session(2)).evicted, 0);
+        assert_eq!(park.insert(3, 3, session(3)).evicted, 1);
         assert!(park.take(1).is_none(), "oldest was evicted");
         assert!(park.take(2).is_some());
         assert!(park.take(3).is_some());
@@ -161,7 +501,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_parking() {
         let park = SessionPark::new(0, Duration::from_secs(60));
-        assert_eq!(park.insert(1, 1, session(1)), 1);
+        assert_eq!(park.insert(1, 1, session(1)).evicted, 1);
         assert!(park.take(1).is_none());
         assert!(park.is_empty());
     }
@@ -174,16 +514,169 @@ mod tests {
         assert!(park.take(1).is_none(), "expired entries never resurrect");
         park.insert(2, 2, session(2));
         std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(park.sweep(), 1);
+        assert_eq!(park.sweep().expired, 1);
         assert!(park.is_empty());
     }
 
     #[test]
-    fn clear_empties_the_park() {
+    fn shutdown_drain_without_disk_drops_all() {
         let park = SessionPark::new(4, Duration::from_secs(60));
         park.insert(1, 1, session(1));
         park.insert(2, 2, session(2));
-        assert_eq!(park.clear(), 2);
+        assert_eq!(park.shutdown_drain(), (0, 2));
         assert!(park.is_empty());
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen_and_resumes_bit_identically() {
+        let path = tmp("survive");
+        let _ = std::fs::remove_file(&path);
+        let trace: PackedTrace = ibs_like_suite()[0].walker().take(6_000).collect();
+        let head: PackedTrace = (0..4_000).map(|i| trace.get(i).unwrap()).collect();
+        let tail: PackedTrace = (4_000..6_000).map(|i| trace.get(i).unwrap()).collect();
+
+        let mut reference = session(9);
+        reference.apply_batch(0, &head);
+
+        {
+            let (park, recovered) =
+                SessionPark::with_disk(4, Duration::from_secs(60), &path, 0).unwrap();
+            assert_eq!(recovered, 0);
+            let mut s = session(9);
+            s.apply_batch(0, &head);
+            let outcome = park.insert(9, 42, s);
+            assert!(outcome.persisted);
+            assert_eq!(outcome.evicted, 0);
+        } // process "dies" — nothing flushed beyond insert's own sync
+
+        let (park, recovered) =
+            SessionPark::with_disk(4, Duration::from_secs(60), &path, 0).unwrap();
+        assert_eq!(recovered, 1);
+        assert_eq!(park.len(), 1);
+        let r = park.take(9).unwrap();
+        assert_eq!(r.session_id, 42);
+        assert!(r.from_disk, "resume after restart must come from disk");
+        let mut resumed = r.session;
+        let a = reference.apply_batch(1, &tail);
+        let b = resumed.apply_batch(1, &tail);
+        assert_eq!(a, b);
+        assert_eq!(reference.snapshot(), resumed.snapshot());
+        assert!(park.is_empty(), "resume removes the disk record");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hot_eviction_spills_to_disk_not_oblivion() {
+        let path = tmp("spill");
+        let _ = std::fs::remove_file(&path);
+        let (park, _) = SessionPark::with_disk(2, Duration::from_secs(60), &path, 0).unwrap();
+        assert!(park.insert(1, 1, session(1)).persisted);
+        assert!(park.insert(2, 2, session(2)).persisted);
+        let outcome = park.insert(3, 3, session(3));
+        assert_eq!(outcome.spilled, 1, "durable hot entries spill");
+        assert_eq!(outcome.evicted, 0, "nothing is destroyed");
+        assert_eq!(park.len(), 3, "all three sessions remain parked");
+        let r = park.take(1).unwrap();
+        assert!(r.from_disk, "spilled session resumes from disk");
+        assert!(!park.take(3).unwrap().from_disk, "recent session is hot");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_capacity_reports_store_full() {
+        let path = tmp("full");
+        let _ = std::fs::remove_file(&path);
+        // Room for two single-page checkpoints only.
+        let (park, _) =
+            SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
+        assert!(park.insert(1, 1, small_session(1)).persisted);
+        assert!(park.insert(2, 2, small_session(2)).persisted);
+        let outcome = park.insert(3, 3, small_session(3));
+        assert!(outcome.store_full);
+        assert!(!outcome.persisted);
+        // The session is still parked hot — resumable until restart.
+        assert!(!park.take(3).unwrap().from_disk);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drain_persists_hot_only_entries() {
+        let path = tmp("drain");
+        let _ = std::fs::remove_file(&path);
+        {
+            // Disk capacity 2 pages: the third park stays hot-only.
+            let (park, _) =
+                SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
+            park.insert(1, 1, small_session(1));
+            park.insert(2, 2, small_session(2));
+            assert!(park.insert(3, 3, small_session(3)).store_full);
+            // Make room, then drain: the hot-only session gets written.
+            let r = park.take(1).unwrap();
+            assert_eq!(r.session_id, 1);
+            assert_eq!(park.shutdown_drain(), (1, 0));
+        }
+        let (park, recovered) =
+            SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
+        assert_eq!(recovered, 2);
+        assert!(park.take(3).unwrap().from_disk);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_sweep_uses_absolute_deadlines() {
+        let path = tmp("deadline");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (park, _) =
+                SessionPark::with_disk(0, Duration::from_millis(1), &path, 0).unwrap();
+            // Zero hot capacity: disk-only park.
+            let outcome = park.insert(5, 5, session(5));
+            assert!(outcome.persisted);
+            assert_eq!(outcome.evicted, 0, "persisted parks are not losses");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        // A restart later, the record is past its wall-clock deadline.
+        let (park, recovered) =
+            SessionPark::with_disk(4, Duration::from_millis(1), &path, 0).unwrap();
+        assert_eq!(recovered, 0, "expired records die at recovery");
+        assert!(park.take(5).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn insert_durable_refuses_rather_than_degrades() {
+        // No disk tier and no hot tier: parking is simply off.
+        let park = SessionPark::new(0, Duration::from_secs(60));
+        match park.insert_durable(1, 1, small_session(1)) {
+            Err(ParkRefusal::Disabled(s)) => assert_eq!(s.token(), 1),
+            other => panic!("expected Disabled, got {other:?}"),
+        }
+        // Full disk tier: the session comes back untouched, not parked
+        // hot with silently-degraded durability.
+        let path = tmp("durable");
+        let _ = std::fs::remove_file(&path);
+        let (park, _) =
+            SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
+        assert!(park.insert_durable(1, 1, small_session(1)).unwrap().persisted);
+        assert!(park.insert_durable(2, 2, small_session(2)).unwrap().persisted);
+        match park.insert_durable(3, 3, small_session(3)) {
+            Err(ParkRefusal::Full(s)) => assert_eq!(s.token(), 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(park.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn page_cache_stats_move_on_disk_resume() {
+        let path = tmp("cache");
+        let _ = std::fs::remove_file(&path);
+        let (park, _) = SessionPark::with_disk(1, Duration::from_secs(60), &path, 0).unwrap();
+        park.insert(1, 1, session(1));
+        park.insert(2, 2, session(2)); // spills 1
+        park.take(1).unwrap();
+        let (hits, misses) = park.page_cache_stats();
+        assert!(hits + misses > 0, "disk resume touches the page cache");
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -16,6 +16,7 @@
 //! | 0x06 | c → s | `GOODBYE` | — |
 //! | 0x07 | c → s | `METRICS` | — (rev 1.1) |
 //! | 0x08 | c → s | `RESUME` | magic `CIRS`, version `u8`, resume token `u64` (rev 1.2) |
+//! | 0x09 | c → s | `PARK` | — (rev 1.3) |
 //! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions, resume token `u64` (rev 1.2) |
 //! | 0x82 | s → c | `BATCH_ACK` | seq `u32`, batch records/mispredicts/low `u64`×3, session records `u64`, predicted + low bitmaps |
 //! | 0x83 | s → c | `STATS_REPLY` | `u32` count, then (name string, value `u64`) pairs |
@@ -24,7 +25,9 @@
 //! | 0x86 | s → c | `GOODBYE_ACK` | — |
 //! | 0x87 | s → c | `METRICS_REPLY` | `u32` length + Prometheus exposition text (rev 1.1) |
 //! | 0x88 | s → c | `RESUME_ACK` | session `u64`, has-last `u8`, last acked seq `u32`, session batches/records/mispredicts/low `u64`×4, max frame `u32`, max in-flight `u32` (rev 1.2) |
+//! | 0x89 | s → c | `PARKED_ACK` | resume token `u64` (rev 1.3) |
 //! | 0x7e | s → c | `BUSY` | retry-after hint `u32` (ms), message string (rev 1.2) |
+//! | 0x7d | s → c | `STORE_FULL` | retry-after hint `u32` (ms), message string (rev 1.3) |
 //! | 0x7f | s → c | `ERROR` | code `u16`, message string |
 //!
 //! Negotiation rule: the server accepts exactly [`PROTO_VERSION`]; a
@@ -73,6 +76,26 @@
 //!   submission order, so acking seq *n* implies every earlier sequence
 //!   number was applied. Resumption leans on this — the client drops its
 //!   retransmit buffer up to the acked sequence.
+//!
+//! Rev **1.3** adds durable parking:
+//!
+//! * parked sessions are written through to a `cira-store` disk tier
+//!   (when the server runs with `--park-dir`), so a `RESUME` succeeds
+//!   across a full server restart — including `kill -9` — with
+//!   statistics bit-identical to an uninterrupted session;
+//! * `PARK` (0x09): an *explicit, durable* detach. The client asks the
+//!   server to checkpoint and park its session now; the server answers
+//!   `PARKED_ACK` (0x89) echoing the resume token **only after** the
+//!   checkpoint is persisted, then the connection closes. The client
+//!   can disconnect, restart — or outlive a server `kill -9` — and
+//!   `RESUME` later;
+//! * `STORE_FULL` (0x7d): sent instead of `PARKED_ACK` when the disk
+//!   park tier cannot persist the checkpoint at its byte budget. The
+//!   session stays attached and streaming continues. Mirrors `BUSY`:
+//!   it carries a retry-after hint and the condition is transient (TTL
+//!   sweeps and resumes free pages). Where a typed frame cannot be
+//!   used, the same condition surfaces as [`code::STORE_FULL`] in an
+//!   `ERROR` frame (e.g. `PARK` on a server with parking disabled).
 
 use std::fmt;
 
@@ -85,7 +108,7 @@ pub const PROTO_MAGIC: &[u8; 4] = b"CIRS";
 pub const PROTO_VERSION: u8 = 1;
 /// Additive minor revision within [`PROTO_VERSION`] (see the module docs
 /// for what each revision added). Informational — never negotiated.
-pub const PROTO_REV: u8 = 2;
+pub const PROTO_REV: u8 = 3;
 
 /// Frame type bytes.
 pub mod frame_type {
@@ -105,6 +128,9 @@ pub mod frame_type {
     pub const METRICS: u8 = 0x07;
     /// Re-attach to a parked session by resume token (rev 1.2).
     pub const RESUME: u8 = 0x08;
+    /// Detach now: checkpoint the session durably and park it
+    /// (rev 1.3).
+    pub const PARK: u8 = 0x09;
     /// Server accepts the hello.
     pub const HELLO_ACK: u8 = 0x81;
     /// Per-batch results.
@@ -121,8 +147,13 @@ pub mod frame_type {
     pub const METRICS_REPLY: u8 = 0x87;
     /// Resume accepted: last acked seq + session totals (rev 1.2).
     pub const RESUME_ACK: u8 = 0x88;
+    /// Park accepted: the session checkpoint is durable (rev 1.3).
+    pub const PARKED_ACK: u8 = 0x89;
     /// Server at capacity: shed with a retry-after hint (rev 1.2).
     pub const BUSY: u8 = 0x7e;
+    /// Disk park tier at capacity: a park could not be persisted; retry
+    /// after the hint (rev 1.3).
+    pub const STORE_FULL: u8 = 0x7d;
     /// Fatal per-connection error.
     pub const ERROR: u8 = 0x7f;
 }
@@ -145,6 +176,8 @@ pub mod code {
     pub const UNKNOWN_SESSION: u16 = 7;
     /// The session sat idle past the server's idle timeout (rev 1.2).
     pub const IDLE_TIMEOUT: u16 = 8;
+    /// The disk park tier is at capacity (rev 1.3).
+    pub const STORE_FULL: u16 = 9;
 }
 
 /// Configuration negotiated in a `HELLO`, in the CLI `spec` grammar
@@ -210,6 +243,11 @@ pub enum ClientFrame {
         /// The resume token issued in the original `HELLO_ACK`.
         token: u64,
     },
+    /// Detach the session now, durably (rev 1.3). Acked with
+    /// `PARKED_ACK` once the checkpoint is persisted; refused with
+    /// `STORE_FULL` (session stays attached) when the disk tier is at
+    /// capacity.
+    Park,
 }
 
 /// One `(key, refs, mispredicts)` statistics cell on the wire.
@@ -298,9 +336,26 @@ pub enum ServerFrame {
         /// Batches buffered per session before the reader blocks.
         max_inflight: u32,
     },
+    /// Park accepted: the session's checkpoint reached durable storage
+    /// (or the in-memory park on servers without a disk tier) and the
+    /// connection closes next (rev 1.3).
+    ParkedAck {
+        /// The resume token that re-attaches to the parked session.
+        token: u64,
+    },
     /// Server at session capacity: the connection closes next and the
     /// client should back off for at least the hint (rev 1.2).
     Busy {
+        /// Suggested wait before retrying, milliseconds.
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The disk park tier is full: the session could not be persisted.
+    /// Mirrors [`ServerFrame::Busy`] — the condition is transient (TTL
+    /// sweeps and resumes free pages), so the client should back off
+    /// for at least the hint and retry (rev 1.3).
+    StoreFull {
         /// Suggested wait before retrying, milliseconds.
         retry_after_ms: u32,
         /// Human-readable detail.
@@ -479,6 +534,7 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
             out.push(*version);
             out.extend_from_slice(&token.to_le_bytes());
         }
+        ClientFrame::Park => out.push(frame_type::PARK),
     }
     out
 }
@@ -546,6 +602,10 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, ProtoError> {
             let token = c.u64()?;
             c.finish()?;
             Ok(ClientFrame::Resume { version, token })
+        }
+        frame_type::PARK => {
+            c.finish()?;
+            Ok(ClientFrame::Park)
         }
         other => Err(ProtoError::UnknownFrameType(other)),
     }
@@ -645,11 +705,23 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             out.extend_from_slice(&max_frame.to_le_bytes());
             out.extend_from_slice(&max_inflight.to_le_bytes());
         }
+        ServerFrame::ParkedAck { token } => {
+            out.push(frame_type::PARKED_ACK);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
         ServerFrame::Busy {
             retry_after_ms,
             message,
         } => {
             out.push(frame_type::BUSY);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            put_string(&mut out, message);
+        }
+        ServerFrame::StoreFull {
+            retry_after_ms,
+            message,
+        } => {
+            out.push(frame_type::STORE_FULL);
             out.extend_from_slice(&retry_after_ms.to_le_bytes());
             put_string(&mut out, message);
         }
@@ -755,7 +827,12 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
                 max_inflight: c.u32()?,
             }
         }
+        frame_type::PARKED_ACK => ServerFrame::ParkedAck { token: c.u64()? },
         frame_type::BUSY => ServerFrame::Busy {
+            retry_after_ms: c.u32()?,
+            message: c.string()?,
+        },
+        frame_type::STORE_FULL => ServerFrame::StoreFull {
             retry_after_ms: c.u32()?,
             message: c.string()?,
         },
@@ -819,6 +896,7 @@ mod tests {
                 version: PROTO_VERSION,
                 token: 0xfeed_face_cafe_f00d,
             },
+            ClientFrame::Park,
         ];
         for f in frames {
             let bytes = encode_client(&f);
@@ -880,13 +958,24 @@ mod tests {
                 max_frame: 1 << 20,
                 max_inflight: 8,
             },
+            ServerFrame::ParkedAck {
+                token: 0xfeed_face_cafe_f00d,
+            },
             ServerFrame::Busy {
                 retry_after_ms: 500,
                 message: "at session capacity".into(),
             },
+            ServerFrame::StoreFull {
+                retry_after_ms: 750,
+                message: "disk park tier full".into(),
+            },
             ServerFrame::Error {
                 code: code::BAD_SPEC,
                 message: "invalid predictor spec".into(),
+            },
+            ServerFrame::Error {
+                code: code::STORE_FULL,
+                message: "park not persisted".into(),
             },
         ];
         for f in frames {

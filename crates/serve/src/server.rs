@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -35,7 +36,7 @@ use cira_trace::codec::PackedTrace;
 
 use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME};
 use crate::metrics::ServerMetrics;
-use crate::park::SessionPark;
+use crate::park::{ParkRefusal, SessionPark};
 use crate::proto::{
     code, decode_client, encode_server, ClientFrame, ServerFrame, PROTO_VERSION,
 };
@@ -70,6 +71,15 @@ pub struct ServerConfig {
     /// Close (and park) a session whose connection sends no frame for
     /// this long, milliseconds; `0` disables idle eviction.
     pub idle_timeout_ms: u64,
+    /// Directory for the durable park tier (rev 1.3). When set, every
+    /// parked session is written through to a `cira-store` page file
+    /// there (`park.cirstore`) and survives a full server restart —
+    /// including `kill -9`. `None` keeps parking in-memory only.
+    pub park_dir: Option<PathBuf>,
+    /// Byte budget for the durable park tier's page file; `0` means
+    /// unlimited. When exhausted, parks degrade (teardown parks stay
+    /// hot-only) or are refused with `STORE_FULL` (explicit `PARK`).
+    pub park_disk_capacity: u64,
     /// Address for the HTTP `GET /metrics` listener (e.g.
     /// `127.0.0.1:9184`), or `None` to expose metrics only over the wire
     /// protocol.
@@ -89,6 +99,8 @@ impl Default for ServerConfig {
             park_capacity: 64,
             park_ttl_ms: 60_000,
             idle_timeout_ms: 0,
+            park_dir: None,
+            park_disk_capacity: 0,
             metrics_addr: None,
         }
     }
@@ -106,6 +118,13 @@ struct Shared {
     token_seed: u64,
     token_ids: AtomicU64,
     park: SessionPark,
+    /// How often TTL sweeps run (a fraction of the park TTL).
+    sweep_every: Duration,
+    /// Monotonic deadline for the next sweep; checked from the accept
+    /// tick *and* the batch drain loop, so a server saturated with
+    /// connections (its accept loop never idle) still expires parked
+    /// sessions on time.
+    next_sweep: Mutex<Instant>,
 }
 
 impl Shared {
@@ -122,15 +141,59 @@ impl Shared {
         z ^ (z >> 31)
     }
 
-    /// TTL-sweeps the park, keeping the eviction counters and the live
-    /// gauge in step. Called from the accept loop's tick.
-    fn sweep_park(&self) {
-        let evicted = self.park.sweep();
-        if evicted > 0 {
-            self.metrics.park_evicted_ttl.add(evicted as u64);
-            self.metrics.sessions_live.add(-(evicted as i64));
-            cira_obs::debug!("parked sessions expired", evicted = evicted);
+    /// TTL-sweeps the park if the sweep deadline has passed. Cheap when
+    /// it hasn't: one lock, one comparison.
+    fn maybe_sweep(&self) {
+        let now = Instant::now();
+        {
+            let mut next = self.next_sweep.lock().unwrap_or_else(|e| e.into_inner());
+            if *next > now {
+                return;
+            }
+            *next = now + self.sweep_every;
         }
+        self.sweep_park();
+    }
+
+    /// TTL-sweeps the park, keeping the eviction counters and the live
+    /// gauge in step.
+    fn sweep_park(&self) {
+        let outcome = self.park.sweep();
+        if outcome.expired > 0 {
+            self.metrics.park_evicted_ttl.add(outcome.expired as u64);
+            self.metrics.sessions_live.add(-(outcome.expired as i64));
+            cira_obs::debug!("parked sessions expired", evicted = outcome.expired);
+        }
+        self.publish_store_gauges();
+    }
+
+    /// Refreshes the disk-tier gauges (record/byte footprint and the
+    /// buffer pool's hit/miss counters) after any park mutation.
+    fn publish_store_gauges(&self) {
+        if !self.park.has_disk() {
+            return;
+        }
+        self.metrics.park_disk_records.set(self.park.disk_records() as i64);
+        self.metrics.park_disk_bytes.set(self.park.disk_bytes() as i64);
+        let (hits, misses) = self.park.page_cache_stats();
+        self.metrics.store_page_hits.set(hits as i64);
+        self.metrics.store_page_misses.set(misses as i64);
+    }
+
+    /// Applies a [`crate::park::ParkOutcome`]'s counter deltas: spills
+    /// keep their sessions (disk copy retained), evictions destroy them.
+    fn account_park(&self, outcome: &crate::park::ParkOutcome) {
+        if outcome.evicted > 0 {
+            self.metrics.park_evicted_capacity.add(outcome.evicted as u64);
+            self.metrics.sessions_live.add(-(outcome.evicted as i64));
+        }
+        if outcome.spilled > 0 {
+            self.metrics.park_spilled.add(outcome.spilled as u64);
+        }
+        if outcome.store_full {
+            self.metrics.park_store_full.inc();
+        }
+        self.publish_store_gauges();
     }
 }
 
@@ -280,6 +343,9 @@ fn drain(conn: &Arc<Conn>) {
         drop(guard);
         conn.send(&ack);
     }
+    // Busy servers may never hit the accept loop's idle tick, so the
+    // drain path checks the sweep deadline too (cheap when not due).
+    conn.shared.maybe_sweep();
 }
 
 /// Outcome of one reader loop step.
@@ -394,12 +460,15 @@ fn handle_frame(
                 return Step::CloseAbrupt;
             }
             match conn.shared.park.take(token) {
-                Some((session_id, session)) => {
+                Some(resumed) => {
+                    let session_id = resumed.session_id;
+                    let session = resumed.session;
                     let ack = session.resume_ack(session_id, cfg.max_frame, cfg.max_inflight);
                     cira_obs::info!(
                         "session resumed",
                         session = session_id,
                         last_seq = format!("{:?}", session.last_seq()),
+                        from_disk = resumed.from_disk,
                     );
                     *conn
                         .session
@@ -409,6 +478,12 @@ fn handle_frame(
                         session,
                     });
                     conn.metrics().sessions_resumed.inc();
+                    if resumed.from_disk {
+                        // The hot tier missed: this session was spilled
+                        // or recovered, decoded from its checkpoint.
+                        conn.metrics().park_loaded.inc();
+                    }
+                    conn.shared.publish_store_gauges();
                     conn.send(&ack);
                     Step::Continue
                 }
@@ -485,6 +560,65 @@ fn handle_frame(
             conn.metrics().sessions_reset.inc();
             conn.send(&ServerFrame::ResetAck);
             Step::Continue
+        }
+        ClientFrame::Park => {
+            // Every acked batch is part of the checkpoint: drain first.
+            conn.batches.wait_drained();
+            let active = conn
+                .session
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("session checked above");
+            let Active { id, session } = active;
+            let token = session.token();
+            match conn.shared.park.insert_durable(token, id, session) {
+                Ok(outcome) => {
+                    conn.shared.account_park(&outcome);
+                    conn.metrics().sessions_parked.inc();
+                    cira_obs::info!(
+                        "session parked on request",
+                        session = id,
+                        durable = outcome.persisted,
+                    );
+                    // The ack is the durability receipt: sent only after
+                    // the checkpoint is on disk (when a disk tier exists).
+                    conn.send(&ServerFrame::ParkedAck { token });
+                    Step::CloseClean
+                }
+                Err(ParkRefusal::Full(session)) => {
+                    // Transient: hand the session back and mirror BUSY.
+                    conn.metrics().park_store_full.inc();
+                    *conn
+                        .session
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(Active {
+                        id,
+                        session: *session,
+                    });
+                    conn.send(&ServerFrame::StoreFull {
+                        retry_after_ms: cfg.busy_retry_ms,
+                        message: "disk park tier at capacity; session still attached"
+                            .to_owned(),
+                    });
+                    Step::Continue
+                }
+                Err(ParkRefusal::Disabled(session)) => {
+                    // Permanent for this server config; typed ERROR.
+                    *conn
+                        .session
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(Active {
+                        id,
+                        session: *session,
+                    });
+                    conn.protocol_error(
+                        code::STORE_FULL,
+                        "parking disabled on this server; session still attached".to_owned(),
+                    );
+                    Step::Continue
+                }
+            }
         }
     }
 }
@@ -605,18 +739,29 @@ fn run_connection(
         .unwrap_or_else(|e| e.into_inner())
         .take();
     if let Some(active) = detached {
-        if clean_close || cfg.park_capacity == 0 {
+        if clean_close || (cfg.park_capacity == 0 && !shared.park.has_disk()) {
             metrics.sessions_live.dec();
         } else {
             // Park for RESUME; the last acked batch is durable state.
+            // With a disk tier the checkpoint is written through (and
+            // synced) before insert returns — from here on the session
+            // survives even `kill -9`.
             let token = active.session.token();
-            let evicted = shared.park.insert(token, active.id, active.session);
-            if evicted > 0 {
-                metrics.park_evicted_capacity.add(evicted as u64);
-                metrics.sessions_live.add(-(evicted as i64));
+            let session_id = active.id;
+            let outcome = shared.park.insert(token, session_id, active.session);
+            shared.account_park(&outcome);
+            // `evicted` counts destroyed sessions; with hot capacity 0
+            // and a failed write-through that is this session itself,
+            // i.e. it was not parked at all.
+            let parked = cfg.park_capacity > 0 || outcome.persisted;
+            if parked {
+                metrics.sessions_parked.inc();
+                cira_obs::debug!(
+                    "session parked",
+                    session = session_id,
+                    durable = outcome.persisted,
+                );
             }
-            metrics.sessions_parked.inc();
-            cira_obs::debug!("session parked", session = active.id);
         }
     }
     let w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
@@ -727,14 +872,35 @@ pub fn serve(
         .unwrap_or(0)
         ^ ((local.port() as u64) << 48)
         ^ (std::process::id() as u64).rotate_left(32);
+    let park_ttl = Duration::from_millis(cfg.park_ttl_ms);
+    let (park, recovered) = match &cfg.park_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join("park.cirstore");
+            SessionPark::with_disk(cfg.park_capacity, park_ttl, &path, cfg.park_disk_capacity)
+                .map_err(|e| io::Error::other(format!("park store {}: {e}", path.display())))?
+        }
+        None => (SessionPark::new(cfg.park_capacity, park_ttl), 0),
+    };
+    if recovered > 0 {
+        // Survivors of the previous process (clean restart or crash)
+        // are immediately resumable and count as live sessions.
+        metrics.sessions_live.add(recovered as i64);
+        cira_obs::info!("parked sessions recovered from disk", sessions = recovered);
+    }
     let shared = Arc::new(Shared {
         metrics: Arc::clone(&metrics),
         registry: Arc::clone(&registry),
         session_ids: AtomicU64::new(1),
         token_seed,
         token_ids: AtomicU64::new(1),
-        park: SessionPark::new(cfg.park_capacity, Duration::from_millis(cfg.park_ttl_ms)),
+        park,
+        // Sweep at a quarter of the TTL, clamped to a sane band: often
+        // enough to keep expiry timely, rarely enough to stay cheap.
+        sweep_every: Duration::from_millis((cfg.park_ttl_ms / 4).clamp(10, 1000)),
+        next_sweep: Mutex::new(Instant::now()),
     });
+    shared.publish_store_gauges();
     let metrics_http = match &cfg.metrics_addr {
         Some(http_addr) => {
             let server = cira_obs::http::serve_metrics(http_addr, Arc::clone(&registry))?;
@@ -773,7 +939,7 @@ pub fn serve(
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        accept_shared.sweep_park();
+                        accept_shared.maybe_sweep();
                         accept_shutdown.wait_timeout(Duration::from_millis(50));
                     }
                     Err(_) => {
@@ -781,9 +947,15 @@ pub fn serve(
                     }
                 }
             }
-            // Shutdown destroys parked sessions; keep the gauge honest.
-            let dropped = accept_shared.park.clear();
+            // Shutdown: with a disk tier, hot-only parks are written
+            // through first so every parked session survives the
+            // restart; without one they are destroyed (gauge stays
+            // honest either way — the process is exiting).
+            let (persisted, dropped) = accept_shared.park.shutdown_drain();
             accept_metrics.sessions_live.add(-(dropped as i64));
+            if persisted > 0 {
+                cira_obs::info!("parked sessions drained to disk", sessions = persisted);
+            }
             conns
         })?;
 

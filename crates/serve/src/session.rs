@@ -9,7 +9,10 @@
 //! property the loopback tests and the CLI `--verify` flag check.
 
 use cira_analysis::engine::replay::StreamingReplay;
+use cira_analysis::runner::PredictorRun;
 use cira_analysis::spec;
+use cira_analysis::BucketStats;
+use cira_store::Checkpoint;
 use cira_trace::codec::PackedTrace;
 
 use crate::proto::{HelloConfig, ServerFrame, SnapshotCell};
@@ -155,6 +158,89 @@ impl Session {
         }
     }
 
+    /// Serializes the session's complete state as a [`Checkpoint`]
+    /// (rev 1.3): the negotiated specs, the counters, the BHR, the
+    /// predictor and mechanism state blobs, and every bucket cell.
+    /// Restoring it with [`Session::from_checkpoint`] is bit-identical
+    /// to never having parked.
+    ///
+    /// Cell counts are exact: the engine accumulates refs/mispredicts
+    /// with unit weights, so the `f64` totals are integers and the
+    /// round trip through `u64` is lossless.
+    pub fn to_checkpoint(&self, session_id: u64) -> Checkpoint {
+        let run = self.replay.run();
+        let cells = self
+            .replay
+            .stats()
+            .iter()
+            .map(|(k, c)| (k, c.refs as u64, c.mispredicts as u64))
+            .collect();
+        Checkpoint {
+            session_id,
+            predictor: self.config.predictor.clone(),
+            mechanism: self.config.mechanism.clone(),
+            index: self.config.index.clone(),
+            init: self.config.init.clone(),
+            threshold: self.config.threshold,
+            last_seq: self.last_seq,
+            batches: self.batches,
+            low_confidence: self.low_confidence,
+            bhr: self.replay.bhr_value(),
+            branches: run.branches,
+            mispredicts: run.mispredicts,
+            predictor_state: self.replay.predictor_state(),
+            mechanism_state: self.replay.mechanism_state(),
+            cells,
+        }
+    }
+
+    /// Rebuilds a session from a [`Checkpoint`]: the specs reconstruct
+    /// the predictor and mechanism, then the saved state is loaded into
+    /// them and the counters and statistics are restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a spec no longer parses (a checkpoint
+    /// from a different build) or a state blob does not match the
+    /// rebuilt instance's configuration.
+    pub fn from_checkpoint(cp: &Checkpoint, token: u64) -> Result<Session, String> {
+        let config = HelloConfig {
+            predictor: cp.predictor.clone(),
+            mechanism: cp.mechanism.clone(),
+            index: cp.index.clone(),
+            init: cp.init.clone(),
+            threshold: cp.threshold,
+        };
+        let mut session = Session::from_hello(&config, token)?;
+        session
+            .replay
+            .load_predictor_state(&cp.predictor_state)
+            .map_err(|e| format!("predictor state: {e}"))?;
+        session
+            .replay
+            .load_mechanism_state(&cp.mechanism_state)
+            .map_err(|e| format!("mechanism state: {e}"))?;
+        session.replay.set_bhr(cp.bhr);
+        let mut stats = BucketStats::new();
+        for &(key, refs, miss) in &cp.cells {
+            if miss > refs {
+                return Err(format!(
+                    "cell {key:#x} claims {miss} mispredicts out of {refs} refs"
+                ));
+            }
+            stats.merge_cell(key, refs as f64, miss as f64);
+        }
+        session.replay.restore_stats(stats);
+        session.replay.restore_run(PredictorRun {
+            branches: cp.branches,
+            mispredicts: cp.mispredicts,
+        });
+        session.last_seq = cp.last_seq;
+        session.batches = cp.batches;
+        session.low_confidence = cp.low_confidence;
+        Ok(session)
+    }
+
     /// Rebuilds predictor, mechanism, and statistics from the negotiated
     /// config — as if the connection had just said `HELLO` again.
     pub fn reset(&mut self) {
@@ -273,6 +359,49 @@ mod tests {
             })
             .count() as u64;
         assert_eq!(wrong, mispredicts);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let trace: PackedTrace = ibs_like_suite()[0].walker().take(12_000).collect();
+        let head: PackedTrace = (0..8_000).map(|i| trace.get(i).unwrap()).collect();
+        let tail: PackedTrace = (8_000..12_000).map(|i| trace.get(i).unwrap()).collect();
+
+        let mut whole = Session::from_hello(&config(), 7).unwrap();
+        whole.apply_batch(0, &head);
+
+        let mut parked = Session::from_hello(&config(), 7).unwrap();
+        parked.apply_batch(0, &head);
+        // Through the full CIRD byte codec, as the disk tier would.
+        let blob = parked.to_checkpoint(3).encode();
+        let cp = Checkpoint::decode(&blob).unwrap();
+        assert_eq!(cp.session_id, 3);
+        let mut resumed = Session::from_checkpoint(&cp, 7).unwrap();
+        assert_eq!(resumed.token(), 7);
+        assert_eq!(resumed.last_seq(), Some(0));
+        assert_eq!(resumed.branches(), 8_000);
+
+        let a = whole.apply_batch(1, &tail);
+        let b = resumed.apply_batch(1, &tail);
+        assert_eq!(a, b, "post-restore acks diverge from uninterrupted run");
+        assert_eq!(whole.snapshot(), resumed.snapshot());
+        assert_eq!(whole.resume_ack(1, 2, 3), resumed.resume_ack(1, 2, 3));
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_state_blob() {
+        let trace: PackedTrace = ibs_like_suite()[1].walker().take(1_000).collect();
+        let mut s = Session::from_hello(&config(), 1).unwrap();
+        s.apply_batch(0, &trace);
+        let mut cp = s.to_checkpoint(1);
+        cp.predictor_state.truncate(cp.predictor_state.len() / 2);
+        let err = Session::from_checkpoint(&cp, 1).unwrap_err();
+        assert!(err.contains("predictor state"), "{err}");
+        let mut cp = s.to_checkpoint(1);
+        cp.cells.push((999, 1, 2));
+        assert!(Session::from_checkpoint(&cp, 1)
+            .unwrap_err()
+            .contains("mispredicts"));
     }
 
     #[test]

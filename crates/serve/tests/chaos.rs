@@ -261,6 +261,112 @@ fn idle_session_is_evicted_parked_and_resumable() {
 }
 
 #[test]
+fn server_death_restart_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("cira-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig {
+        park_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let trace = bench_trace(2, 24_000);
+    let head: PackedTrace = (0..16_000).map(|i| trace.get(i).unwrap()).collect();
+    let tail: PackedTrace = (16_000..24_000).map(|i| trace.get(i).unwrap()).collect();
+    let config = HelloConfig::default();
+    let expected = local_reference(&config, &trace);
+
+    // Incarnation one: stream the head, PARK, die. PARKED_ACK is a
+    // durability receipt — by the time park() returns, the checkpoint is
+    // synced to the page file, so nothing depends on a graceful exit.
+    let token = {
+        let handle = start_server(cfg.clone());
+        let addr = handle.local_addr().to_string();
+        let mut client = Client::connect(&addr, config).expect("connect");
+        client.stream(&head, 2_000).expect("stream head");
+        let token = client.park().expect("park");
+        handle.shutdown_and_join();
+        token
+    };
+
+    // Incarnation two: a fresh server process on the same directory
+    // rebuilds its park index from the store at startup.
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+    assert_eq!(metric(&handle, "sessions_live"), 1, "recovered at startup");
+    assert_eq!(metric(&handle, "park_disk_records"), 1);
+
+    let mut client = Client::builder(&addr)
+        .resume(token)
+        .expect("resume across restart");
+    client.stream(&tail, 2_000).expect("stream tail");
+    assert_eq!(
+        client.snapshot_stats().unwrap(),
+        expected,
+        "statistics must be bit-identical across a server death"
+    );
+    assert!(metric(&handle, "park_loaded") >= 1, "resume came off disk");
+
+    client.goodbye().expect("goodbye");
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn park_pressure_spills_cold_sessions_and_reloads_them() {
+    let dir = std::env::temp_dir().join(format!("cira-chaos-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig {
+        park_capacity: 2,
+        park_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+    let config = HelloConfig::default();
+
+    // Park six sessions against a two-slot hot tier: at least four must
+    // be evicted from memory — spilled, not dropped, since every park is
+    // written through to disk. The parked population exceeds what the
+    // hot tier can hold.
+    let mut tokens = Vec::new();
+    let mut traces = Vec::new();
+    for bench in 0..6 {
+        let trace = bench_trace(bench, 4_000);
+        let mut client = Client::connect(&addr, config.clone()).expect("connect");
+        client.stream(&trace, 1_000).expect("stream");
+        tokens.push(client.park().expect("park"));
+        traces.push(trace);
+    }
+    assert_eq!(metric(&handle, "park_disk_records"), 6, "all six durable");
+    assert!(metric(&handle, "park_spilled") >= 4, "hot tier held at two");
+    assert_eq!(
+        metric(&handle, "sessions_live"),
+        6,
+        "parked sessions count as live"
+    );
+
+    // The first-parked session is long gone from the hot tier, so this
+    // resume must decode the checkpoint back off the page file.
+    let expected = local_reference(&config, &traces[0]);
+    let mut client = Client::builder(&addr)
+        .resume(tokens[0])
+        .expect("resume the coldest session");
+    assert_eq!(
+        client.snapshot_stats().unwrap(),
+        expected,
+        "disk reload is bit-identical"
+    );
+    assert!(metric(&handle, "park_loaded") >= 1);
+    let hits = metric(&handle, "store_page_hits");
+    let misses = metric(&handle, "store_page_misses");
+    assert!(hits + misses > 0, "page cache saw traffic");
+
+    client.goodbye().expect("goodbye");
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bogus_and_expired_resume_tokens_are_refused() {
     let cfg = ServerConfig {
         park_ttl_ms: 50,

@@ -1,0 +1,216 @@
+//! CIRD checkpoint round-trips across the predictor × mechanism spec
+//! grid.
+//!
+//! Three properties, each over the whole grid:
+//!
+//! 1. **Codec round-trip** — `Session::to_checkpoint` → `encode` →
+//!    `decode` → `from_checkpoint` continues bit-identically to the
+//!    session that never stopped (the batched/SWAR kernel path).
+//! 2. **Kernel agnosticism** — a checkpoint written by the vectorized
+//!    kernel restores into a scalar-pinned engine (and vice versa) and
+//!    still finishes bit-identical to a single uninterrupted run: the
+//!    state blobs are canonical, not kernel-private.
+//! 3. **Corruption rejection** — any truncation and any single-byte flip
+//!    of the encoded image is refused by `decode`, never half-trusted.
+
+use cira_analysis::engine::replay::StreamingReplay;
+use cira_analysis::spec::{parse_init, parse_mechanism, parse_predictor, IndexForm};
+use cira_core::ScalarObserve;
+use cira_predictor::ScalarKernel;
+use cira_serve::proto::HelloConfig;
+use cira_serve::session::Session;
+use cira_store::Checkpoint;
+use cira_trace::codec::PackedTrace;
+use cira_trace::BranchRecord;
+
+const PREDICTORS: [&str; 8] = [
+    "gshare:10:10",
+    "gshare:10:6",
+    "gselect:10:4",
+    "bimodal:10",
+    "local:8:6",
+    "agree:10:10:8",
+    "taken",
+    "not-taken",
+];
+
+const MECHANISMS: [&str; 5] = [
+    "cir:8",
+    "ones-count:8",
+    "saturating:16",
+    "resetting:16",
+    "two-level:pcxorbhr-cir",
+];
+
+const INDICES: [&str; 5] = ["pc:10", "bhr:10", "pcxorbhr:10", "pcconcatbhr:10", "gcir:6"];
+
+const INITS: [&str; 4] = ["ones", "zeros", "lastbit", "random:7"];
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed.max(1);
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+/// A synthetic trace with a small hot site set and per-site bias (same
+/// construction as the kernel differential suite).
+fn synth_trace(seed: u64, len: usize) -> PackedTrace {
+    let mut rng = xorshift(seed);
+    (0..len)
+        .map(|_| {
+            let site = rng() % 97;
+            let pc = 0x40_0000 + (site << 2);
+            let taken = rng() % 100 < 20 + (site * 7) % 75;
+            BranchRecord::new(pc, taken)
+        })
+        .collect()
+}
+
+fn config(predictor: &str, mechanism: &str, index: &str, init: &str) -> HelloConfig {
+    HelloConfig {
+        predictor: predictor.into(),
+        mechanism: mechanism.into(),
+        index: index.into(),
+        init: init.into(),
+        threshold: 8,
+    }
+}
+
+/// Property 1 for one spec cell: park mid-stream through the codec, then
+/// finish both sessions and require identical acks and snapshots.
+fn assert_round_trip(head: &PackedTrace, tail: &PackedTrace, cfg: &HelloConfig) {
+    let label = format!("{} / {} @ {} init {}", cfg.predictor, cfg.mechanism, cfg.index, cfg.init);
+    let mut original = Session::from_hello(cfg, 0xA5A5).expect(&label);
+    original.apply_batch(0, head);
+
+    let checkpoint = original.to_checkpoint(42);
+    let bytes = checkpoint.encode();
+    let decoded = Checkpoint::decode(&bytes).unwrap_or_else(|e| panic!("{label}: decode: {e}"));
+    assert_eq!(decoded, checkpoint, "{label}: codec round-trip");
+
+    let mut restored =
+        Session::from_checkpoint(&decoded, 0xA5A5).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let a = original.apply_batch(1, tail);
+    let b = restored.apply_batch(1, tail);
+    assert_eq!(a, b, "{label}: tail acks diverge after restore");
+    assert_eq!(
+        original.snapshot(),
+        restored.snapshot(),
+        "{label}: snapshots diverge after restore"
+    );
+}
+
+#[test]
+fn session_checkpoints_round_trip_across_the_spec_grid() {
+    let trace = synth_trace(0xC14D, 3_000);
+    let head: PackedTrace = (0..2_000).map(|i| trace.get(i).unwrap()).collect();
+    let tail: PackedTrace = (2_000..3_000).map(|i| trace.get(i).unwrap()).collect();
+    for predictor in PREDICTORS {
+        for mechanism in MECHANISMS {
+            assert_round_trip(&head, &tail, &config(predictor, mechanism, "pcxorbhr:10", "ones"));
+        }
+    }
+    // Index functions and init policies sweep with a fixed pairing.
+    for index in INDICES {
+        for init in INITS {
+            assert_round_trip(&head, &tail, &config("gshare:10:10", "resetting:16", index, init));
+        }
+    }
+}
+
+/// Builds a replay pinned to the trait-default scalar loops.
+fn scalar_replay(cfg: &HelloConfig) -> StreamingReplay {
+    let predictor = ScalarKernel(parse_predictor(&cfg.predictor).unwrap());
+    let index = cfg.index.parse::<IndexForm>().unwrap().build();
+    let init = parse_init(&cfg.init).unwrap();
+    let mechanism = ScalarObserve(parse_mechanism(&cfg.mechanism, index, init).unwrap());
+    StreamingReplay::new(Box::new(predictor), Box::new(mechanism))
+}
+
+/// Builds a replay on the default (vectorized/SWAR) kernels.
+fn swar_replay(cfg: &HelloConfig) -> StreamingReplay {
+    let predictor = parse_predictor(&cfg.predictor).unwrap();
+    let index = cfg.index.parse::<IndexForm>().unwrap().build();
+    let init = parse_init(&cfg.init).unwrap();
+    let mechanism = parse_mechanism(&cfg.mechanism, index, init).unwrap();
+    StreamingReplay::new(predictor, mechanism)
+}
+
+/// Moves a mid-stream replay's state into a fresh replay through the raw
+/// state blobs — exactly what the CIRD codec carries.
+fn transfer(from: &StreamingReplay, into: &mut StreamingReplay) {
+    into.set_bhr(from.bhr_value());
+    into.load_predictor_state(&from.predictor_state())
+        .expect("predictor state loads");
+    into.load_mechanism_state(&from.mechanism_state())
+        .expect("mechanism state loads");
+    into.restore_stats(from.stats().clone());
+    into.restore_run(from.run());
+}
+
+#[test]
+fn checkpoint_state_blobs_are_kernel_agnostic() {
+    let trace = synth_trace(0x5CA1, 3_000);
+    let head: PackedTrace = (0..2_000).map(|i| trace.get(i).unwrap()).collect();
+    let tail: PackedTrace = (2_000..3_000).map(|i| trace.get(i).unwrap()).collect();
+    for predictor in PREDICTORS {
+        for mechanism in MECHANISMS {
+            let cfg = config(predictor, mechanism, "pcxorbhr:10", "ones");
+            let label = format!("{predictor} / {mechanism}");
+
+            let mut reference = swar_replay(&cfg);
+            reference.feed(&trace);
+
+            // SWAR writes the state, a scalar engine finishes the run.
+            let mut writer = swar_replay(&cfg);
+            writer.feed(&head);
+            let mut scalar = scalar_replay(&cfg);
+            transfer(&writer, &mut scalar);
+            scalar.feed(&tail);
+            assert_eq!(scalar.stats(), reference.stats(), "{label}: SWAR→scalar");
+            assert_eq!(scalar.run(), reference.run(), "{label}: SWAR→scalar run");
+
+            // Scalar writes the state, the SWAR engine finishes the run.
+            let mut writer = scalar_replay(&cfg);
+            writer.feed(&head);
+            let mut swar = swar_replay(&cfg);
+            transfer(&writer, &mut swar);
+            swar.feed(&tail);
+            assert_eq!(swar.stats(), reference.stats(), "{label}: scalar→SWAR");
+            assert_eq!(swar.run(), reference.run(), "{label}: scalar→SWAR run");
+        }
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_checkpoints_are_rejected() {
+    // A small-table cell keeps the image a few KiB, so exhaustive
+    // truncation and byte-flip sweeps stay fast.
+    let trace = synth_trace(0xBADC, 1_500);
+    let mut session = Session::from_hello(&config("gshare:6:6", "resetting:4", "pcxorbhr:6", "ones"), 7)
+        .expect("session");
+    session.apply_batch(0, &trace);
+    let bytes = session.to_checkpoint(7).encode();
+    assert!(Checkpoint::decode(&bytes).is_ok(), "pristine image decodes");
+
+    for len in 0..bytes.len() {
+        assert!(
+            Checkpoint::decode(&bytes[..len]).is_err(),
+            "truncation to {len} of {} bytes must be rejected",
+            bytes.len()
+        );
+    }
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x40;
+        assert!(
+            Checkpoint::decode(&flipped).is_err(),
+            "flip at byte {i} of {} must be rejected",
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,719 @@
+//! The durable session store: checkpoint blobs keyed by resume token.
+//!
+//! A [`SessionStore`] maps `u64` resume tokens to opaque checkpoint
+//! blobs plus park metadata (session id, absolute expiry deadline, a
+//! monotonic epoch), laid out as chains of checksummed pages in one
+//! [`PageFile`] behind a [`BufferManager`]. Durability discipline:
+//!
+//! * [`SessionStore::put`] writes the whole new chain, then flushes and
+//!   syncs **before** freeing any pages of the record it replaces — a
+//!   crash at any instant leaves either the old record or the new one
+//!   intact on disk, never neither.
+//! * [`SessionStore::remove`] frees the chain and syncs, so a resumed
+//!   session cannot resurrect with stale state after a later crash.
+//! * The free list is **not** stored on disk. [`SessionStore::open`]
+//!   rebuilds it — and the token index — by an authoritative scan of
+//!   every page: torn or foreign pages are discarded, broken chains are
+//!   dropped whole, and where two chains claim the same token (a crash
+//!   between the new-chain sync and the old-chain free) the higher
+//!   epoch wins.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::buffer::{BufferManager, ClockPolicy, LruPolicy, ReplacementPolicy};
+use crate::file::PageFile;
+use crate::page::{PageHeader, KIND_DATA, KIND_HEAD, PAGE_SIZE, PAYLOAD_PER_PAGE};
+
+/// Bytes of record header at the front of a `HEAD` page's payload:
+/// session_id u64, deadline_unix_ms u64, epoch u64, blob_len u32.
+const REC_HEADER: usize = 28;
+
+/// Blob bytes that fit in a record's head page.
+const HEAD_CAPACITY: usize = PAYLOAD_PER_PAGE - REC_HEADER;
+
+/// Park metadata stored alongside a checkpoint blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Server-assigned session id.
+    pub session_id: u64,
+    /// Absolute expiry deadline, milliseconds since the Unix epoch
+    /// (0 = never expires). Stored absolute because a relative TTL
+    /// cannot survive a restart.
+    pub deadline_unix_ms: u64,
+    /// Monotonic write epoch — newer wins when a crash leaves two
+    /// chains claiming one token.
+    pub epoch: u64,
+}
+
+/// Store failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// On-disk bytes failed validation (checksum, chain, or header).
+    Corrupt(String),
+    /// The write would exceed the configured byte capacity.
+    Full {
+        /// Bytes the write needed.
+        needed: u64,
+        /// The configured capacity.
+        capacity: u64,
+    },
+    /// No record under that token.
+    NotFound(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corruption: {m}"),
+            StoreError::Full { needed, capacity } => write!(
+                f,
+                "store full: write needs {needed} bytes against a {capacity}-byte capacity"
+            ),
+            StoreError::NotFound(token) => write!(f, "no record for token {token:#018x}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Eviction policy selector for [`SessionStore::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Eviction {
+    /// Second-chance clock (the default).
+    #[default]
+    Clock,
+    /// Strict least-recently-used.
+    Lru,
+}
+
+/// Where one record lives.
+#[derive(Debug, Clone)]
+struct RecordLoc {
+    /// Chain pages in order, head first.
+    pages: Vec<u64>,
+    meta: StoreMeta,
+    blob_len: u32,
+}
+
+/// A durable token -> checkpoint-blob store over one page file.
+#[derive(Debug)]
+pub struct SessionStore {
+    buf: BufferManager,
+    index: HashMap<u64, RecordLoc>,
+    free: Vec<u64>,
+    /// Byte capacity for live pages (0 = unlimited).
+    capacity_bytes: u64,
+    next_epoch: u64,
+}
+
+/// Default buffer-pool size in frames (64 pages = 256 KiB), deliberately
+/// small so the store's working set, not the cache, bounds memory.
+pub const DEFAULT_FRAMES: usize = 64;
+
+impl SessionStore {
+    /// Opens (or creates) the store at `path` with the default buffer
+    /// pool ([`DEFAULT_FRAMES`] clock-evicted frames).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a superblock that is not a cira-store file.
+    pub fn open(path: &Path, capacity_bytes: u64) -> Result<Self, StoreError> {
+        Self::open_with(path, capacity_bytes, DEFAULT_FRAMES, Eviction::Clock)
+    }
+
+    /// Opens (or creates) the store with an explicit buffer-pool size
+    /// and eviction policy, then scans every page to rebuild the token
+    /// index and free list.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a superblock that is not a cira-store file.
+    /// Page-level corruption is *not* an error: damaged chains are
+    /// discarded and their salvageable pages freed.
+    pub fn open_with(
+        path: &Path,
+        capacity_bytes: u64,
+        frames: usize,
+        eviction: Eviction,
+    ) -> Result<Self, StoreError> {
+        let file = if path.exists() {
+            PageFile::open(path)?
+        } else {
+            PageFile::create(path)?
+        };
+        let frames = frames.max(1);
+        let policy: Box<dyn ReplacementPolicy> = match eviction {
+            Eviction::Clock => Box::new(ClockPolicy::new(frames)),
+            Eviction::Lru => Box::new(LruPolicy::new(frames)),
+        };
+        let mut store = Self {
+            buf: BufferManager::with_policy(file, frames, policy),
+            index: HashMap::new(),
+            free: Vec::new(),
+            capacity_bytes,
+            next_epoch: 1,
+        };
+        store.scan()?;
+        Ok(store)
+    }
+
+    /// Rebuilds the index and free list from the pages themselves.
+    fn scan(&mut self) -> Result<(), StoreError> {
+        #[derive(Clone)]
+        struct Scanned {
+            header: PageHeader,
+            /// Record header bytes, present on HEAD pages only.
+            rec: Option<[u8; REC_HEADER]>,
+        }
+        let count = self.buf.page_count();
+        let mut pages: HashMap<u64, Scanned> = HashMap::new();
+        for idx in 1..count {
+            let scanned = self.buf.with_page(idx, |data| {
+                let header = PageHeader::read_from(data).ok()?;
+                let rec = if header.kind == KIND_HEAD {
+                    if (header.payload_len as usize) < REC_HEADER {
+                        return None; // head too short to carry a record header
+                    }
+                    let mut rec = [0u8; REC_HEADER];
+                    rec.copy_from_slice(&data[32..32 + REC_HEADER]);
+                    Some(rec)
+                } else {
+                    None
+                };
+                Some(Scanned { header, rec })
+            })?;
+            if let Some(s) = scanned {
+                pages.insert(idx, s);
+            }
+        }
+        // Walk every head's chain; only fully-valid chains survive.
+        let mut records: HashMap<u64, RecordLoc> = HashMap::new();
+        let mut max_epoch = 0u64;
+        for (&head_idx, scanned) in &pages {
+            if scanned.header.kind != KIND_HEAD {
+                continue;
+            }
+            let rec = scanned.rec.expect("heads carry a record header");
+            let meta = StoreMeta {
+                session_id: u64::from_le_bytes(rec[0..8].try_into().expect("8")),
+                deadline_unix_ms: u64::from_le_bytes(rec[8..16].try_into().expect("8")),
+                epoch: u64::from_le_bytes(rec[16..24].try_into().expect("8")),
+            };
+            let blob_len = u32::from_le_bytes(rec[24..28].try_into().expect("4"));
+            let token = scanned.header.token;
+            let mut chain = vec![head_idx];
+            let mut seen: HashSet<u64> = chain.iter().copied().collect();
+            let mut got = scanned.header.payload_len as usize - REC_HEADER;
+            let mut next = scanned.header.next;
+            let mut ok = true;
+            while next != 0 {
+                let Some(p) = pages.get(&next) else {
+                    ok = false; // torn or missing continuation
+                    break;
+                };
+                if p.header.kind != KIND_DATA || p.header.token != token || !seen.insert(next) {
+                    ok = false;
+                    break;
+                }
+                got += p.header.payload_len as usize;
+                chain.push(next);
+                next = p.header.next;
+            }
+            if !ok || got != blob_len as usize {
+                cira_obs::debug!("store: discarding broken chain", token = token);
+                continue;
+            }
+            max_epoch = max_epoch.max(meta.epoch);
+            let loc = RecordLoc {
+                pages: chain,
+                meta,
+                blob_len,
+            };
+            match records.get(&token) {
+                // A crash between syncing the new chain and freeing the
+                // old one leaves both; the higher epoch is the truth.
+                Some(existing)
+                    if (existing.meta.epoch, existing.pages[0]) >= (meta.epoch, head_idx) => {}
+                _ => {
+                    records.insert(token, loc);
+                }
+            }
+        }
+        // Free list: every page not claimed by a surviving chain.
+        let live: HashSet<u64> = records.values().flat_map(|r| r.pages.iter().copied()).collect();
+        self.free = (1..count).filter(|idx| !live.contains(idx)).collect();
+        self.index = records;
+        self.next_epoch = max_epoch + 1;
+        cira_obs::debug!(
+            "store opened",
+            records = self.index.len(),
+            free_pages = self.free.len()
+        );
+        Ok(())
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Bytes consumed by live record pages.
+    pub fn bytes_used(&self) -> u64 {
+        let pages: usize = self.index.values().map(|r| r.pages.len()).sum();
+        pages as u64 * PAGE_SIZE as u64
+    }
+
+    /// The configured capacity in bytes (0 = unlimited).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Buffer-pool page hits.
+    pub fn page_hits(&self) -> u64 {
+        self.buf.hits()
+    }
+
+    /// Buffer-pool page misses (disk reads).
+    pub fn page_misses(&self) -> u64 {
+        self.buf.misses()
+    }
+
+    /// Buffer-pool evictions.
+    pub fn page_evictions(&self) -> u64 {
+        self.buf.evictions()
+    }
+
+    /// Every live record's token and metadata, in no particular order.
+    pub fn entries(&self) -> Vec<(u64, StoreMeta)> {
+        self.index.iter().map(|(&t, r)| (t, r.meta)).collect()
+    }
+
+    /// The metadata for `token`, if present.
+    pub fn meta(&self, token: u64) -> Option<StoreMeta> {
+        self.index.get(&token).map(|r| r.meta)
+    }
+
+    /// How many chain pages a `blob_len`-byte record needs.
+    fn pages_for(blob_len: usize) -> u64 {
+        let tail = blob_len.saturating_sub(HEAD_CAPACITY);
+        1 + tail.div_ceil(PAYLOAD_PER_PAGE) as u64
+    }
+
+    /// Stores `blob` under `token`, replacing any existing record, and
+    /// syncs before returning. On return the record survives `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Full`] when the write would push live bytes past
+    /// the capacity (the existing record under `token`, which the write
+    /// replaces, does not count against it); I/O failures otherwise.
+    pub fn put(
+        &mut self,
+        token: u64,
+        session_id: u64,
+        deadline_unix_ms: u64,
+        blob: &[u8],
+    ) -> Result<(), StoreError> {
+        let new_pages = Self::pages_for(blob.len());
+        if self.capacity_bytes > 0 {
+            let replaced: u64 = self
+                .index
+                .get(&token)
+                .map_or(0, |r| r.pages.len() as u64);
+            let projected = self.bytes_used() - replaced * PAGE_SIZE as u64
+                + new_pages * PAGE_SIZE as u64;
+            if projected > self.capacity_bytes {
+                return Err(StoreError::Full {
+                    needed: projected,
+                    capacity: self.capacity_bytes,
+                });
+            }
+        }
+        let meta = StoreMeta {
+            session_id,
+            deadline_unix_ms,
+            epoch: self.next_epoch,
+        };
+        self.next_epoch += 1;
+
+        // Allocate the chain: free pages first, then grow.
+        let mut chain = Vec::with_capacity(new_pages as usize);
+        while (chain.len() as u64) < new_pages {
+            match self.free.pop() {
+                Some(p) => chain.push(p),
+                None => {
+                    let remaining = new_pages - chain.len() as u64;
+                    let first = self.buf.grow(remaining)?;
+                    chain.extend(first..first + remaining);
+                }
+            }
+        }
+
+        // Write head then data pages; `next` pointers are known upfront.
+        let mut rec = [0u8; REC_HEADER];
+        rec[0..8].copy_from_slice(&meta.session_id.to_le_bytes());
+        rec[8..16].copy_from_slice(&meta.deadline_unix_ms.to_le_bytes());
+        rec[16..24].copy_from_slice(&meta.epoch.to_le_bytes());
+        rec[24..28].copy_from_slice(&(blob.len() as u32).to_le_bytes());
+        let head_take = blob.len().min(HEAD_CAPACITY);
+        let mut payload = Vec::with_capacity(PAYLOAD_PER_PAGE);
+        payload.extend_from_slice(&rec);
+        payload.extend_from_slice(&blob[..head_take]);
+        let header = PageHeader {
+            kind: KIND_HEAD,
+            payload_len: payload.len() as u32,
+            next: chain.get(1).copied().unwrap_or(0),
+            token,
+        };
+        self.buf
+            .with_page_mut(chain[0], |page| header.write_into(&payload, page))?;
+        let mut at = head_take;
+        for (i, &page_idx) in chain.iter().enumerate().skip(1) {
+            let take = (blob.len() - at).min(PAYLOAD_PER_PAGE);
+            let header = PageHeader {
+                kind: KIND_DATA,
+                payload_len: take as u32,
+                next: chain.get(i + 1).copied().unwrap_or(0),
+                token,
+            };
+            self.buf
+                .with_page_mut(page_idx, |page| header.write_into(&blob[at..at + take], page))?;
+            at += take;
+        }
+        debug_assert_eq!(at, blob.len());
+
+        // Durability point: the new chain reaches disk before the old
+        // chain is touched. A crash on either side of this line leaves
+        // exactly one valid record for the token (epoch breaks the tie).
+        self.buf.flush_all()?;
+
+        let old = self.index.insert(
+            token,
+            RecordLoc {
+                pages: chain,
+                meta,
+                blob_len: blob.len() as u32,
+            },
+        );
+        if let Some(old) = old {
+            self.free_chain(&old.pages)?;
+        }
+        Ok(())
+    }
+
+    /// Loads the record under `token`, verifying every page checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown tokens;
+    /// [`StoreError::Corrupt`] when a page fails validation (bytes rotted
+    /// since open); I/O failures otherwise.
+    pub fn get(&mut self, token: u64) -> Result<(StoreMeta, Vec<u8>), StoreError> {
+        let loc = self
+            .index
+            .get(&token)
+            .cloned()
+            .ok_or(StoreError::NotFound(token))?;
+        let mut blob = Vec::with_capacity(loc.blob_len as usize);
+        for (i, &page_idx) in loc.pages.iter().enumerate() {
+            let piece = self
+                .buf
+                .with_page(page_idx, |data| -> Result<Vec<u8>, String> {
+                    let header = PageHeader::read_from(data)?;
+                    if header.token != token {
+                        return Err(format!(
+                            "page {page_idx} belongs to token {:#018x}",
+                            header.token
+                        ));
+                    }
+                    let skip = if i == 0 { REC_HEADER } else { 0 };
+                    Ok(data[32 + skip..32 + header.payload_len as usize].to_vec())
+                })?
+                .map_err(StoreError::Corrupt)?;
+            blob.extend_from_slice(&piece);
+        }
+        if blob.len() != loc.blob_len as usize {
+            return Err(StoreError::Corrupt(format!(
+                "chain for token {token:#018x} reassembled {} bytes, expected {}",
+                blob.len(),
+                loc.blob_len
+            )));
+        }
+        Ok((loc.meta, blob))
+    }
+
+    /// Removes the record under `token` and syncs, so it cannot
+    /// resurrect after a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown tokens; I/O failures.
+    pub fn remove(&mut self, token: u64) -> Result<StoreMeta, StoreError> {
+        let loc = self.index.remove(&token).ok_or(StoreError::NotFound(token))?;
+        self.free_chain(&loc.pages)?;
+        self.buf.flush_all()?;
+        Ok(loc.meta)
+    }
+
+    /// Marks every page of a dead chain `FREE` and returns it to the
+    /// free list. Not synced here — a crash before these writes land is
+    /// resolved by the epoch rule at the next open.
+    fn free_chain(&mut self, chain: &[u64]) -> Result<(), StoreError> {
+        for &page_idx in chain {
+            self.buf
+                .with_page_mut(page_idx, |page| PageHeader::free().write_into(&[], page))?;
+            self.free.push(page_idx);
+        }
+        Ok(())
+    }
+
+    /// Flushes and syncs any buffered writes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.buf.flush_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cira-store-store-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sessions.cirstore")
+    }
+
+    fn blob(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+    }
+
+    #[test]
+    fn put_get_round_trip_small_and_multi_page() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        let small = blob(100, 1);
+        let large = blob(PAYLOAD_PER_PAGE * 3 + 17, 2);
+        store.put(1, 10, 1000, &small).unwrap();
+        store.put(2, 20, 2000, &large).unwrap();
+        let (m1, b1) = store.get(1).unwrap();
+        assert_eq!((m1.session_id, m1.deadline_unix_ms), (10, 1000));
+        assert_eq!(b1, small);
+        let (m2, b2) = store.get(2).unwrap();
+        assert_eq!(m2.session_id, 20);
+        assert_eq!(b2, large);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        let big = blob(10_000, 3);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(77, 7, 123_456, &big).unwrap();
+        } // dropped without any explicit close: put already synced
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        assert_eq!(store.len(), 1);
+        let (meta, back) = store.get(77).unwrap();
+        assert_eq!(meta.session_id, 7);
+        assert_eq!(meta.deadline_unix_ms, 123_456);
+        assert_eq!(back, big);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replace_keeps_latest_and_reuses_pages() {
+        let path = tmp("replace");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        store.put(5, 1, 0, &blob(9_000, 1)).unwrap();
+        // The first replacement grows the file: the new chain must be on
+        // disk before the old one is freed. The next replacement then
+        // fits entirely in the freed pages.
+        store.put(5, 1, 0, &blob(9_000, 5)).unwrap();
+        let pages_after_second = store.buf.page_count();
+        store.put(5, 1, 0, &blob(9_000, 9)).unwrap();
+        assert_eq!(
+            store.buf.page_count(),
+            pages_after_second,
+            "steady-state replacement reuses freed pages instead of growing"
+        );
+        let (_, back) = store.get(5).unwrap();
+        assert_eq!(back, blob(9_000, 9));
+        assert_eq!(store.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn remove_is_durable() {
+        let path = tmp("remove");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(9, 1, 0, &blob(500, 4)).unwrap();
+            store.remove(9).unwrap();
+            assert!(matches!(store.get(9), Err(StoreError::NotFound(_))));
+        }
+        let store = SessionStore::open(&path, 0).unwrap();
+        assert!(store.is_empty(), "removed record must not resurrect");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let path = tmp("capacity");
+        let _ = std::fs::remove_file(&path);
+        // Two pages of capacity: one single-page record fits, a second
+        // does not.
+        let mut store = SessionStore::open(&path, 2 * PAGE_SIZE as u64).unwrap();
+        store.put(1, 1, 0, &blob(100, 1)).unwrap();
+        store.put(2, 2, 0, &blob(100, 2)).unwrap();
+        let err = store.put(3, 3, 0, &blob(100, 3)).unwrap_err();
+        assert!(matches!(err, StoreError::Full { .. }), "{err}");
+        // Replacing an existing record within capacity still works.
+        store.put(2, 2, 0, &blob(200, 9)).unwrap();
+        // And removing one frees capacity.
+        store.remove(1).unwrap();
+        store.put(3, 3, 0, &blob(100, 3)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_page_discards_only_its_chain() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let good = blob(200, 1);
+        let doomed = blob(PAYLOAD_PER_PAGE * 2, 2);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(1, 1, 0, &good).unwrap();
+            store.put(2, 2, 0, &doomed).unwrap();
+        }
+        // Corrupt one payload byte of the second record's head page.
+        // (Token 2's chain starts at page 2: page 1 went to token 1.)
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = 2 * PAGE_SIZE + 32 + REC_HEADER + 3;
+        bytes[victim] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        assert_eq!(store.len(), 1, "only the undamaged record survives");
+        assert_eq!(store.get(1).unwrap().1, good);
+        assert!(matches!(store.get(2), Err(StoreError::NotFound(_))));
+        // The dead chain's pages are reusable.
+        store.put(3, 3, 0, &doomed).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_chain_is_discarded() {
+        let path = tmp("chain");
+        let _ = std::fs::remove_file(&path);
+        let long = blob(PAYLOAD_PER_PAGE * 3, 5);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(4, 4, 0, &long).unwrap();
+        }
+        // Zero a continuation page wholesale (simulates a torn write).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2 * PAGE_SIZE..3 * PAGE_SIZE].fill(0xcc);
+        std::fs::write(&path, &bytes).unwrap();
+        let store = SessionStore::open(&path, 0).unwrap();
+        assert!(store.is_empty(), "a chain with a torn page is dropped whole");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_tokens_resolve_by_epoch() {
+        let path = tmp("epoch");
+        let _ = std::fs::remove_file(&path);
+        let old = blob(100, 1);
+        let new = blob(100, 2);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(6, 6, 0, &old).unwrap();
+        }
+        // Capture the old record's page image, write the replacement,
+        // then splice the old image back in as if the free never landed.
+        let before = std::fs::read(&path).unwrap();
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(6, 6, 0, &new).unwrap();
+        }
+        let mut after = std::fs::read(&path).unwrap();
+        // Page 1 held the old epoch-1 chain; the new chain reused it
+        // after the free. Re-plant the old image on a fresh page so both
+        // chains coexist (old epoch on page count, new epoch wherever it
+        // landed).
+        after.extend_from_slice(&before[PAGE_SIZE..2 * PAGE_SIZE]);
+        std::fs::write(&path, &after).unwrap();
+
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(6).unwrap().1, new, "higher epoch wins");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn page_cache_counters_move() {
+        let path = tmp("cache");
+        let _ = std::fs::remove_file(&path);
+        let mut store =
+            SessionStore::open_with(&path, 0, 4, Eviction::Lru).unwrap();
+        for t in 0..16u64 {
+            store.put(t, t, 0, &blob(PAYLOAD_PER_PAGE * 2, t as u8)).unwrap();
+        }
+        for t in 0..16u64 {
+            store.get(t).unwrap();
+        }
+        assert!(store.page_misses() > 0, "cold reads miss");
+        assert!(store.page_evictions() > 0, "a 4-frame pool must evict");
+        store.get(15).unwrap();
+        assert!(store.page_hits() > 0, "re-reads hit");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn entries_and_meta_report_deadlines() {
+        let path = tmp("entries");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SessionStore::open(&path, 0).unwrap();
+        store.put(1, 11, 5_000, &blob(10, 0)).unwrap();
+        store.put(2, 22, 9_000, &blob(10, 1)).unwrap();
+        let mut entries = store.entries();
+        entries.sort_by_key(|(t, _)| *t);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1.session_id, 11);
+        assert_eq!(entries[1].1.deadline_unix_ms, 9_000);
+        assert_eq!(store.meta(2).unwrap().deadline_unix_ms, 9_000);
+        assert!(store.meta(3).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 MIN=${1:-1000000}
 status=0
 
-for artifact in BENCH_engine.json BENCH_obs.json; do
+for artifact in BENCH_engine.json BENCH_obs.json BENCH_store.json; do
     if [ ! -f "$artifact" ]; then
         echo "FAIL: $artifact is missing" >&2
         status=1
