@@ -63,6 +63,7 @@ COMMANDS
       [--write-timeout SECS] [--max-sessions N] [--idle-timeout SECS]
       [--park-capacity N] [--park-ttl SECS]
       [--park-dir DIR] [--park-disk-capacity BYTES]
+      [--shards N]           event-loop shards (default: one per core)
   replay                     stream a trace through a running server
       --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
       [--batch N] [--verify] [--retries N] [--timeout SECS]
@@ -423,6 +424,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         "park-ttl",
         "park-dir",
         "park-disk-capacity",
+        "shards",
     ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let mut cfg = cira_serve::ServerConfig::default();
@@ -463,6 +465,8 @@ fn cmd_serve(args: &Args) -> CliResult {
     if cfg.park_disk_capacity != 0 && cfg.park_dir.is_none() {
         return Err("--park-disk-capacity needs --park-dir".into());
     }
+    // 0 (the default) resolves to one shard per core at startup.
+    cfg.shards = args.get_or("shards", cfg.shards, "a shard count (0 = per core)")?;
     if let Some(port) = args.get_parsed::<u16>("metrics-port", "a TCP port")? {
         // Same interface as the protocol listener, so a local server stays
         // local.

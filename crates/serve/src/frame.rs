@@ -170,6 +170,144 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// How many bytes one [`FrameBuffer::fill_from`] call will read at most,
+/// so a firehosing peer cannot starve the other connections on its
+/// shard (level-triggered epoll re-reports the fd on the next wait).
+const MAX_INGEST_PER_CALL: usize = 256 << 10;
+
+/// What one [`FrameBuffer::fill_from`] call observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// `read` would block: everything available was consumed.
+    Drained {
+        /// Bytes consumed by this call.
+        bytes: usize,
+    },
+    /// The ingest cap was hit with the socket possibly still readable.
+    More {
+        /// Bytes consumed by this call.
+        bytes: usize,
+    },
+    /// The peer closed its write half (after `bytes` final bytes).
+    Eof {
+        /// Bytes consumed by this call.
+        bytes: usize,
+    },
+}
+
+/// An incremental frame parser over a per-connection byte buffer — the
+/// nonblocking counterpart of [`read_frame`].
+///
+/// The event loop [`FrameBuffer::fill_from`]s the socket whenever epoll
+/// reports it readable, then pulls complete frames out with
+/// [`FrameBuffer::next_frame`]. Bytes of an incomplete frame stay
+/// buffered across calls; the oversized guard fires on the 4-byte
+/// length prefix alone, before any body accumulates, exactly like the
+/// blocking reader.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted when it dominates the buffer.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the buffer holds a partial frame — bytes have arrived but
+    /// [`FrameBuffer::next_frame`] cannot produce one yet. Drives the
+    /// slow-loris stall clock: silence is only hostile mid-frame.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Reads from `r` (a nonblocking source) until it would block, hits
+    /// EOF, or the per-call cap is reached.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors; `WouldBlock` and `Interrupted` are absorbed.
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<Ingest> {
+        let mut total = 0usize;
+        while total < MAX_INGEST_PER_CALL {
+            // Grow in 16 KiB steps; error paths shrink back to old_len.
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + (16 << 10), 0);
+            let n = match r.read(&mut self.buf[old_len..]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.buf.truncate(old_len);
+                    continue;
+                }
+                Err(e) if is_timeout(&e) => {
+                    self.buf.truncate(old_len);
+                    return Ok(Ingest::Drained { bytes: total });
+                }
+                Err(e) => {
+                    self.buf.truncate(old_len);
+                    return Err(e);
+                }
+            };
+            self.buf.truncate(old_len + n);
+            if n == 0 {
+                return Ok(Ingest::Eof { bytes: total });
+            }
+            total += n;
+        }
+        Ok(Ingest::More { bytes: total })
+    }
+
+    /// Extracts the next complete frame body, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] as soon as a length prefix above
+    /// `max_frame` is visible (the body is never waited for).
+    pub fn next_frame(&mut self, max_frame: u32) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = self.buffered();
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 bytes checked");
+        let len = u32::from_le_bytes(header);
+        if len > max_frame {
+            return Err(FrameError::Oversized {
+                len,
+                max: max_frame,
+            });
+        }
+        let need = 4 + len as usize;
+        if avail < need {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + need].to_vec();
+        self.start += need;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Drops the consumed prefix once it outweighs the live bytes, so
+    /// the buffer never grows without bound on a long-lived connection.
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 32 << 10) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +419,102 @@ mod tests {
             read_frame(&mut stall, 1024, 3),
             Err(FrameError::Stalled)
         ));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_dribble() {
+        // Two frames delivered one byte at a time must reassemble
+        // exactly, with no frame visible before its last byte.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for (i, &b) in wire.iter().enumerate() {
+            match fb.fill_from(&mut &[b][..]).unwrap() {
+                Ingest::Eof { bytes: 1 } => {}
+                other => panic!("byte {i}: {other:?}"),
+            }
+            while let Some(body) = fb.next_frame(1024).unwrap() {
+                got.push(body);
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new()]);
+        assert!(!fb.mid_frame(), "all bytes consumed");
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_mid_frame_tracks_partial_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.fill_from(&mut &wire[..3]).unwrap();
+        assert!(fb.next_frame(1024).unwrap().is_none());
+        assert!(fb.mid_frame(), "3 header bytes are a partial frame");
+        fb.fill_from(&mut &wire[3..]).unwrap();
+        assert_eq!(fb.next_frame(1024).unwrap().unwrap(), b"abcdef");
+        assert!(!fb.mid_frame());
+    }
+
+    #[test]
+    fn frame_buffer_oversized_fires_on_prefix_alone() {
+        let mut fb = FrameBuffer::new();
+        fb.fill_from(&mut &u32::MAX.to_le_bytes()[..]).unwrap();
+        assert!(matches!(
+            fb.next_frame(1024),
+            Err(FrameError::Oversized {
+                len: u32::MAX,
+                max: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_many_frames_one_ingest() {
+        let mut wire = Vec::new();
+        for i in 0..100u32 {
+            write_frame(&mut wire, &i.to_le_bytes()).unwrap();
+        }
+        let mut fb = FrameBuffer::new();
+        let Ingest::Eof { bytes } = fb.fill_from(&mut &wire[..]).unwrap() else {
+            panic!("slice reader ends in Eof");
+        };
+        assert_eq!(bytes, wire.len());
+        for i in 0..100u32 {
+            assert_eq!(fb.next_frame(64).unwrap().unwrap(), i.to_le_bytes());
+        }
+        assert!(fb.next_frame(64).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_absorbs_wouldblock() {
+        struct Chunky {
+            chunks: Vec<Vec<u8>>,
+        }
+        impl Read for Chunky {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.chunks.pop() {
+                    Some(c) => {
+                        buf[..c.len()].copy_from_slice(&c);
+                        Ok(c.len())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::WouldBlock, "empty")),
+                }
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"xyz").unwrap();
+        let (a, b) = wire.split_at(2);
+        let mut r = Chunky {
+            chunks: vec![b.to_vec(), a.to_vec()], // popped back-to-front
+        };
+        let mut fb = FrameBuffer::new();
+        let Ingest::Drained { bytes } = fb.fill_from(&mut r).unwrap() else {
+            panic!("WouldBlock surfaces as Drained");
+        };
+        assert_eq!(bytes, wire.len());
+        assert_eq!(fb.next_frame(64).unwrap().unwrap(), b"xyz");
     }
 
     #[test]

@@ -10,18 +10,29 @@
 //!
 //! Layering, bottom up:
 //!
-//! * [`frame`] — length-prefixed framing with idle/stall discrimination;
+//! * [`event`] — `epoll(7)`/`eventfd(2)` readiness primitives via the
+//!   same no-deps FFI style as the `signal(2)` shim in [`shutdown`];
+//! * [`frame`] — length-prefixed framing: blocking reads with
+//!   idle/stall discrimination for the client side, plus the
+//!   incremental [`frame::FrameBuffer`] the nonblocking server parses
+//!   from;
 //! * [`proto`] — the typed `CIRS` v1 frames and their byte encodings;
 //! * [`session`] — one client's isolated predictor + mechanism + stats;
 //! * [`park`] — the bounded, TTL-evicting store of detached sessions
-//!   awaiting a `RESUME` (rev 1.2); since rev 1.3 a **two-tier,
-//!   write-through** store: parked sessions are checkpointed to a
-//!   durable [`cira_store`] page file (when
-//!   [`server::ServerConfig::park_dir`] is set), survive `kill -9`, and
-//!   are recovered — bit-identically — by the next server process;
-//! * [`server`] — accept loop, per-connection readers, batch execution on
-//!   a shared [`cira_analysis::engine::pool::WorkerPool`], backpressure,
-//!   graceful drain, capacity shedding, and session parking;
+//!   awaiting a `RESUME` (rev 1.2); since rev 1.3 a **two-tier** store:
+//!   parked sessions are checkpointed to a durable [`cira_store`] page
+//!   file (when [`server::ServerConfig::park_dir`] is set), survive
+//!   `kill -9`, and are recovered — bit-identically — by the next
+//!   server process. Explicit `PARK` frames are write-through; teardown
+//!   parks spill in the background from the shards' timer ticks (rev
+//!   1.4);
+//! * [`server`] — N sharded epoll event loops (thread-per-core, not
+//!   thread-per-connection): nonblocking sockets with per-connection
+//!   parse buffers and write queues, stable session affinity for
+//!   resumes, batch execution on a shared
+//!   [`cira_analysis::engine::pool::WorkerPool`] with completions waking
+//!   the owning shard, backpressure, graceful drain, capacity shedding,
+//!   and session parking;
 //! * [`client`] — a blocking client with windowed batch pipelining,
 //!   configured via [`client::ClientBuilder`], that transparently
 //!   reconnects and resumes under a [`client::RetryPolicy`];
@@ -65,6 +76,7 @@ pub use cira_obs;
 
 pub mod chaos;
 pub mod client;
+pub mod event;
 pub mod frame;
 pub mod metrics;
 pub mod park;

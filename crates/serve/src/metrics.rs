@@ -101,6 +101,12 @@ pub struct ServerMetrics {
     pub store_page_hits: Gauge,
     /// Store buffer-pool page misses, i.e. disk reads (rev 1.3).
     pub store_page_misses: Gauge,
+    /// Wall-clock milliseconds the startup recovery scan of the park's
+    /// disk tier took (rev 1.4); 0 when no disk tier is configured.
+    pub store_recovery_ms: Gauge,
+    /// Hot parked sessions written through to disk by the background
+    /// spiller on a shard tick (rev 1.4).
+    pub park_bg_spilled: Counter,
     /// Connections dropped for protocol violations, broken down by error
     /// code (slot 0 collects violations with no `ERROR` frame: mid-frame
     /// disconnects and stalls). Increment via
@@ -143,6 +149,8 @@ impl Default for ServerMetrics {
             park_disk_bytes: Gauge::new(),
             store_page_hits: Gauge::new(),
             store_page_misses: Gauge::new(),
+            store_recovery_ms: Gauge::new(),
+            park_bg_spilled: Counter::new(),
             protocol_errors: Default::default(),
         }
     }
@@ -251,6 +259,12 @@ impl ServerMetrics {
             "store_page_misses".into(),
             self.store_page_misses.get().max(0) as u64,
         ));
+        // Rev 1.4 additions below this line.
+        out.push((
+            "store_recovery_ms".into(),
+            self.store_recovery_ms.get().max(0) as u64,
+        ));
+        out.push(("park_bg_spilled".into(), self.park_bg_spilled.get()));
         out
     }
 
@@ -454,6 +468,82 @@ impl ServerMetrics {
             "Store buffer-pool page misses (disk reads)",
             move || m.store_page_misses.get(),
         );
+        // Rev 1.4: event-loop rearchitecture instruments.
+        let m = Arc::clone(self);
+        reg.gauge(
+            "server_store_recovery_ms",
+            "Wall-clock milliseconds of the startup park recovery scan",
+            move || m.store_recovery_ms.get(),
+        );
+        let m = Arc::clone(self);
+        reg.counter(
+            "server_park_bg_spilled_total",
+            "Hot parked sessions written to disk by the background spiller",
+            move || m.park_bg_spilled.get(),
+        );
+    }
+}
+
+/// One event-loop shard's instruments (rev 1.4). Each shard owns one
+/// block, updated lock-free from its own thread; the registry exposes
+/// them as labeled series (`shard="N"`) under per-family names.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Connections currently registered on this shard.
+    pub connections: Gauge,
+    /// `epoll_wait` returns that delivered at least one event or wake.
+    pub wakeups: Counter,
+    /// Parsed frames queued across this shard's connections, waiting
+    /// for the pump (ready-queue depth).
+    pub ready_depth: Gauge,
+    /// Bytes sitting in this shard's per-connection parse buffers.
+    pub parse_buffer_bytes: Gauge,
+    /// Connections handed off to another shard for session affinity.
+    pub migrations_out: Counter,
+}
+
+/// Registers every shard's instruments on `reg` as `shard`-labeled
+/// series: connections, epoll wakeups, ready-queue depth, and
+/// parse-buffer bytes per shard.
+pub fn register_shards(shards: &Arc<Vec<ShardMetrics>>, reg: &Registry) {
+    for i in 0..shards.len() {
+        let label = i.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &label)];
+        let s = Arc::clone(shards);
+        reg.gauge_with(
+            "serve_shard_connections",
+            "Connections currently registered on this shard",
+            labels,
+            move || s[i].connections.get(),
+        );
+        let s = Arc::clone(shards);
+        reg.counter_with(
+            "serve_shard_wakeups_total",
+            "epoll_wait returns that delivered events on this shard",
+            labels,
+            move || s[i].wakeups.get(),
+        );
+        let s = Arc::clone(shards);
+        reg.gauge_with(
+            "serve_shard_ready_depth",
+            "Parsed frames queued on this shard awaiting the pump",
+            labels,
+            move || s[i].ready_depth.get(),
+        );
+        let s = Arc::clone(shards);
+        reg.gauge_with(
+            "serve_shard_parse_buffer_bytes",
+            "Bytes buffered in this shard's per-connection parse buffers",
+            labels,
+            move || s[i].parse_buffer_bytes.get(),
+        );
+        let s = Arc::clone(shards);
+        reg.counter_with(
+            "serve_shard_migrations_out_total",
+            "Connections handed off to another shard for session affinity",
+            labels,
+            move || s[i].migrations_out.get(),
+        );
     }
 }
 
@@ -594,6 +684,43 @@ mod tests {
         assert_eq!(doc.value("cira_server_store_page_hits"), Some(100.0));
         assert_eq!(doc.value("cira_server_store_page_misses"), Some(9.0));
         assert!(text.contains("cira_server_protocol_errors_total{code=\"store_full\"} 1"));
+    }
+
+    #[test]
+    fn recovery_and_bg_spill_instruments() {
+        let m = Arc::new(ServerMetrics::new());
+        m.store_recovery_ms.set(42);
+        m.park_bg_spilled.add(5);
+        let snap = m.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("store_recovery_ms"), 42);
+        assert_eq!(get("park_bg_spilled"), 5);
+        let reg = Registry::new("cira");
+        m.register(&reg);
+        let doc = cira_obs::promtext::Exposition::parse_validated(&reg.render()).unwrap();
+        assert_eq!(doc.value("cira_server_store_recovery_ms"), Some(42.0));
+        assert_eq!(doc.value("cira_server_park_bg_spilled_total"), Some(5.0));
+    }
+
+    #[test]
+    fn shard_metrics_expose_labeled_series() {
+        let shards = Arc::new(vec![ShardMetrics::default(), ShardMetrics::default()]);
+        shards[0].connections.add(3);
+        shards[0].wakeups.add(7);
+        shards[1].ready_depth.set(2);
+        shards[1].parse_buffer_bytes.set(512);
+        shards[1].migrations_out.inc();
+        let reg = Registry::new("cira");
+        register_shards(&shards, &reg);
+        let text = reg.render();
+        let doc = cira_obs::promtext::Exposition::parse_validated(&text).unwrap();
+        let conns = doc.family("cira_serve_shard_connections").unwrap();
+        assert_eq!(conns.samples.len(), 2, "one series per shard");
+        assert!(text.contains("cira_serve_shard_connections{shard=\"0\"} 3"));
+        assert!(text.contains("cira_serve_shard_wakeups_total{shard=\"0\"} 7"));
+        assert!(text.contains("cira_serve_shard_ready_depth{shard=\"1\"} 2"));
+        assert!(text.contains("cira_serve_shard_parse_buffer_bytes{shard=\"1\"} 512"));
+        assert!(text.contains("cira_serve_shard_migrations_out_total{shard=\"1\"} 1"));
     }
 
     #[test]

@@ -6,24 +6,38 @@
 //! back out and replay continues bit-identically from the last acked
 //! batch.
 //!
-//! # Two tiers (rev 1.3)
+//! # Two tiers (rev 1.3), background spill (rev 1.4)
 //!
-//! The park is **write-through** over an optional durable tier:
+//! The park layers a hot tier over an optional durable tier:
 //!
 //! * the **hot tier** is a bounded in-memory deque of live [`Session`]s
 //!   — resuming from it costs nothing but a lookup;
-//! * the **disk tier** is a [`cira_store::SessionStore`]: at park time
-//!   the session is serialized to a [`cira_store::Checkpoint`] and
-//!   written through *immediately*, synced before [`SessionPark::insert`]
-//!   returns. From that instant the park survives `kill -9`.
+//! * the **disk tier** is a [`cira_store::SessionStore`] holding
+//!   serialized [`cira_store::Checkpoint`]s.
 //!
-//! Because every parked session is already durable, hot-tier eviction
-//! (capacity pressure) merely *spills*: it drops the decoded copy and
-//! keeps the disk record, so the park's real capacity is the disk
-//! tier's byte budget, not RAM. A resume that misses the hot tier loads
-//! and decodes the checkpoint ([`Resumed::from_disk`] reports which
-//! path served it). Without a disk tier the old rev 1.2 semantics are
-//! unchanged: hot eviction destroys state for good.
+//! How a session reaches disk depends on who parked it:
+//!
+//! * An explicit `PARK` frame ([`SessionPark::insert_durable`]) is
+//!   **write-through**: the checkpoint is synced before the call
+//!   returns, because `PARKED_ACK` is a durability receipt. Unchanged
+//!   since rev 1.3.
+//! * A teardown park ([`SessionPark::insert`] — connection died without
+//!   `GOODBYE`, idle eviction) is **lazy**: the session lands hot-only
+//!   and the *background spiller* ([`SessionPark::spill_step`], driven
+//!   from the shards' timer ticks) writes oldest-first batches through
+//!   later. Fsync cost leaves the teardown path entirely.
+//!
+//! Lazy does not mean lossy: hot-tier eviction of a not-yet-spilled
+//! entry (capacity pressure) writes it through *at eviction* before the
+//! decoded copy is dropped, so pressure still spills to disk, never to
+//! oblivion — the park's real capacity remains the disk tier's byte
+//! budget, not RAM. Only a full disk tier downgrades an eviction to a
+//! real loss. A resume that misses the hot tier loads and decodes the
+//! checkpoint ([`Resumed::from_disk`] reports which path served it).
+//! With a disk tier but zero hot capacity, `insert` keeps rev 1.3
+//! write-through (there is no hot slot to be lazy in). Without a disk
+//! tier the old rev 1.2 semantics are unchanged: hot eviction destroys
+//! state for good.
 //!
 //! Expiry is tracked two ways for the same TTL: hot entries by a
 //! monotonic [`Instant`], disk records by an **absolute wall-clock
@@ -57,7 +71,11 @@ struct Parked {
     session_id: u64,
     session: Session,
     at: Instant,
-    /// Whether a disk copy exists (write-through succeeded).
+    /// Absolute expiry persisted with the disk copy. Fixed at park time
+    /// so the background spiller writes the same deadline `insert`
+    /// would have.
+    deadline_unix_ms: u64,
+    /// Whether a disk copy exists (write-through or spill succeeded).
     durable: bool,
 }
 
@@ -103,6 +121,16 @@ pub struct Resumed {
 pub struct SweepOutcome {
     /// Unique parked sessions destroyed by this sweep.
     pub expired: usize,
+}
+
+/// Background-spill step results.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpillOutcome {
+    /// Hot-only sessions written through to disk by this step.
+    pub written: usize,
+    /// The step stopped early because the disk tier is at capacity;
+    /// the remaining hot-only entries stay pending for a later step.
+    pub store_full: bool,
 }
 
 /// Bounded, TTL-evicting, optionally durable store of detached
@@ -161,7 +189,42 @@ impl SessionPark {
         path: &Path,
         disk_capacity_bytes: u64,
     ) -> Result<(Self, usize), StoreError> {
-        let mut store = SessionStore::open(path, disk_capacity_bytes)?;
+        let store = SessionStore::open(path, disk_capacity_bytes)?;
+        Ok(Self::from_store(capacity, ttl, store))
+    }
+
+    /// Like [`SessionPark::with_disk`], but the store's open-time
+    /// recovery scan is handed to `exec` — see
+    /// [`SessionStore::open_scanned`]. The server passes a closure that
+    /// fans the page-range jobs over the shared `WorkerPool`, so a
+    /// multi-GiB park file recovers at the speed of every core.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a file that is not a cira-store page file.
+    pub fn with_disk_scanned<E>(
+        capacity: usize,
+        ttl: Duration,
+        path: &Path,
+        disk_capacity_bytes: u64,
+        exec: E,
+    ) -> Result<(Self, usize), StoreError>
+    where
+        E: FnOnce(Vec<std::ops::Range<u64>>, cira_store::PageScanner<'_>) -> Vec<cira_store::ScanChunk>,
+    {
+        let store = SessionStore::open_scanned(
+            path,
+            disk_capacity_bytes,
+            cira_store::store::DEFAULT_FRAMES,
+            cira_store::Eviction::Clock,
+            exec,
+        )?;
+        Ok(Self::from_store(capacity, ttl, store))
+    }
+
+    /// Finishes recovery over a freshly opened store: drops expired
+    /// records and wraps the rest as the disk tier.
+    fn from_store(capacity: usize, ttl: Duration, mut store: SessionStore) -> (Self, usize) {
         // Expired records are dead weight from a previous life; drop
         // them before they count against capacity.
         let now = unix_now_ms();
@@ -172,7 +235,7 @@ impl SessionPark {
         }
         let recovered = store.len();
         cira_obs::debug!("park recovered from disk", sessions = recovered);
-        Ok((
+        (
             Self {
                 capacity,
                 ttl,
@@ -182,7 +245,7 @@ impl SessionPark {
                 }),
             },
             recovered,
-        ))
+        )
     }
 
     /// Whether a disk tier is attached.
@@ -195,30 +258,41 @@ impl SessionPark {
         unix_now_ms().saturating_add(self.ttl.as_millis() as u64)
     }
 
-    /// Parks a detached session: writes it through to the disk tier
-    /// (when present), then into the hot tier, evicting or spilling the
-    /// oldest hot entries to stay within capacity.
+    /// Parks a detached session *lazily*: into the hot tier only, with
+    /// the disk write deferred to the background spiller
+    /// ([`Self::spill_step`]) or, under capacity pressure, to eviction
+    /// time. The one exception is a disk tier with zero hot capacity,
+    /// where write-through is the only way to park at all.
     pub fn insert(&self, token: u64, session_id: u64, session: Session) -> ParkOutcome {
         let mut outcome = ParkOutcome::default();
         let mut inner = self.inner.lock().unwrap();
         let inner = &mut *inner;
-        if let Some(store) = inner.disk.as_mut() {
-            let blob = session.to_checkpoint(session_id).encode();
-            match store.put(token, session_id, self.deadline_unix_ms(), &blob) {
-                Ok(()) => outcome.persisted = true,
-                Err(StoreError::Full { .. }) => outcome.store_full = true,
-                Err(e) => {
-                    cira_obs::warn!("park write-through failed", error = format!("{e}"));
+        let deadline = self.deadline_unix_ms();
+        if self.capacity == 0 {
+            if let Some(store) = inner.disk.as_mut() {
+                let blob = session.to_checkpoint(session_id).encode();
+                match store.put(token, session_id, deadline, &blob) {
+                    Ok(()) => outcome.persisted = true,
+                    Err(StoreError::Full { .. }) => outcome.store_full = true,
+                    Err(e) => {
+                        cira_obs::warn!("park write-through failed", error = format!("{e}"));
+                    }
                 }
             }
-        }
-        if self.capacity == 0 {
             if !outcome.persisted {
-                outcome.evicted = 1; // dropped on the floor: parking disabled
+                outcome.evicted = 1; // dropped on the floor: parking disabled/full
             }
             return outcome;
         }
-        Self::hot_insert(inner, self.capacity, &mut outcome, token, session_id, session);
+        Self::hot_insert(
+            inner,
+            self.capacity,
+            &mut outcome,
+            token,
+            session_id,
+            session,
+            deadline,
+        );
         outcome
     }
 
@@ -235,9 +309,10 @@ impl SessionPark {
         let mut outcome = ParkOutcome::default();
         let mut inner = self.inner.lock().unwrap();
         let inner = &mut *inner;
+        let deadline = self.deadline_unix_ms();
         if let Some(store) = inner.disk.as_mut() {
             let blob = session.to_checkpoint(session_id).encode();
-            match store.put(token, session_id, self.deadline_unix_ms(), &blob) {
+            match store.put(token, session_id, deadline, &blob) {
                 Ok(()) => outcome.persisted = true,
                 Err(StoreError::Full { .. }) => return Err(ParkRefusal::Full(Box::new(session))),
                 Err(e) => {
@@ -252,12 +327,24 @@ impl SessionPark {
             }
             return Err(ParkRefusal::Disabled(Box::new(session)));
         }
-        Self::hot_insert(inner, self.capacity, &mut outcome, token, session_id, session);
+        Self::hot_insert(
+            inner,
+            self.capacity,
+            &mut outcome,
+            token,
+            session_id,
+            session,
+            deadline,
+        );
         Ok(outcome)
     }
 
     /// Pushes into the hot tier, evicting or spilling the oldest
-    /// entries to stay within `capacity` (which must be nonzero).
+    /// entries to stay within `capacity` (which must be nonzero). A
+    /// victim the background spiller has not reached yet is written
+    /// through here, at eviction — pressure spills to disk, not to
+    /// oblivion.
+    #[allow(clippy::too_many_arguments)]
     fn hot_insert(
         inner: &mut Inner,
         capacity: usize,
@@ -265,11 +352,25 @@ impl SessionPark {
         token: u64,
         session_id: u64,
         session: Session,
+        deadline_unix_ms: u64,
     ) {
         while inner.hot.len() >= capacity {
             let old = inner.hot.pop_front().expect("len checked");
             if old.durable {
                 outcome.spilled += 1;
+            } else if let Some(store) = inner.disk.as_mut() {
+                let blob = old.session.to_checkpoint(old.session_id).encode();
+                match store.put(old.token, old.session_id, old.deadline_unix_ms, &blob) {
+                    Ok(()) => outcome.spilled += 1,
+                    Err(e) => {
+                        if matches!(e, StoreError::Full { .. }) {
+                            outcome.store_full = true;
+                        } else {
+                            cira_obs::warn!("park eviction spill failed", error = format!("{e}"));
+                        }
+                        outcome.evicted += 1;
+                    }
+                }
             } else {
                 outcome.evicted += 1;
             }
@@ -279,8 +380,59 @@ impl SessionPark {
             session_id,
             session,
             at: Instant::now(),
+            deadline_unix_ms,
             durable: outcome.persisted,
         });
+    }
+
+    /// One background-spill step: writes up to `max_n` of the oldest
+    /// hot-only (not yet durable) sessions through to the disk tier,
+    /// marking them durable in place. Called from the shards' timer
+    /// ticks so fsync cost never sits on a connection teardown. A full
+    /// disk tier stops the step early ([`SpillOutcome::store_full`]);
+    /// the remainder stays pending for a later step, after sweeps or
+    /// resumes free pages. A no-op without a disk tier.
+    pub fn spill_step(&self, max_n: usize) -> SpillOutcome {
+        let mut outcome = SpillOutcome::default();
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let Some(store) = inner.disk.as_mut() else {
+            return outcome;
+        };
+        for p in inner.hot.iter_mut() {
+            if outcome.written >= max_n {
+                break;
+            }
+            if p.durable {
+                continue;
+            }
+            let blob = p.session.to_checkpoint(p.session_id).encode();
+            match store.put(p.token, p.session_id, p.deadline_unix_ms, &blob) {
+                Ok(()) => {
+                    p.durable = true;
+                    outcome.written += 1;
+                }
+                Err(StoreError::Full { .. }) => {
+                    outcome.store_full = true;
+                    break; // retrying every entry would thrash a full tier
+                }
+                Err(e) => {
+                    cira_obs::warn!("park background spill failed", error = format!("{e}"));
+                    break;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Hot sessions the background spiller has not written through yet
+    /// (always 0 without a disk tier — there is nowhere to spill to).
+    pub fn pending_spill(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        if inner.disk.is_none() {
+            return 0;
+        }
+        inner.hot.iter().filter(|p| !p.durable).count()
     }
 
     /// Takes the session parked under `token`: from the hot tier when
@@ -416,7 +568,6 @@ impl SessionPark {
         let inner = &mut *inner;
         let mut persisted = 0;
         let mut dropped = 0;
-        let deadline = self.deadline_unix_ms();
         while let Some(p) = inner.hot.pop_front() {
             if p.durable {
                 continue; // already on disk
@@ -424,7 +575,7 @@ impl SessionPark {
             match inner.disk.as_mut() {
                 Some(store) => {
                     let blob = p.session.to_checkpoint(p.session_id).encode();
-                    match store.put(p.token, p.session_id, deadline, &blob) {
+                    match store.put(p.token, p.session_id, p.deadline_unix_ms, &blob) {
                         Ok(()) => persisted += 1,
                         Err(_) => dropped += 1,
                     }
@@ -545,9 +696,14 @@ mod tests {
             let mut s = session(9);
             s.apply_batch(0, &head);
             let outcome = park.insert(9, 42, s);
-            assert!(outcome.persisted);
+            assert!(!outcome.persisted, "teardown parks are lazy (rev 1.4)");
             assert_eq!(outcome.evicted, 0);
-        } // process "dies" — nothing flushed beyond insert's own sync
+            assert_eq!(park.pending_spill(), 1);
+            // The background spiller (a shard tick, in production) makes
+            // it durable before the process dies.
+            assert_eq!(park.spill_step(16), SpillOutcome { written: 1, store_full: false });
+            assert_eq!(park.pending_spill(), 0);
+        } // process "dies" — nothing flushed beyond the spill's own sync
 
         let (park, recovered) =
             SessionPark::with_disk(4, Duration::from_secs(60), &path, 0).unwrap();
@@ -570,15 +726,93 @@ mod tests {
         let path = tmp("spill");
         let _ = std::fs::remove_file(&path);
         let (park, _) = SessionPark::with_disk(2, Duration::from_secs(60), &path, 0).unwrap();
-        assert!(park.insert(1, 1, session(1)).persisted);
-        assert!(park.insert(2, 2, session(2)).persisted);
+        assert!(!park.insert(1, 1, session(1)).persisted, "lazy park");
+        assert!(!park.insert(2, 2, session(2)).persisted, "lazy park");
+        // The spiller never ran, so the eviction itself must write the
+        // victim through before dropping the decoded copy.
         let outcome = park.insert(3, 3, session(3));
-        assert_eq!(outcome.spilled, 1, "durable hot entries spill");
+        assert_eq!(outcome.spilled, 1, "evicted entries spill to disk");
         assert_eq!(outcome.evicted, 0, "nothing is destroyed");
         assert_eq!(park.len(), 3, "all three sessions remain parked");
+        assert_eq!(park.disk_records(), 1, "only the victim was written");
         let r = park.take(1).unwrap();
         assert!(r.from_disk, "spilled session resumes from disk");
         assert!(!park.take(3).unwrap().from_disk, "recent session is hot");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn background_spill_writes_oldest_first_in_batches() {
+        let path = tmp("bgspill");
+        let _ = std::fs::remove_file(&path);
+        let (park, _) = SessionPark::with_disk(8, Duration::from_secs(60), &path, 0).unwrap();
+        for t in 1..=5u64 {
+            park.insert(t, t, session(t));
+        }
+        assert_eq!(park.pending_spill(), 5);
+        assert_eq!(park.disk_records(), 0, "nothing written at insert time");
+        assert_eq!(park.spill_step(2), SpillOutcome { written: 2, store_full: false });
+        assert_eq!(park.pending_spill(), 3);
+        assert_eq!(park.disk_records(), 2);
+        assert_eq!(park.spill_step(usize::MAX).written, 3);
+        assert_eq!(park.pending_spill(), 0);
+        assert_eq!(park.disk_records(), 5);
+        assert_eq!(park.spill_step(usize::MAX), SpillOutcome::default(), "idempotent when drained");
+        assert_eq!(park.len(), 5, "spilled entries still count once");
+        // Spilled-but-hot entries resume from the hot tier and release
+        // their disk copy.
+        let r = park.take(1).unwrap();
+        assert!(!r.from_disk);
+        assert_eq!(park.disk_records(), 4, "resume removes the disk copy");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn background_spill_survives_kill_between_ticks() {
+        let path = tmp("bgspill-crash");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (park, _) =
+                SessionPark::with_disk(8, Duration::from_secs(60), &path, 0).unwrap();
+            park.insert(1, 1, session(1));
+            park.insert(2, 2, session(2));
+            assert_eq!(park.spill_step(1).written, 1, "one tick fired");
+        } // kill -9 before the next tick: only the spilled entry survives
+        let (park, recovered) =
+            SessionPark::with_disk(8, Duration::from_secs(60), &path, 0).unwrap();
+        assert_eq!(recovered, 1, "lazy window is bounded by the tick cadence");
+        assert!(park.take(1).unwrap().from_disk, "oldest was spilled first");
+        assert!(park.take(2).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scanned_recovery_matches_sequential() {
+        let path = tmp("scanned");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (park, _) =
+                SessionPark::with_disk(8, Duration::from_secs(60), &path, 0).unwrap();
+            for t in 1..=3u64 {
+                park.insert(t, t * 10, small_session(t));
+            }
+            assert_eq!(park.spill_step(usize::MAX).written, 3);
+        }
+        let exec = |ranges: Vec<std::ops::Range<u64>>, scan: cira_store::PageScanner<'_>| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    ranges.into_iter().map(|r| s.spawn(move || scan(r))).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        let (park, recovered) =
+            SessionPark::with_disk_scanned(8, Duration::from_secs(60), &path, 0, exec).unwrap();
+        assert_eq!(recovered, 3);
+        for t in 1..=3u64 {
+            let r = park.take(t).unwrap();
+            assert_eq!(r.session_id, t * 10);
+            assert!(r.from_disk);
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -589,12 +823,15 @@ mod tests {
         // Room for two single-page checkpoints only.
         let (park, _) =
             SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
-        assert!(park.insert(1, 1, small_session(1)).persisted);
-        assert!(park.insert(2, 2, small_session(2)).persisted);
-        let outcome = park.insert(3, 3, small_session(3));
-        assert!(outcome.store_full);
-        assert!(!outcome.persisted);
-        // The session is still parked hot — resumable until restart.
+        park.insert(1, 1, small_session(1));
+        park.insert(2, 2, small_session(2));
+        park.insert(3, 3, small_session(3));
+        let outcome = park.spill_step(usize::MAX);
+        assert_eq!(outcome.written, 2, "the tier takes what fits");
+        assert!(outcome.store_full, "and reports the stall");
+        assert_eq!(park.pending_spill(), 1, "the rest stays pending");
+        // The stalled session is still parked hot — resumable until
+        // restart.
         assert!(!park.take(3).unwrap().from_disk);
         std::fs::remove_file(&path).unwrap();
     }
@@ -609,7 +846,8 @@ mod tests {
                 SessionPark::with_disk(8, Duration::from_secs(60), &path, 2 * 4096).unwrap();
             park.insert(1, 1, small_session(1));
             park.insert(2, 2, small_session(2));
-            assert!(park.insert(3, 3, small_session(3)).store_full);
+            park.insert(3, 3, small_session(3));
+            assert!(park.spill_step(usize::MAX).store_full);
             // Make room, then drain: the hot-only session gets written.
             let r = park.take(1).unwrap();
             assert_eq!(r.session_id, 1);

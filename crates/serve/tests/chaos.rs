@@ -17,8 +17,20 @@ use cira_serve::{Client, ClientError, HelloConfig};
 use cira_trace::codec::PackedTrace;
 use cira_trace::suite::ibs_like_suite;
 
+/// Every scenario runs at each of these shard counts — identical fault
+/// schedules, identical assertions: sharding must not change what a
+/// client (or the offline reference) can observe.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
 fn start_server(cfg: ServerConfig) -> ServerHandle {
     serve("127.0.0.1:0", cfg, WorkerPool::global()).expect("bind")
+}
+
+fn base_cfg(shards: usize) -> ServerConfig {
+    ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    }
 }
 
 fn bench_trace(bench: usize, len: usize) -> PackedTrace {
@@ -55,7 +67,13 @@ fn metric(handle: &ServerHandle, name: &str) -> u64 {
 
 #[test]
 fn mid_batch_connection_kill_resumes_bit_identical() {
-    let handle = start_server(ServerConfig::default());
+    for shards in SHARD_COUNTS {
+        mid_batch_kill_body(shards);
+    }
+}
+
+fn mid_batch_kill_body(shards: usize) {
+    let handle = start_server(base_cfg(shards));
     let upstream = handle.local_addr().to_string();
     // Connection 1 dies after 2 KiB client→server — mid-BATCH, since the
     // HELLO is under 100 bytes and every batch frame is far larger.
@@ -101,7 +119,13 @@ fn mid_batch_connection_kill_resumes_bit_identical() {
 
 #[test]
 fn stalled_then_resumed_stream_is_bit_identical() {
-    let handle = start_server(ServerConfig::default());
+    for shards in SHARD_COUNTS {
+        stalled_then_resumed_body(shards);
+    }
+}
+
+fn stalled_then_resumed_body(shards: usize) {
+    let handle = start_server(base_cfg(shards));
     let upstream = handle.local_addr().to_string();
     // Connection 1 freezes server→client for 3 s once ~400 bytes of acks
     // have flowed — mid-stream, without closing anything. The client's
@@ -138,11 +162,17 @@ fn stalled_then_resumed_stream_is_bit_identical() {
 
 #[test]
 fn seeded_fault_schedules_stay_bit_identical() {
+    for shards in SHARD_COUNTS {
+        seeded_fault_schedules_body(shards);
+    }
+}
+
+fn seeded_fault_schedules_body(shards: usize) {
     // Five seeds, three faulted connections each: kills land anywhere —
     // mid-HELLO, mid-HELLO_ACK, mid-BATCH, mid-ack, mid-RESUME — with
     // chunked dribbling and delays mixed in by the schedule generator.
     for seed in [1u64, 2, 3, 42, 0xC1A0] {
-        let handle = start_server(ServerConfig::default());
+        let handle = start_server(base_cfg(shards));
         let upstream = handle.local_addr().to_string();
         let schedule = schedule_from_seed(seed, 3);
         let proxy = ChaosProxy::start(&upstream, schedule).unwrap();
@@ -175,10 +205,16 @@ fn seeded_fault_schedules_stay_bit_identical() {
 
 #[test]
 fn capacity_exhausted_server_sheds_with_busy() {
+    for shards in SHARD_COUNTS {
+        capacity_exhausted_body(shards);
+    }
+}
+
+fn capacity_exhausted_body(shards: usize) {
     let cfg = ServerConfig {
         max_sessions: 1,
         busy_retry_ms: 123,
-        ..ServerConfig::default()
+        ..base_cfg(shards)
     };
     let handle = start_server(cfg);
     let addr = handle.local_addr().to_string();
@@ -229,9 +265,15 @@ fn capacity_exhausted_server_sheds_with_busy() {
 
 #[test]
 fn idle_session_is_evicted_parked_and_resumable() {
+    for shards in SHARD_COUNTS {
+        idle_evicted_body(shards);
+    }
+}
+
+fn idle_evicted_body(shards: usize) {
     let cfg = ServerConfig {
         idle_timeout_ms: 150,
-        ..ServerConfig::default()
+        ..base_cfg(shards)
     };
     let handle = start_server(cfg);
     let addr = handle.local_addr().to_string();
@@ -262,11 +304,20 @@ fn idle_session_is_evicted_parked_and_resumable() {
 
 #[test]
 fn server_death_restart_resume_is_bit_identical() {
-    let dir = std::env::temp_dir().join(format!("cira-chaos-restart-{}", std::process::id()));
+    for shards in SHARD_COUNTS {
+        restart_resume_body(shards);
+    }
+}
+
+fn restart_resume_body(shards: usize) {
+    let dir = std::env::temp_dir().join(format!(
+        "cira-chaos-restart-{}-s{shards}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = ServerConfig {
         park_dir: Some(dir.clone()),
-        ..ServerConfig::default()
+        ..base_cfg(shards)
     };
 
     let trace = bench_trace(2, 24_000);
@@ -313,12 +364,21 @@ fn server_death_restart_resume_is_bit_identical() {
 
 #[test]
 fn park_pressure_spills_cold_sessions_and_reloads_them() {
-    let dir = std::env::temp_dir().join(format!("cira-chaos-spill-{}", std::process::id()));
+    for shards in SHARD_COUNTS {
+        park_pressure_body(shards);
+    }
+}
+
+fn park_pressure_body(shards: usize) {
+    let dir = std::env::temp_dir().join(format!(
+        "cira-chaos-spill-{}-s{shards}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = ServerConfig {
         park_capacity: 2,
         park_dir: Some(dir.clone()),
-        ..ServerConfig::default()
+        ..base_cfg(shards)
     };
     let handle = start_server(cfg);
     let addr = handle.local_addr().to_string();
@@ -368,9 +428,15 @@ fn park_pressure_spills_cold_sessions_and_reloads_them() {
 
 #[test]
 fn bogus_and_expired_resume_tokens_are_refused() {
+    for shards in SHARD_COUNTS {
+        bogus_resume_body(shards);
+    }
+}
+
+fn bogus_resume_body(shards: usize) {
     let cfg = ServerConfig {
         park_ttl_ms: 50,
-        ..ServerConfig::default()
+        ..base_cfg(shards)
     };
     let handle = start_server(cfg);
     let addr = handle.local_addr().to_string();

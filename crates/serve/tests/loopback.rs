@@ -19,8 +19,17 @@ use cira_serve::{Client, ClientError, HelloConfig};
 use cira_trace::codec::PackedTrace;
 use cira_trace::suite::ibs_like_suite;
 
-fn start_server() -> ServerHandle {
-    serve("127.0.0.1:0", ServerConfig::default(), WorkerPool::global()).expect("bind")
+/// Every suite runs at each of these shard counts — same traffic, same
+/// assertions: the sharded event loop must be observationally identical
+/// to a single loop, bit-exact statistics included.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn start_server(shards: usize) -> ServerHandle {
+    let cfg = ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    };
+    serve("127.0.0.1:0", cfg, WorkerPool::global()).expect("bind")
 }
 
 fn bench_trace(bench: usize, len: usize) -> PackedTrace {
@@ -40,7 +49,13 @@ fn local_reference(config: &HelloConfig, trace: &PackedTrace) -> (u64, cira_anal
 
 #[test]
 fn concurrent_sessions_with_different_configs_are_bit_identical() {
-    let handle = start_server();
+    for shards in SHARD_COUNTS {
+        concurrent_sessions_body(shards);
+    }
+}
+
+fn concurrent_sessions_body(shards: usize) {
+    let handle = start_server(shards);
     let addr = handle.local_addr().to_string();
 
     // Three sessions, three configs, three benchmarks, three batch sizes.
@@ -133,7 +148,13 @@ fn concurrent_sessions_with_different_configs_are_bit_identical() {
 
 #[test]
 fn reset_gives_a_fresh_session_over_the_wire() {
-    let handle = start_server();
+    for shards in SHARD_COUNTS {
+        reset_fresh_session_body(shards);
+    }
+}
+
+fn reset_fresh_session_body(shards: usize) {
+    let handle = start_server(shards);
     let addr = handle.local_addr().to_string();
     let trace = bench_trace(1, 8_000);
 
@@ -173,7 +194,13 @@ fn error_code(frame: ServerFrame) -> u16 {
 
 #[test]
 fn hostile_clients_get_errors_and_the_server_survives() {
-    let handle = start_server();
+    for shards in SHARD_COUNTS {
+        hostile_clients_body(shards);
+    }
+}
+
+fn hostile_clients_body(shards: usize) {
+    let handle = start_server(shards);
     let addr = handle.local_addr().to_string();
     let hello = |version| {
         encode_client(&ClientFrame::Hello {
@@ -264,7 +291,13 @@ fn hostile_clients_get_errors_and_the_server_survives() {
 
 #[test]
 fn shutdown_drains_batches_accepted_before_disconnect() {
-    let handle = start_server();
+    for shards in SHARD_COUNTS {
+        shutdown_drains_body(shards);
+    }
+}
+
+fn shutdown_drains_body(shards: usize) {
+    let handle = start_server(shards);
     let addr = handle.local_addr().to_string();
 
     // Send HELLO + 3 batches, then vanish without reading a single ack:
@@ -332,7 +365,13 @@ fn shutdown_drains_batches_accepted_before_disconnect() {
 
 #[test]
 fn shutting_down_server_tells_idle_clients_and_joins() {
-    let handle = start_server();
+    for shards in SHARD_COUNTS {
+        shutting_down_tells_idle_body(shards);
+    }
+}
+
+fn shutting_down_tells_idle_body(shards: usize) {
+    let handle = start_server(shards);
     let addr = handle.local_addr().to_string();
     let trace = bench_trace(0, 5_000);
 

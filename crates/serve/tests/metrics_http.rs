@@ -27,10 +27,20 @@ fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
     (status, body.to_owned())
 }
 
+/// The scrape must hold the same exact counts at every shard count.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
 #[test]
 fn live_scrape_is_valid_prometheus_text_covering_all_layers() {
+    for shards in SHARD_COUNTS {
+        live_scrape_body(shards);
+    }
+}
+
+fn live_scrape_body(shards: usize) {
     let cfg = ServerConfig {
         metrics_addr: Some("127.0.0.1:0".into()),
+        shards,
         ..ServerConfig::default()
     };
     let handle = serve("127.0.0.1:0", cfg, WorkerPool::global()).expect("bind");
@@ -63,6 +73,10 @@ fn live_scrape_is_valid_prometheus_text_covering_all_layers() {
     let errs = doc.family("cira_server_protocol_errors_total").unwrap();
     assert_eq!(errs.kind, MetricType::Counter);
     assert!(errs.samples.len() >= 7, "per-code breakdown present");
+
+    // Shard layer: one labeled series per event loop.
+    let shard_conns = doc.family("cira_serve_shard_connections").unwrap();
+    assert_eq!(shard_conns.samples.len(), shards, "one series per shard");
 
     // Session layer, including well-formed latency histograms.
     assert_eq!(doc.value("cira_session_records_total"), Some(12_000.0));

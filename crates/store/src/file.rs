@@ -134,6 +134,32 @@ impl PageFile {
         self.file.read_exact(buf)
     }
 
+    /// Reads page `index` into `buf` through a positioned read
+    /// (`pread(2)`), leaving the shared file cursor untouched. Because
+    /// it takes `&self`, many threads can scan disjoint pages of one
+    /// file concurrently — this is what the parallel open-time recovery
+    /// scan fans out over.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] when `index` is out of range;
+    /// I/O failures otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one page.
+    pub fn read_page_at(&self, index: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt as _;
+        assert_eq!(buf.len(), PAGE_SIZE);
+        if index >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page {index} out of range ({} pages)", self.pages),
+            ));
+        }
+        self.file.read_exact_at(buf, index * PAGE_SIZE as u64)
+    }
+
     /// Writes page `index` from `buf` (`PAGE_SIZE` bytes). The page must
     /// already exist — use [`PageFile::grow`] to extend the file.
     ///
@@ -227,7 +253,44 @@ mod tests {
         let mut pf = PageFile::create(&path).unwrap();
         let mut buf = vec![0u8; PAGE_SIZE];
         assert!(pf.read_page(1, &mut buf).is_err());
+        assert!(pf.read_page_at(1, &mut buf).is_err());
         assert!(pf.write_page(9, &buf).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn positioned_reads_match_cursor_reads_concurrently() {
+        let path = tmp("pread");
+        let mut pf = PageFile::create(&path).unwrap();
+        pf.grow(8).unwrap();
+        let mut images = Vec::new();
+        for i in 1..9u64 {
+            let mut page = vec![0u8; PAGE_SIZE];
+            PageHeader {
+                kind: KIND_DATA,
+                payload_len: 1,
+                next: 0,
+                token: i,
+            }
+            .write_into(&[i as u8], &mut page);
+            pf.write_page(i, &page).unwrap();
+            images.push(page);
+        }
+        // Shared-reference reads from several threads at once.
+        std::thread::scope(|s| {
+            let pf = &pf;
+            let images = &images;
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let mut buf = vec![0u8; PAGE_SIZE];
+                    for i in 0..8u64 {
+                        let idx = (i + t) % 8;
+                        pf.read_page_at(idx + 1, &mut buf).unwrap();
+                        assert_eq!(buf, images[idx as usize]);
+                    }
+                });
+            }
+        });
         std::fs::remove_file(&path).unwrap();
     }
 

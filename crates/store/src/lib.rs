@@ -64,4 +64,4 @@ pub mod store;
 pub use buffer::{BufferManager, ClockPolicy, LruPolicy, ReplacementPolicy};
 pub use cird::Checkpoint;
 pub use file::PageFile;
-pub use store::{Eviction, SessionStore, StoreError, StoreMeta};
+pub use store::{Eviction, PageScanner, ScanChunk, SessionStore, StoreError, StoreMeta};

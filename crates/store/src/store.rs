@@ -21,6 +21,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
+use std::ops::Range;
 use std::path::Path;
 
 use crate::buffer::{BufferManager, ClockPolicy, LruPolicy, ReplacementPolicy};
@@ -122,6 +123,32 @@ pub struct SessionStore {
 /// small so the store's working set, not the cache, bounds memory.
 pub const DEFAULT_FRAMES: usize = 64;
 
+/// Pages per recovery-scan job (4 MiB of file): coarse enough that a
+/// job amortizes its dispatch, fine enough that a multi-GiB park file
+/// still fans out over every worker.
+const SCAN_RANGE_PAGES: u64 = 1024;
+
+/// Parsed page headers from one page range of an open-time recovery
+/// scan. Opaque to executors: they only ferry chunks from the scanner
+/// back to [`SessionStore::open_scanned`], in any order, on any thread.
+#[derive(Debug)]
+pub struct ScanChunk {
+    pages: Vec<(u64, Scanned)>,
+    err: Option<io::Error>,
+}
+
+/// The per-range page scanner handed to an [`SessionStore::open_scanned`]
+/// executor. `Sync`, so the executor may call it from many threads on
+/// disjoint ranges concurrently (reads are positioned, `pread(2)`-style).
+pub type PageScanner<'a> = &'a (dyn Fn(Range<u64>) -> ScanChunk + Sync + 'a);
+
+#[derive(Debug, Clone)]
+struct Scanned {
+    header: PageHeader,
+    /// Record header bytes, present on HEAD pages only.
+    rec: Option<[u8; REC_HEADER]>,
+}
+
 impl SessionStore {
     /// Opens (or creates) the store at `path` with the default buffer
     /// pool ([`DEFAULT_FRAMES`] clock-evicted frames).
@@ -148,11 +175,92 @@ impl SessionStore {
         frames: usize,
         eviction: Eviction,
     ) -> Result<Self, StoreError> {
+        // Sequential executor: run every scan job inline, in order.
+        Self::open_scanned(path, capacity_bytes, frames, eviction, |ranges, scan| {
+            ranges.into_iter().map(scan).collect()
+        })
+    }
+
+    /// Like [`SessionStore::open_with`], but the open-time recovery scan
+    /// is split into page-range jobs and handed to `exec` to run —
+    /// typically fanned over a worker pool. `exec` receives every range
+    /// plus a thread-safe scanner and must return one [`ScanChunk`] per
+    /// invocation, in any order; chunks from ranges it never scans are
+    /// simply treated as unreadable (their pages land on the free list),
+    /// so a conforming executor calls the scanner on **every** range.
+    /// The scan only reads page headers (positioned reads, no shared
+    /// cursor, buffer pool untouched); the chain walk that stitches
+    /// records together stays sequential — it is index arithmetic, not
+    /// I/O.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (including any surfaced inside scan jobs), or a
+    /// superblock that is not a cira-store file. Page-level corruption
+    /// is *not* an error: damaged chains are discarded and their
+    /// salvageable pages freed.
+    pub fn open_scanned<E>(
+        path: &Path,
+        capacity_bytes: u64,
+        frames: usize,
+        eviction: Eviction,
+        exec: E,
+    ) -> Result<Self, StoreError>
+    where
+        E: FnOnce(Vec<Range<u64>>, PageScanner<'_>) -> Vec<ScanChunk>,
+    {
         let file = if path.exists() {
             PageFile::open(path)?
         } else {
             PageFile::create(path)?
         };
+        let count = file.page_count();
+        let mut ranges = Vec::new();
+        let mut at = 1u64; // page 0 is the superblock
+        while at < count {
+            let end = (at + SCAN_RANGE_PAGES).min(count);
+            ranges.push(at..end);
+            at = end;
+        }
+        let scan = |range: Range<u64>| -> ScanChunk {
+            let mut chunk = ScanChunk {
+                pages: Vec::new(),
+                err: None,
+            };
+            let mut data = vec![0u8; PAGE_SIZE];
+            for idx in range {
+                if let Err(e) = file.read_page_at(idx, &mut data) {
+                    chunk.err = Some(e);
+                    return chunk;
+                }
+                let Ok(header) = PageHeader::read_from(&data) else {
+                    continue; // torn or foreign page: unclaimed, freed later
+                };
+                let rec = if header.kind == KIND_HEAD {
+                    if (header.payload_len as usize) < REC_HEADER {
+                        continue; // head too short to carry a record header
+                    }
+                    let mut rec = [0u8; REC_HEADER];
+                    rec.copy_from_slice(&data[32..32 + REC_HEADER]);
+                    Some(rec)
+                } else {
+                    None
+                };
+                chunk.pages.push((idx, Scanned { header, rec }));
+            }
+            chunk
+        };
+        let chunks = exec(ranges, &scan);
+        let mut pages: HashMap<u64, Scanned> = HashMap::new();
+        for chunk in chunks {
+            if let Some(e) = chunk.err {
+                return Err(StoreError::Io(e));
+            }
+            for (idx, s) in chunk.pages {
+                pages.insert(idx, s);
+            }
+        }
+
         let frames = frames.max(1);
         let policy: Box<dyn ReplacementPolicy> = match eviction {
             Eviction::Clock => Box::new(ClockPolicy::new(frames)),
@@ -165,43 +273,17 @@ impl SessionStore {
             capacity_bytes,
             next_epoch: 1,
         };
-        store.scan()?;
+        store.build_index(count, &pages);
         Ok(store)
     }
 
-    /// Rebuilds the index and free list from the pages themselves.
-    fn scan(&mut self) -> Result<(), StoreError> {
-        #[derive(Clone)]
-        struct Scanned {
-            header: PageHeader,
-            /// Record header bytes, present on HEAD pages only.
-            rec: Option<[u8; REC_HEADER]>,
-        }
-        let count = self.buf.page_count();
-        let mut pages: HashMap<u64, Scanned> = HashMap::new();
-        for idx in 1..count {
-            let scanned = self.buf.with_page(idx, |data| {
-                let header = PageHeader::read_from(data).ok()?;
-                let rec = if header.kind == KIND_HEAD {
-                    if (header.payload_len as usize) < REC_HEADER {
-                        return None; // head too short to carry a record header
-                    }
-                    let mut rec = [0u8; REC_HEADER];
-                    rec.copy_from_slice(&data[32..32 + REC_HEADER]);
-                    Some(rec)
-                } else {
-                    None
-                };
-                Some(Scanned { header, rec })
-            })?;
-            if let Some(s) = scanned {
-                pages.insert(idx, s);
-            }
-        }
+    /// Stitches scanned page headers into the record index and free
+    /// list (the sequential tail of recovery).
+    fn build_index(&mut self, count: u64, pages: &HashMap<u64, Scanned>) {
         // Walk every head's chain; only fully-valid chains survive.
         let mut records: HashMap<u64, RecordLoc> = HashMap::new();
         let mut max_epoch = 0u64;
-        for (&head_idx, scanned) in &pages {
+        for (&head_idx, scanned) in pages {
             if scanned.header.kind != KIND_HEAD {
                 continue;
             }
@@ -261,7 +343,6 @@ impl SessionStore {
             records = self.index.len(),
             free_pages = self.free.len()
         );
-        Ok(())
     }
 
     /// Number of live records.
@@ -697,6 +778,86 @@ mod tests {
         assert!(store.page_evictions() > 0, "a 4-frame pool must evict");
         store.get(15).unwrap();
         assert!(store.page_hits() > 0, "re-reads hit");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A deliberately hostile executor: scans ranges on four threads and
+    /// returns the chunks reversed, exercising the "any order, any
+    /// thread" contract.
+    fn threaded_exec(
+        ranges: Vec<std::ops::Range<u64>>,
+        scan: PageScanner<'_>,
+    ) -> Vec<ScanChunk> {
+        let mut chunks: Vec<(usize, ScanChunk)> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| s.spawn(move || (i, scan(r))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        chunks.reverse();
+        chunks.into_iter().map(|(_, c)| c).collect()
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let path = tmp("parscan");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            for t in 0..24u64 {
+                let len = 64 + (t as usize % 5) * PAYLOAD_PER_PAGE;
+                store.put(t, t * 10, t * 1000, &blob(len, t as u8)).unwrap();
+            }
+            store.remove(7).unwrap();
+            store.remove(13).unwrap();
+        }
+        // Corrupt one record so the parallel path also agrees on
+        // discarded chains (token 0's single page is page 1).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE + 40] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut seq = SessionStore::open(&path, 0).unwrap();
+        let mut par =
+            SessionStore::open_scanned(&path, 0, DEFAULT_FRAMES, Eviction::Clock, threaded_exec)
+                .unwrap();
+        assert_eq!(par.len(), seq.len());
+        assert_eq!(par.bytes_used(), seq.bytes_used());
+        let mut a = seq.entries();
+        let mut b = par.entries();
+        a.sort_by_key(|(t, _)| *t);
+        b.sort_by_key(|(t, _)| *t);
+        assert_eq!(a, b, "index metadata must not depend on scan order");
+        for (t, _) in a {
+            let (ma, ba) = seq.get(t).unwrap();
+            let (mb, bb) = par.get(t).unwrap();
+            assert_eq!(ma, mb);
+            assert_eq!(ba, bb, "record bytes must not depend on scan order");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scanned_open_reuses_free_pages_like_sequential() {
+        let path = tmp("parscan-free");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = SessionStore::open(&path, 0).unwrap();
+            store.put(1, 1, 0, &blob(PAYLOAD_PER_PAGE * 2, 1)).unwrap();
+            store.remove(1).unwrap();
+        }
+        let mut store =
+            SessionStore::open_scanned(&path, 0, DEFAULT_FRAMES, Eviction::Clock, threaded_exec)
+                .unwrap();
+        let pages_before = store.buf.page_count();
+        store.put(2, 2, 0, &blob(PAYLOAD_PER_PAGE * 2, 2)).unwrap();
+        assert_eq!(
+            store.buf.page_count(),
+            pages_before,
+            "freed pages found by the parallel scan are reused, not regrown"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

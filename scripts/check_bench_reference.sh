@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 MIN=${1:-1000000}
 status=0
 
-for artifact in BENCH_engine.json BENCH_obs.json BENCH_store.json; do
+for artifact in BENCH_engine.json BENCH_obs.json BENCH_store.json BENCH_serve.json; do
     if [ ! -f "$artifact" ]; then
         echo "FAIL: $artifact is missing" >&2
         status=1
@@ -33,5 +33,20 @@ for artifact in BENCH_engine.json BENCH_obs.json BENCH_store.json; do
         echo "ok: $artifact recorded at trace_len=$len (>= $MIN)"
     fi
 done
+
+# BENCH_serve.json additionally carries host provenance (the connection
+# benchmark is dominated by the kernel's network stack, so a number
+# without its toolchain/kernel/core-count is not reproducible).
+if [ -f BENCH_serve.json ]; then
+    for key in rustc kernel host_cores sessions_per_sec; do
+        if ! grep -q "\"$key\"" BENCH_serve.json; then
+            echo "FAIL: BENCH_serve.json lacks \"$key\"" >&2
+            status=1
+        fi
+    done
+    if [ "$status" -eq 0 ]; then
+        echo "ok: BENCH_serve.json records provenance (rustc/kernel/host_cores)"
+    fi
+fi
 
 exit $status
