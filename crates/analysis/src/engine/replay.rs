@@ -420,6 +420,10 @@ impl StreamingReplay {
         let mut start = 0;
         while start < n {
             let c = CHUNK.min(n - start);
+            // Chunk-level flight-recorder span; ambient context set by the
+            // worker that checked this batch out (a no-op when disabled).
+            let span = cira_obs::trace::enabled()
+                .then(|| cira_obs::trace::Span::begin_ctx(cira_obs::trace::Stage::Chunk));
             h = super::simd::fill_chunk(
                 batch,
                 start,
@@ -450,6 +454,9 @@ impl StreamingReplay {
                 // equals the engine's fold-at-the-end in every bit.
                 self.stats.observe(*key, !correct);
                 mispredicts += !correct as u64;
+            }
+            if let Some(span) = span {
+                span.end_with(c as u64);
             }
             start += c;
         }

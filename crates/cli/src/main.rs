@@ -13,6 +13,7 @@
 //! cira vm prog.asm --mem 64 --trace out.cirt   run a tiny-VM program
 //! cira serve --metrics-port 9001               server + /metrics endpoint
 //! cira stats --connect 127.0.0.1:4747          live counters + latency quantiles
+//! cira trace dump --connect 127.0.0.1:4747     flight-recorder Chrome trace
 //! ```
 //!
 //! Run `cira help` for full usage.
@@ -64,6 +65,8 @@ COMMANDS
       [--park-capacity N] [--park-ttl SECS]
       [--park-dir DIR] [--park-disk-capacity BYTES]
       [--shards N]           event-loop shards (default: one per core)
+      [--trace]              enable the in-memory flight recorder
+      [--trace-capacity N]   events per ring buffer (default 4096)
   replay                     stream a trace through a running server
       --connect HOST:PORT (--bench NAME | --trace FILE) [--len N]
       [--batch N] [--verify] [--retries N] [--timeout SECS]
@@ -71,6 +74,9 @@ COMMANDS
       plus the `confidence` spec flags
   stats                      inspect a running server's live metrics
       --connect HOST:PORT [--retries N] [--timeout SECS]
+  trace dump                 dump a server's flight recorder as Chrome
+      --connect HOST:PORT    trace-event JSON (load in chrome://tracing
+      [--out FILE]           or Perfetto); prints to stdout without --out
   store inspect FILE         examine a durable park store (*.cirstore)
       [--decode]             also decode each CIRD checkpoint
   help                       show this text
@@ -138,6 +144,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
         "stats" => cmd_stats(&args),
+        "trace" => cmd_trace(&args),
         "store" => cmd_store(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -425,6 +432,8 @@ fn cmd_serve(args: &Args) -> CliResult {
         "park-dir",
         "park-disk-capacity",
         "shards",
+        "trace",
+        "trace-capacity",
     ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let mut cfg = cira_serve::ServerConfig::default();
@@ -467,6 +476,12 @@ fn cmd_serve(args: &Args) -> CliResult {
     }
     // 0 (the default) resolves to one shard per core at startup.
     cfg.shards = args.get_or("shards", cfg.shards, "a shard count (0 = per core)")?;
+    cfg.trace = args.has("trace");
+    cfg.trace_capacity =
+        args.get_or("trace-capacity", cfg.trace_capacity, "an event count per ring")?;
+    if cfg.trace && cfg.trace_capacity == 0 {
+        return Err("--trace-capacity must be positive".into());
+    }
     if let Some(port) = args.get_parsed::<u16>("metrics-port", "a TCP port")? {
         // Same interface as the protocol listener, so a local server stays
         // local.
@@ -644,6 +659,28 @@ fn cmd_stats(args: &Args) -> CliResult {
             h.quantile(0.90),
             h.quantile(0.99),
         );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> CliResult {
+    args.check_known(&[CLIENT_FLAGS, &["connect", "out"]].concat())?;
+    let sub = args.single_positional("usage: cira trace dump --connect HOST:PORT [--out FILE]")?;
+    if sub != "dump" {
+        return Err(format!("unknown trace subcommand {sub:?}; try `cira trace dump`").into());
+    }
+    let addr = args.require("connect")?.to_owned();
+    // A raw (sessionless) connection: TRACE_DUMP answers pre-HELLO, like
+    // STATS and METRICS, so no predictor spec is needed to pull a trace.
+    let mut client = client_builder(args, &addr)?.connect_raw()?;
+    let json = client.trace_json()?;
+    client.goodbye()?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            println!("wrote {} bytes to {path}", json.len());
+        }
+        None => println!("{json}"),
     }
     Ok(())
 }

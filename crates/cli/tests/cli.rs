@@ -397,5 +397,46 @@ fn mix_requires_two_benchmarks() {
 fn help_shows_usage() {
     let out = cira(&["help"]);
     assert!(out.status.success());
-    assert!(stdout(&out).contains("USAGE: cira"));
+    let text = stdout(&out);
+    assert!(text.contains("USAGE: cira"));
+    // Rev 1.5 flight-recorder surfaces must be discoverable from --help.
+    assert!(text.contains("--trace]"), "{text}");
+    assert!(text.contains("--trace-capacity"), "{text}");
+    assert!(text.contains("trace dump"), "{text}");
+}
+
+#[test]
+fn trace_dump_pulls_chrome_json_from_a_traced_server() {
+    let port_file = temp_path("trace.port");
+    let (mut server, port) = start_server_with(&port_file, &["--trace", "--trace-capacity", "8192"]);
+    let addr = format!("127.0.0.1:{port}");
+
+    // Drive a session through the full lifecycle so the recorder has
+    // accept/parse/score/write events to dump.
+    replay_ok(&["--connect", &addr, "--bench", "jpeg", "--len", "20000"]);
+
+    let out_path = temp_path("dump.trace.json");
+    let out = cira(&[
+        "trace",
+        "dump",
+        "--connect",
+        &addr,
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    for stage in ["accept", "parse", "score", "complete", "write_flush"] {
+        assert!(json.contains(&format!("\"{stage}\"")), "missing {stage} in dump");
+    }
+
+    // Without --out the JSON goes to stdout.
+    let out = cira(&["trace", "dump", "--connect", &addr]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"traceEvents\""));
+
+    server.kill().expect("stop server");
+    let _ = server.wait();
 }

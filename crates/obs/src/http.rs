@@ -1,4 +1,5 @@
-//! Minimal HTTP/1.0 `GET` responder for exposing `/metrics`.
+//! Minimal HTTP/1.0 `GET` responder for exposing `/metrics`, `/healthz`,
+//! and `/trace`.
 //!
 //! Just enough HTTP to satisfy a Prometheus scraper or `curl` over
 //! `std::net::TcpListener`: one short-lived connection per request, no
@@ -6,15 +7,39 @@
 //! runs on its own thread, polls a shutdown flag between accepts
 //! (non-blocking listener + short sleep), and renders the registry fresh
 //! on every scrape.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the Prometheus text exposition of the registry;
+//! * `GET /` and `GET /healthz` — liveness plus build version and the
+//!   listener's uptime in seconds;
+//! * `GET /trace?ms=N` — the flight recorder's retained events from the
+//!   last `N` milliseconds (everything retained when `ms` is absent) as
+//!   Chrome trace-event JSON. Always valid JSON; an empty event list
+//!   when tracing was never initialized.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::metrics::Registry;
+
+/// When this process's first metrics listener came up — the `/healthz`
+/// uptime epoch.
+static STARTED: OnceLock<Instant> = OnceLock::new();
+
+/// `/healthz` body: liveness, the workspace version, and whole seconds
+/// since the first [`serve_metrics`] call (`0` before one).
+fn healthz_body() -> String {
+    let uptime = STARTED.get().map_or(0, |t| t.elapsed().as_secs());
+    format!(
+        "ok\nversion={}\nuptime_seconds={uptime}\n",
+        env!("CARGO_PKG_VERSION")
+    )
+}
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_TICK: Duration = Duration::from_millis(25);
@@ -59,6 +84,7 @@ impl Drop for MetricsServer {
 /// `registry` until shutdown. Returns once the listener is bound, so a
 /// scrape issued after this call succeeds.
 pub fn serve_metrics(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+    STARTED.get_or_init(Instant::now);
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
@@ -120,13 +146,27 @@ fn handle(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain", "method not allowed\n".to_string())
     } else {
+        let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
         match path.split('?').next().unwrap_or("") {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 registry.render(),
             ),
-            "/" | "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            "/" | "/healthz" => ("200 OK", "text/plain", healthz_body()),
+            "/trace" => {
+                // `?ms=N` bounds the dump to the last N milliseconds.
+                let window_ns = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("ms="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|ms| ms.saturating_mul(1_000_000));
+                (
+                    "200 OK",
+                    "application/json",
+                    crate::trace::dump_chrome_json(window_ns),
+                )
+            }
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
     };
@@ -169,9 +209,40 @@ mod tests {
 
         let (status, body) = get(addr, "/healthz");
         assert_eq!(status, "HTTP/1.0 200 OK");
-        assert_eq!(body, "ok\n");
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("ok"));
+        assert_eq!(
+            lines.next(),
+            Some(format!("version={}", env!("CARGO_PKG_VERSION")).as_str())
+        );
+        let uptime = lines.next().unwrap();
+        assert!(uptime.starts_with("uptime_seconds="), "got {uptime:?}");
+        uptime["uptime_seconds=".len()..].parse::<u64>().unwrap();
 
         server.shutdown();
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn serves_trace_json() {
+        crate::trace::init(64);
+        crate::trace::set_enabled(true);
+        crate::trace::instant(crate::trace::Stage::Accept, 0xbeef, 0, 0, 0);
+        let reg = Arc::new(Registry::new("t"));
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/trace");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("\"name\":\"accept\""));
+
+        // A zero-millisecond window keeps metadata but drops old events.
+        std::thread::sleep(Duration::from_millis(5));
+        let (status, body) = get(addr, "/trace?ms=0");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert!(body.contains("\"traceEvents\""));
+        assert!(!body.contains(&format!("\"trace\":{}", 0xbeef)));
+        server.shutdown();
     }
 }

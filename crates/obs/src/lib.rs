@@ -17,9 +17,14 @@
 //! * [`promtext`] — a parser/validator for that exposition format, used
 //!   by tests (well-formedness assertions) and by `cira stats` to render
 //!   histogram quantiles client-side.
+//! * [`mod@trace`] — a flight recorder: per-thread lock-free ring buffers of
+//!   compact span events covering a request's whole lifecycle, exported
+//!   as Chrome trace-event JSON (`GET /trace`, the `TRACE_DUMP` wire
+//!   frame, `SIGUSR1`, and automatic error-path dumps). Disabled tracing
+//!   costs one relaxed atomic load per site, like disabled log levels.
 //! * [`http`] — a minimal HTTP/1.0 `GET` responder over
-//!   `std::net::TcpListener`, enough to expose `/metrics` to a scraper
-//!   with zero dependencies.
+//!   `std::net::TcpListener`, enough to expose `/metrics`, `/healthz`,
+//!   and `/trace` to a scraper with zero dependencies.
 //!
 //! All hot-path updates use relaxed atomics: metrics are observational
 //! and never synchronize data, so instrumentation is cheap enough to
@@ -32,6 +37,7 @@ pub mod http;
 pub mod log;
 pub mod metrics;
 pub mod promtext;
+pub mod trace;
 
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};

@@ -560,6 +560,38 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_wraps_sum_like_the_recorder() {
+        // `Histogram::record` accumulates `sum` with a wrapping
+        // `fetch_add`, so per-shard sums that individually overflowed
+        // must merge with the same wrap to equal one histogram that saw
+        // every observation.
+        let whole = Histogram::new();
+        whole.record(u64::MAX);
+        whole.record(u64::MAX);
+        whole.record(3);
+        let whole = whole.snapshot();
+        assert_eq!(whole.sum, u64::MAX.wrapping_add(u64::MAX).wrapping_add(3));
+
+        let part = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = part(&[u64::MAX]);
+        let b = part(&[u64::MAX, 3]);
+        assert_eq!(a.merge(&b), whole);
+        assert_eq!(b.merge(&a), whole);
+        // Associativity holds across the wrap point itself.
+        let c = part(&[u64::MAX - 1]);
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Only `sum` is modular; counts and buckets add exactly.
+        assert_eq!(whole.count, 3);
+        assert_eq!(whole.buckets[INF_BUCKET], 2);
+    }
+
+    #[test]
     fn quantiles_interpolate_within_buckets() {
         let h = Histogram::new();
         // 100 observations uniform in (512, 1024] — all in bucket 10.

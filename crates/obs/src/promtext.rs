@@ -509,6 +509,65 @@ h_count 4
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        // Degenerate snapshot with no buckets at all.
+        let bare = ParsedHistogram {
+            bounds: vec![],
+            cumulative: vec![],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(bare.quantile(0.5), 0.0);
+        // A parsed histogram whose buckets exist but saw no observations.
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 0
+h_bucket{le=\"+Inf\"} 0
+h_sum 0
+h_count 0
+";
+        let h = Exposition::parse_validated(text)
+            .unwrap()
+            .histogram("h")
+            .unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_with_single_bucket_interpolates_from_zero() {
+        // All mass in one finite bucket interpolates across (0, 8].
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"8\"} 4
+h_bucket{le=\"+Inf\"} 4
+h_sum 20
+h_count 4
+";
+        let h = Exposition::parse_validated(text)
+            .unwrap()
+            .histogram("h")
+            .unwrap();
+        assert_eq!(h.quantile(1.0), 8.0);
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert!(h.quantile(0.25) < h.quantile(0.5));
+        // All mass in `+Inf` clamps to the highest finite bound.
+        let inf_only = "\
+# TYPE h histogram
+h_bucket{le=\"8\"} 0
+h_bucket{le=\"+Inf\"} 3
+h_sum 99
+h_count 3
+";
+        let h = Exposition::parse_validated(inf_only)
+            .unwrap()
+            .histogram("h")
+            .unwrap();
+        assert_eq!(h.quantile(0.99), 8.0);
+    }
+
+    #[test]
     fn registry_output_parses_clean() {
         let reg = crate::metrics::Registry::new("x");
         reg.counter("ops_total", "Ops", || 7);

@@ -1,0 +1,17 @@
+//! Captures the compiler version at build time so the server can expose
+//! build provenance (`cira_build_info`) without a registry dependency.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into());
+    let version = Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=CIRA_RUSTC_VERSION={version}");
+}

@@ -987,6 +987,23 @@ impl Client {
         }
     }
 
+    /// Fetches the server's flight-recorder contents as Chrome
+    /// trace-event JSON (rev 1.5) — the same blob `GET /trace` serves
+    /// and `cira trace dump` writes. A server running with tracing
+    /// disabled returns a valid but empty trace.
+    ///
+    /// # Errors
+    ///
+    /// Server `ERROR` frames (including unknown-frame-type errors from
+    /// pre-rev-1.5 servers) and transport failures.
+    pub fn trace_json(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&ClientFrame::TraceDump)? {
+            ServerFrame::TraceDumpReply { json } => Ok(json),
+            ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Resets the session to its freshly-negotiated state.
     ///
     /// # Errors

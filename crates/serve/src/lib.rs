@@ -41,8 +41,15 @@
 //!   histograms ([`cira_obs`] instruments), exposed three ways: the
 //!   `STATS` frame (name/value pairs), the `METRICS` frame (Prometheus
 //!   text over the wire), and HTTP `GET /metrics` when
-//!   [`server::ServerConfig::metrics_addr`] is set;
-//! * [`shutdown`] — a waitable token plus optional SIGINT/SIGTERM hooks.
+//!   [`server::ServerConfig::metrics_addr`] is set. Since rev 1.5 the
+//!   server also threads [`cira_obs::trace`] flight-recorder spans
+//!   through every pipeline stage (accept → parse → checkout → score →
+//!   complete → write, plus park spill/load and cross-shard migration),
+//!   exported as Chrome trace JSON via `GET /trace`, the `TRACE_DUMP`
+//!   frame, `SIGUSR1`, and automatic crash dumps
+//!   ([`server::ServerConfig::trace`]);
+//! * [`shutdown`] — a waitable token plus optional SIGINT/SIGTERM/SIGUSR1
+//!   hooks.
 //!
 //! Networking is std-only: no async runtime, no registry dependencies.
 //!

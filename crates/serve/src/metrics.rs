@@ -481,6 +481,30 @@ impl ServerMetrics {
             "Hot parked sessions written to disk by the background spiller",
             move || m.park_bg_spilled.get(),
         );
+        // Rev 1.5: build provenance and flight-recorder instruments.
+        let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+            .map(|s| s.trim().to_owned())
+            .unwrap_or_else(|_| "unknown".to_owned());
+        reg.gauge_with(
+            "build_info",
+            "Build provenance; the value is always 1",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("rustc", env!("CIRA_RUSTC_VERSION")),
+                ("kernel", &kernel),
+            ],
+            || 1,
+        );
+        reg.counter(
+            "trace_events_recorded_total",
+            "Flight-recorder span events recorded across all rings",
+            || cira_obs::trace::stats().recorded,
+        );
+        reg.counter(
+            "trace_events_dropped_total",
+            "Flight-recorder span events overwritten by ring wrap",
+            || cira_obs::trace::stats().dropped,
+        );
     }
 }
 

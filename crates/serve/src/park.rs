@@ -275,7 +275,11 @@ impl SessionPark {
                     Ok(()) => outcome.persisted = true,
                     Err(StoreError::Full { .. }) => outcome.store_full = true,
                     Err(e) => {
-                        cira_obs::warn!("park write-through failed", error = format!("{e}"));
+                        cira_obs::warn!(
+                            "park write-through failed",
+                            token = token,
+                            error = format!("{e}")
+                        );
                     }
                 }
             }
@@ -316,7 +320,11 @@ impl SessionPark {
                 Ok(()) => outcome.persisted = true,
                 Err(StoreError::Full { .. }) => return Err(ParkRefusal::Full(Box::new(session))),
                 Err(e) => {
-                    cira_obs::warn!("park write-through failed", error = format!("{e}"));
+                    cira_obs::warn!(
+                        "park write-through failed",
+                        token = token,
+                        error = format!("{e}")
+                    );
                     return Err(ParkRefusal::Full(Box::new(session)));
                 }
             }
@@ -366,7 +374,11 @@ impl SessionPark {
                         if matches!(e, StoreError::Full { .. }) {
                             outcome.store_full = true;
                         } else {
-                            cira_obs::warn!("park eviction spill failed", error = format!("{e}"));
+                            cira_obs::warn!(
+                                "park eviction spill failed",
+                                token = old.token,
+                                error = format!("{e}")
+                            );
                         }
                         outcome.evicted += 1;
                     }
@@ -417,7 +429,11 @@ impl SessionPark {
                     break; // retrying every entry would thrash a full tier
                 }
                 Err(e) => {
-                    cira_obs::warn!("park background spill failed", error = format!("{e}"));
+                    cira_obs::warn!(
+                        "park background spill failed",
+                        token = p.token,
+                        error = format!("{e}")
+                    );
                     break;
                 }
             }
@@ -464,7 +480,11 @@ impl SessionPark {
             Ok(hit) => hit,
             Err(StoreError::NotFound(_)) => return None,
             Err(e) => {
-                cira_obs::warn!("park disk read failed", error = format!("{e}"));
+                cira_obs::warn!(
+                    "park disk read failed",
+                    token = token,
+                    error = format!("{e}")
+                );
                 let _ = store.remove(token);
                 return None;
             }
@@ -476,7 +496,7 @@ impl SessionPark {
         let checkpoint = match Checkpoint::decode(&blob) {
             Ok(cp) => cp,
             Err(e) => {
-                cira_obs::warn!("park checkpoint undecodable", error = e);
+                cira_obs::warn!("park checkpoint undecodable", token = token, error = e);
                 return None;
             }
         };
@@ -487,7 +507,7 @@ impl SessionPark {
                 from_disk: true,
             }),
             Err(e) => {
-                cira_obs::warn!("park checkpoint unrestorable", error = e);
+                cira_obs::warn!("park checkpoint unrestorable", token = token, error = e);
                 None
             }
         }

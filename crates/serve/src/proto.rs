@@ -17,6 +17,7 @@
 //! | 0x07 | c → s | `METRICS` | — (rev 1.1) |
 //! | 0x08 | c → s | `RESUME` | magic `CIRS`, version `u8`, resume token `u64` (rev 1.2) |
 //! | 0x09 | c → s | `PARK` | — (rev 1.3) |
+//! | 0x0a | c → s | `TRACE_DUMP` | — (rev 1.5) |
 //! | 0x81 | s → c | `HELLO_ACK` | version `u8`, session id `u64`, max frame `u32`, max in-flight `u32`, predictor/mechanism descriptions, resume token `u64` (rev 1.2) |
 //! | 0x82 | s → c | `BATCH_ACK` | seq `u32`, batch records/mispredicts/low `u64`×3, session records `u64`, predicted + low bitmaps |
 //! | 0x83 | s → c | `STATS_REPLY` | `u32` count, then (name string, value `u64`) pairs |
@@ -26,6 +27,7 @@
 //! | 0x87 | s → c | `METRICS_REPLY` | `u32` length + Prometheus exposition text (rev 1.1) |
 //! | 0x88 | s → c | `RESUME_ACK` | session `u64`, has-last `u8`, last acked seq `u32`, session batches/records/mispredicts/low `u64`×4, max frame `u32`, max in-flight `u32` (rev 1.2) |
 //! | 0x89 | s → c | `PARKED_ACK` | resume token `u64` (rev 1.3) |
+//! | 0x8a | s → c | `TRACE_DUMP_REPLY` | `u32` length + Chrome trace-event JSON (rev 1.5) |
 //! | 0x7e | s → c | `BUSY` | retry-after hint `u32` (ms), message string (rev 1.2) |
 //! | 0x7d | s → c | `STORE_FULL` | retry-after hint `u32` (ms), message string (rev 1.3) |
 //! | 0x7f | s → c | `ERROR` | code `u16`, message string |
@@ -96,6 +98,22 @@
 //!   sweeps and resumes free pages). Where a typed frame cannot be
 //!   used, the same condition surfaces as [`code::STORE_FULL`] in an
 //!   `ERROR` frame (e.g. `PARK` on a server with parking disabled).
+//!
+//! Rev **1.4** (the thread-per-core event loop) changes no frame
+//! encodings; it only appends `STATS_REPLY` names (`store_recovery_ms`,
+//! `park_bg_spilled`, per-shard instruments), which the self-describing
+//! pair format absorbs.
+//!
+//! Rev **1.5** adds flight-recorder export:
+//!
+//! * `TRACE_DUMP` (0x0a): ask the server for its retained trace events.
+//!   Accepted before a session is negotiated, like `STATS`/`METRICS`, so
+//!   `cira trace dump` needs no `HELLO`. The server answers
+//!   `TRACE_DUMP_REPLY` (0x8a) carrying Chrome trace-event JSON as a
+//!   `u32`-length blob (the same shape as `METRICS_REPLY`, and for the
+//!   same reason: dumps routinely exceed [`MAX_STRING`]). With tracing
+//!   disabled or uninitialized the reply is still well-formed JSON with
+//!   an empty event list.
 
 use std::fmt;
 
@@ -108,7 +126,7 @@ pub const PROTO_MAGIC: &[u8; 4] = b"CIRS";
 pub const PROTO_VERSION: u8 = 1;
 /// Additive minor revision within [`PROTO_VERSION`] (see the module docs
 /// for what each revision added). Informational — never negotiated.
-pub const PROTO_REV: u8 = 3;
+pub const PROTO_REV: u8 = 5;
 
 /// Frame type bytes.
 pub mod frame_type {
@@ -131,6 +149,8 @@ pub mod frame_type {
     /// Detach now: checkpoint the session durably and park it
     /// (rev 1.3).
     pub const PARK: u8 = 0x09;
+    /// Request the flight recorder's retained trace events (rev 1.5).
+    pub const TRACE_DUMP: u8 = 0x0a;
     /// Server accepts the hello.
     pub const HELLO_ACK: u8 = 0x81;
     /// Per-batch results.
@@ -149,6 +169,8 @@ pub mod frame_type {
     pub const RESUME_ACK: u8 = 0x88;
     /// Park accepted: the session checkpoint is durable (rev 1.3).
     pub const PARKED_ACK: u8 = 0x89;
+    /// Chrome trace-event JSON from the flight recorder (rev 1.5).
+    pub const TRACE_DUMP_REPLY: u8 = 0x8a;
     /// Server at capacity: shed with a retry-after hint (rev 1.2).
     pub const BUSY: u8 = 0x7e;
     /// Disk park tier at capacity: a park could not be persisted; retry
@@ -248,6 +270,9 @@ pub enum ClientFrame {
     /// `STORE_FULL` (session stays attached) when the disk tier is at
     /// capacity.
     Park,
+    /// Request the flight recorder's retained trace events (rev 1.5).
+    /// Accepted before a session is negotiated, like `Stats`/`Metrics`.
+    TraceDump,
 }
 
 /// One `(key, refs, mispredicts)` statistics cell on the wire.
@@ -342,6 +367,13 @@ pub enum ServerFrame {
     ParkedAck {
         /// The resume token that re-attaches to the parked session.
         token: u64,
+    },
+    /// The flight recorder's retained events (rev 1.5). Carried as a
+    /// `u32`-length blob like [`ServerFrame::MetricsReply`]: dumps
+    /// routinely exceed [`MAX_STRING`].
+    TraceDumpReply {
+        /// Chrome trace-event JSON, as served on `GET /trace`.
+        json: String,
     },
     /// Server at session capacity: the connection closes next and the
     /// client should back off for at least the hint (rev 1.2).
@@ -535,6 +567,7 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
             out.extend_from_slice(&token.to_le_bytes());
         }
         ClientFrame::Park => out.push(frame_type::PARK),
+        ClientFrame::TraceDump => out.push(frame_type::TRACE_DUMP),
     }
     out
 }
@@ -606,6 +639,10 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, ProtoError> {
         frame_type::PARK => {
             c.finish()?;
             Ok(ClientFrame::Park)
+        }
+        frame_type::TRACE_DUMP => {
+            c.finish()?;
+            Ok(ClientFrame::TraceDump)
         }
         other => Err(ProtoError::UnknownFrameType(other)),
     }
@@ -708,6 +745,12 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
         ServerFrame::ParkedAck { token } => {
             out.push(frame_type::PARKED_ACK);
             out.extend_from_slice(&token.to_le_bytes());
+        }
+        ServerFrame::TraceDumpReply { json } => {
+            out.push(frame_type::TRACE_DUMP_REPLY);
+            let bytes = json.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
         }
         ServerFrame::Busy {
             retry_after_ms,
@@ -828,6 +871,14 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, ProtoError> {
             }
         }
         frame_type::PARKED_ACK => ServerFrame::ParkedAck { token: c.u64()? },
+        frame_type::TRACE_DUMP_REPLY => {
+            let n = c.u32()? as usize;
+            let raw = c.take(n)?;
+            let json = std::str::from_utf8(raw)
+                .map(str::to_owned)
+                .map_err(|_| ProtoError::BadString)?;
+            ServerFrame::TraceDumpReply { json }
+        }
         frame_type::BUSY => ServerFrame::Busy {
             retry_after_ms: c.u32()?,
             message: c.string()?,
@@ -897,6 +948,7 @@ mod tests {
                 token: 0xfeed_face_cafe_f00d,
             },
             ClientFrame::Park,
+            ClientFrame::TraceDump,
         ];
         for f in frames {
             let bytes = encode_client(&f);
@@ -960,6 +1012,10 @@ mod tests {
             },
             ServerFrame::ParkedAck {
                 token: 0xfeed_face_cafe_f00d,
+            },
+            // Trace dumps share the u32-blob shape with METRICS_REPLY.
+            ServerFrame::TraceDumpReply {
+                json: format!("{{\"traceEvents\":[{}]}}", "{},".repeat(200) + "{}"),
             },
             ServerFrame::Busy {
                 retry_after_ms: 500,

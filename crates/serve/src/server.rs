@@ -52,6 +52,7 @@ use std::time::{Duration, Instant};
 
 use cira_analysis::engine::pool::WorkerPool;
 use cira_obs::http::MetricsServer;
+use cira_obs::trace::{self, Stage};
 use cira_obs::Registry;
 use cira_trace::codec::PackedTrace;
 
@@ -130,6 +131,13 @@ pub struct ServerConfig {
     /// Event-loop shards (one epoll loop on one thread each). `0`
     /// resolves to `std::thread::available_parallelism()` at startup.
     pub shards: usize,
+    /// Record flight-recorder span events from startup (rev 1.5). The
+    /// instrumentation is compiled in either way; disabled it costs one
+    /// relaxed atomic load per site (see `BENCH_obs.json`).
+    pub trace: bool,
+    /// Per-thread trace ring capacity in events (rounded up to a power
+    /// of two). Older events are overwritten and counted as dropped.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +157,8 @@ impl Default for ServerConfig {
             park_disk_capacity: 0,
             metrics_addr: None,
             shards: 0,
+            trace: false,
+            trace_capacity: trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -247,8 +257,10 @@ impl Shared {
             }
             *next = now + self.spill_every;
         }
+        let span = trace::Span::begin(Stage::ParkSpill, 0, 0, trace::NO_SHARD);
         let outcome = self.park.spill_step(SPILL_BATCH);
         if outcome.written > 0 {
+            span.end_with(outcome.written as u64);
             self.metrics.park_bg_spilled.add(outcome.written as u64);
             self.publish_store_gauges();
             cira_obs::debug!(
@@ -429,6 +441,13 @@ impl ShardShared {
     }
 }
 
+/// A connection's flight-recorder trace id: the owning shard in the
+/// high bits keeps per-shard epoll tokens unique process-wide (the +1
+/// distinguishes shard 0's connections from the "no trace id" zero).
+fn conn_trace_id(shard: usize, conn_token: u64) -> u64 {
+    ((shard as u64 + 1) << 32) | (conn_token & 0xffff_ffff)
+}
+
 /// What dispatching one frame decided.
 enum Action {
     Continue,
@@ -464,6 +483,10 @@ struct Shard {
 
 impl Shard {
     fn run(mut self) {
+        trace::register_thread(
+            &format!("cira-serve-shard{}", self.index),
+            Some(self.index as u16),
+        );
         let tick = Duration::from_millis(self.cfg.read_tick_ms.max(1));
         let timeout_ms = tick.as_millis().min(i32::MAX as u128) as i32;
         let mut events = [Event::default(); EVENTS_PER_WAIT];
@@ -523,9 +546,26 @@ impl Shard {
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_front();
             match msg {
-                Some(ShardMsg::NewConn(stream)) => self.register_conn(stream),
-                Some(ShardMsg::Handoff(h)) => self.adopt(h),
-                Some(ShardMsg::Done(d)) => self.complete(d),
+                Some(ShardMsg::NewConn(stream)) => {
+                    trace::instant(Stage::Inbox, 0, 0, self.index as u16, 0);
+                    self.register_conn(stream);
+                }
+                Some(ShardMsg::Handoff(h)) => {
+                    trace::instant(Stage::Inbox, 0, 0, self.index as u16, 1);
+                    self.adopt(h);
+                }
+                Some(ShardMsg::Done(d)) => {
+                    if trace::enabled() {
+                        trace::instant(
+                            Stage::Inbox,
+                            conn_trace_id(self.index, d.conn_id),
+                            d.active.session.token(),
+                            self.index as u16,
+                            d.acks.len() as u64,
+                        );
+                    }
+                    self.complete(d);
+                }
                 None => break,
             }
         }
@@ -570,6 +610,7 @@ impl Shard {
             return;
         }
         conn.interest = EPOLLIN | EPOLLRDHUP;
+        trace::instant(Stage::Accept, conn_trace_id(self.index, id), 0, self.index as u16, 0);
         self.smetrics[self.index].connections.inc();
         if self.draining {
             self.send(
@@ -615,6 +656,15 @@ impl Shard {
             self.park_orphan(active);
             return;
         };
+        if trace::enabled() {
+            trace::instant(
+                Stage::Complete,
+                conn_trace_id(self.index, conn_id),
+                active.session.token(),
+                self.index as u16,
+                acks.len() as u64,
+            );
+        }
         conn.busy = false;
         debug_assert!(conn.active.is_none(), "session double-attached");
         conn.active = Some(active);
@@ -680,6 +730,19 @@ impl Shard {
         if let Some((owner, resume)) = self.dispatch(id, &mut conn) {
             let _ = self.epoll.del(conn.fd);
             conn.interest = 0;
+            if trace::enabled() {
+                let token = match &resume {
+                    ClientFrame::Resume { token, .. } => *token,
+                    _ => 0,
+                };
+                trace::instant(
+                    Stage::Migrate,
+                    conn_trace_id(self.index, conn.token),
+                    token,
+                    self.index as u16,
+                    owner as u64,
+                );
+            }
             self.smetrics[self.index].connections.dec();
             self.smetrics[self.index].migrations_out.inc();
             cira_obs::debug!(
@@ -707,6 +770,15 @@ impl Shard {
                     conn.last_frame = Instant::now();
                     metrics.frames_in.inc();
                     metrics.bytes_in.add(body.len() as u64);
+                    if trace::enabled() {
+                        trace::instant(
+                            Stage::Parse,
+                            conn_trace_id(self.index, conn.token),
+                            conn.active.as_ref().map_or(0, |a| a.session.token()),
+                            self.index as u16,
+                            body.len() as u64,
+                        );
+                    }
                     match decode_client(&body) {
                         Ok(frame) => {
                             if matches!(frame, ClientFrame::Batch { .. }) {
@@ -758,6 +830,15 @@ impl Shard {
                 }
                 let active = conn.active.take().expect("session checked above");
                 conn.busy = true;
+                if trace::enabled() {
+                    trace::instant(
+                        Stage::Checkout,
+                        conn_trace_id(self.index, id),
+                        active.session.token(),
+                        self.index as u16,
+                        run.len() as u64,
+                    );
+                }
                 self.spawn_batch_job(id, active, run);
                 continue;
             }
@@ -779,13 +860,20 @@ impl Shard {
     fn spawn_batch_job(&self, id: u64, mut active: Active, run: Vec<(u32, PackedTrace)>) {
         let metrics = Arc::clone(&self.shared.metrics);
         let me = Arc::clone(&self.me);
+        let trace_id = conn_trace_id(self.index, id);
+        let shard = self.index as u16;
         self.pool.spawn(move || {
+            // Ambient attribution: chunk events inside the engine and
+            // any store I/O this job triggers inherit the ids.
+            trace::set_ctx(trace_id, active.session.token(), shard);
             let mut acks = Vec::with_capacity(run.len());
             for (seq, records) in run {
                 let n = records.len() as u64;
+                let span = trace::Span::begin_ctx(Stage::Score);
                 let t0 = Instant::now();
                 let ack = active.session.apply_batch(seq, &records);
                 let service_us = t0.elapsed().as_micros() as u64;
+                span.end_with(n);
                 if let ServerFrame::BatchAck {
                     mispredicts,
                     low_confidence,
@@ -801,6 +889,7 @@ impl Shard {
                 }
                 acks.push(ack);
             }
+            trace::clear_ctx();
             me.post(ShardMsg::Done(Box::new(Done {
                 conn_id: id,
                 active,
@@ -887,7 +976,11 @@ impl Shard {
                 // write-through before their ack).
                 let token = active.session.token();
                 let session_id = active.id;
+                trace::set_ctx(conn_trace_id(self.index, conn.token), token, self.index as u16);
+                let span = trace::Span::begin_ctx(Stage::ParkSpill);
                 let outcome = self.shared.park.insert(token, session_id, active.session);
+                span.end_with(outcome.persisted as u64);
+                trace::clear_ctx();
                 self.shared.account_park(&outcome);
                 // `evicted` counts destroyed sessions; with hot capacity
                 // 0 and no disk write-through that is this session
@@ -898,6 +991,8 @@ impl Shard {
                     cira_obs::debug!(
                         "session parked",
                         session = session_id,
+                        token = token,
+                        shard = self.index,
                         durable = outcome.persisted,
                     );
                 }
@@ -916,6 +1011,15 @@ impl Shard {
             return;
         }
         let body = encode_server(frame);
+        if trace::enabled() {
+            trace::instant(
+                Stage::WriteQueue,
+                conn_trace_id(self.index, conn.token),
+                conn.active.as_ref().map_or(0, |a| a.session.token()),
+                self.index as u16,
+                body.len() as u64,
+            );
+        }
         let mut buf = Vec::with_capacity(4 + body.len());
         buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
         buf.extend_from_slice(&body);
@@ -933,6 +1037,23 @@ impl Shard {
     /// Flushes the write queue until it empties or the socket would
     /// block; a write error condemns the connection.
     fn flush(&self, conn: &mut ConnState) {
+        let span = (trace::enabled() && !conn.wq.is_empty()).then(|| {
+            trace::Span::begin(
+                Stage::WriteFlush,
+                conn_trace_id(self.index, conn.token),
+                conn.active.as_ref().map_or(0, |a| a.session.token()),
+                self.index as u16,
+            )
+        });
+        let written = self.flush_inner(conn);
+        if let Some(span) = span {
+            span.end_with(written);
+        }
+    }
+
+    /// [`flush`](Self::flush) minus the tracing shell; returns the bytes
+    /// written this call.
+    fn flush_inner(&self, conn: &mut ConnState) -> u64 {
         let ConnState {
             stream,
             wq,
@@ -940,9 +1061,10 @@ impl Shard {
             closing,
             ..
         } = conn;
+        let mut written = 0u64;
         if *io_dead {
             wq.clear();
-            return;
+            return written;
         }
         while let Some(item) = wq.front_mut() {
             while item.off < item.buf.len() {
@@ -951,9 +1073,12 @@ impl Shard {
                         *io_dead = true;
                         break;
                     }
-                    Ok(n) => item.off += n,
+                    Ok(n) => {
+                        item.off += n;
+                        written += n as u64;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return written,
                     Err(_) => {
                         *io_dead = true;
                         break;
@@ -965,18 +1090,31 @@ impl Shard {
                 if closing.is_none() {
                     *closing = Some(Close::Abrupt);
                 }
-                return;
+                return written;
             }
             let body_len = item.body_len;
             self.shared.metrics.frames_out.inc();
             self.shared.metrics.bytes_out.add(body_len as u64);
             wq.pop_front();
         }
+        written
     }
 
-    /// Counts a protocol violation and queues its `ERROR` frame.
+    /// Counts a protocol violation, queues its `ERROR` frame, and — with
+    /// tracing on — snapshots the flight recorder so the events leading
+    /// up to the fault survive (throttled to one dump per second).
     fn conn_error(&self, conn: &mut ConnState, error_code: u16, message: String) {
         self.shared.metrics.protocol_error(error_code);
+        trace::instant(
+            Stage::Fault,
+            conn_trace_id(self.index, conn.token),
+            0,
+            self.index as u16,
+            u64::from(error_code),
+        );
+        if let Some(path) = trace::flight_dump("protocol-error") {
+            cira_obs::info!("flight recorder dumped", path = path.display());
+        }
         cira_obs::debug!("protocol error", code = error_code, detail = message);
         self.send(
             conn,
@@ -1102,7 +1240,12 @@ impl Shard {
                     );
                     return Action::CloseAbrupt;
                 }
-                match self.shared.park.take(token) {
+                trace::set_ctx(conn_trace_id(self.index, conn.token), token, self.index as u16);
+                let load_span = trace::Span::begin_ctx(Stage::ParkLoad);
+                let taken = self.shared.park.take(token);
+                load_span.end_with(taken.as_ref().is_some_and(|r| r.from_disk) as u64);
+                trace::clear_ctx();
+                match taken {
                     Some(resumed) => {
                         let session_id = resumed.session_id;
                         let from_disk = resumed.from_disk;
@@ -1157,6 +1300,17 @@ impl Shard {
                 );
                 Action::Continue
             }
+            ClientFrame::TraceDump => {
+                // Well-formed JSON with an empty event list when tracing
+                // is off, so `cira trace dump` degrades gracefully.
+                self.send(
+                    conn,
+                    &ServerFrame::TraceDumpReply {
+                        json: trace::dump_chrome_json(None),
+                    },
+                );
+                Action::Continue
+            }
             ClientFrame::Goodbye => {
                 self.send(conn, &ServerFrame::GoodbyeAck);
                 Action::CloseClean
@@ -1199,7 +1353,12 @@ impl Shard {
                 let active = conn.active.take().expect("session checked above");
                 let Active { id, session } = active;
                 let token = session.token();
-                match self.shared.park.insert_durable(token, id, session) {
+                trace::set_ctx(conn_trace_id(self.index, conn.token), token, self.index as u16);
+                let park_span = trace::Span::begin_ctx(Stage::ParkSpill);
+                let parked = self.shared.park.insert_durable(token, id, session);
+                park_span.end_with(parked.is_ok() as u64);
+                trace::clear_ctx();
+                match parked {
                     Ok(outcome) => {
                         self.shared.account_park(&outcome);
                         metrics.sessions_parked.inc();
@@ -1267,6 +1426,18 @@ impl Shard {
     /// The shard-local timer: park sweeps and spills, the parse-buffer
     /// gauge, and per-connection stall/idle/write-deadline checks.
     fn tick(&mut self, dt: Duration) {
+        // SIGUSR1 asks for an on-demand flight-recorder dump; the swap
+        // in `take_usr1` means exactly one shard services each signal.
+        if crate::shutdown::take_usr1() {
+            match trace::dump_to_dir("sigusr1") {
+                Some(path) => {
+                    cira_obs::info!("trace dumped on SIGUSR1", path = path.display());
+                }
+                None => cira_obs::warn!(
+                    "SIGUSR1 trace dump skipped (CIRA_TRACE_DIR unset or unwritable)"
+                ),
+            }
+        }
         self.shared.maybe_sweep();
         self.shared.maybe_spill();
         let dt_ms = dt.as_millis().min(u64::MAX as u128) as u64;
@@ -1325,6 +1496,16 @@ impl Shard {
             if let Some(item) = conn.wq.front() {
                 if item.deadline.is_some_and(|d| now >= d) {
                     cira_obs::debug!("write deadline missed; dropping connection");
+                    trace::instant(
+                        Stage::Fault,
+                        conn_trace_id(self.index, conn.token),
+                        conn.active.as_ref().map_or(0, |a| a.session.token()),
+                        self.index as u16,
+                        0,
+                    );
+                    if let Some(path) = trace::flight_dump("write-deadline") {
+                        cira_obs::info!("flight recorder dumped", path = path.display());
+                    }
                     conn.io_dead = true;
                     conn.wq.clear();
                     if conn.closing.is_none() {
@@ -1450,6 +1631,13 @@ pub fn serve(
     };
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = ShutdownToken::new();
+    // Flight recorder: enable-only, so a co-resident server with tracing
+    // off never switches off a recorder someone else turned on.
+    if cfg.trace {
+        trace::init(cfg.trace_capacity);
+        trace::set_enabled(true);
+    }
+    crate::shutdown::install_usr1_handler();
 
     // One registry covers the whole process view: server counters,
     // per-shard gauges, session histograms, and the shared worker pool.

@@ -1,5 +1,6 @@
 //! Graceful-shutdown plumbing: a cloneable trigger token plus optional
-//! SIGINT/SIGTERM hooks.
+//! SIGINT/SIGTERM hooks, and a SIGUSR1 latch for on-demand flight-recorder
+//! dumps.
 //!
 //! The token is the single source of truth: the accept loop polls it
 //! between accepts, connection readers poll it on idle ticks, and in-flight
@@ -86,10 +87,17 @@ impl ShutdownToken {
 /// Set by the raw signal handler; drained by the watcher thread.
 static SIGNALED: AtomicBool = AtomicBool::new(false);
 
+/// Set by the SIGUSR1 handler; drained by [`take_usr1`].
+static USR1: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 mod sys {
     pub const SIGINT: i32 = 2;
     pub const SIGTERM: i32 = 15;
+    #[cfg(target_os = "linux")]
+    pub const SIGUSR1: i32 = 10;
+    #[cfg(not(target_os = "linux"))]
+    pub const SIGUSR1: i32 = 30; // BSD/macOS numbering
 
     extern "C" {
         /// `signal(2)`. std links libc on every unix target, so declaring
@@ -102,6 +110,27 @@ mod sys {
 extern "C" fn on_signal(_signum: i32) {
     // Only an atomic store: the async-signal-safe minimum.
     SIGNALED.store(true, std::sync::atomic::Ordering::Release);
+}
+
+#[cfg(unix)]
+extern "C" fn on_usr1(_signum: i32) {
+    USR1.store(true, std::sync::atomic::Ordering::Release);
+}
+
+/// Installs a SIGUSR1 handler that sets a flag for [`take_usr1`]. The
+/// serve loop polls the flag on its idle tick and dumps the flight
+/// recorder to `CIRA_TRACE_DIR` when it fires. No-op off unix.
+pub fn install_usr1_handler() {
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGUSR1, on_usr1 as *const () as usize);
+    }
+}
+
+/// Consumes a pending SIGUSR1, returning whether one had fired since the
+/// last call.
+pub fn take_usr1() -> bool {
+    USR1.swap(false, Ordering::AcqRel)
 }
 
 /// Installs SIGINT + SIGTERM handlers that trigger `token`, so ctrl-c and
@@ -152,6 +181,15 @@ mod tests {
     fn wait_times_out_untriggered() {
         let token = ShutdownToken::new();
         assert!(!token.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn usr1_flag_is_consumed_once() {
+        install_usr1_handler();
+        assert!(!take_usr1());
+        USR1.store(true, Ordering::Release);
+        assert!(take_usr1());
+        assert!(!take_usr1());
     }
 
     #[test]

@@ -108,7 +108,10 @@ fn live_scrape_body(shards: usize) {
     // The other HTTP routes behave.
     let (status, body) = http_get(http_addr, "/healthz");
     assert!(status.contains("200"), "status: {status}");
-    assert_eq!(body.trim(), "ok");
+    let mut lines = body.lines();
+    assert_eq!(lines.next(), Some("ok"));
+    assert!(lines.next().is_some_and(|l| l.starts_with("version=")));
+    assert!(lines.next().is_some_and(|l| l.starts_with("uptime_seconds=")));
     let (status, _) = http_get(http_addr, "/nope");
     assert!(status.contains("404"), "status: {status}");
 

@@ -21,7 +21,17 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use cira_obs::trace::{self, Stage};
+
 use crate::page::{fnv64, PAGE_SIZE};
+
+/// A flight-recorder span for one page-I/O call, or `None` while the
+/// recorder is disabled. The span inherits the ambient trace context
+/// (set by the shard driving the park/resume), and the aux word carries
+/// the page index so dumps show *which* page a slow I/O touched.
+fn io_span(stage: Stage) -> Option<trace::Span> {
+    trace::enabled().then(|| trace::Span::begin_ctx(stage))
+}
 
 const MAGIC: &[u8; 8] = b"CIRSTOR1";
 const VERSION: u32 = 1;
@@ -130,8 +140,13 @@ impl PageFile {
                 format!("page {index} out of range ({} pages)", self.pages),
             ));
         }
+        let span = io_span(Stage::PageRead);
         self.file.seek(SeekFrom::Start(index * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)
+        let r = self.file.read_exact(buf);
+        if let Some(span) = span {
+            span.end_with(index);
+        }
+        r
     }
 
     /// Reads page `index` into `buf` through a positioned read
@@ -157,7 +172,12 @@ impl PageFile {
                 format!("page {index} out of range ({} pages)", self.pages),
             ));
         }
-        self.file.read_exact_at(buf, index * PAGE_SIZE as u64)
+        let span = io_span(Stage::PageRead);
+        let r = self.file.read_exact_at(buf, index * PAGE_SIZE as u64);
+        if let Some(span) = span {
+            span.end_with(index);
+        }
+        r
     }
 
     /// Writes page `index` from `buf` (`PAGE_SIZE` bytes). The page must
@@ -179,8 +199,13 @@ impl PageFile {
                 format!("page {index} out of range ({} pages)", self.pages),
             ));
         }
+        let span = io_span(Stage::PageWrite);
         self.file.seek(SeekFrom::Start(index * PAGE_SIZE as u64))?;
-        self.file.write_all(buf)
+        let r = self.file.write_all(buf);
+        if let Some(span) = span {
+            span.end_with(index);
+        }
+        r
     }
 
     /// Appends `count` zeroed pages, returning the index of the first.
@@ -202,7 +227,12 @@ impl PageFile {
     ///
     /// I/O failures syncing.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_all()
+        let span = io_span(Stage::Fsync);
+        let r = self.file.sync_all();
+        if let Some(span) = span {
+            span.end_with(self.pages);
+        }
+        r
     }
 }
 

@@ -34,6 +34,23 @@ for artifact in BENCH_engine.json BENCH_obs.json BENCH_store.json BENCH_serve.js
     fi
 done
 
+# BENCH_obs.json must be recorded by the rev-1.5 bench, which measures
+# the flight-recorder's compiled-in-but-disabled cost alongside plain
+# metric instrumentation. An artifact without these keys predates the
+# tracing subsystem and says nothing about its overhead.
+if [ -f BENCH_obs.json ]; then
+    for key in traced_disabled trace_disabled_overhead_pct; do
+        if ! grep -q "\"$key\"" BENCH_obs.json; then
+            echo "FAIL: BENCH_obs.json lacks \"$key\": re-record with" >&2
+            echo "      cargo run --release -p cira-bench --bin obs_overhead" >&2
+            status=1
+        fi
+    done
+    if [ "$status" -eq 0 ]; then
+        echo "ok: BENCH_obs.json records the disabled-tracing overhead"
+    fi
+fi
+
 # BENCH_serve.json additionally carries host provenance (the connection
 # benchmark is dominated by the kernel's network stack, so a number
 # without its toolchain/kernel/core-count is not reproducible).
