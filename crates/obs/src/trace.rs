@@ -37,6 +37,13 @@
 //! [Perfetto](https://ui.perfetto.dev): complete (`"X"`) events for
 //! spans, instant (`"i"`) events for points, and `thread_name` metadata
 //! rows naming each ring.
+//!
+//! Dumps leave the process over unauthenticated surfaces (`GET /trace`,
+//! the pre-session `TRACE_DUMP` frame), and the raw session resume token
+//! is the sole `RESUME` credential — so exports never carry it. The
+//! `token` arg in the JSON is [`export_token`]: a per-process keyed
+//! one-way hash, stable within a process (every event of one session
+//! still correlates) but useless against `RESUME`.
 
 use std::cell::OnceCell;
 use std::path::PathBuf;
@@ -224,6 +231,11 @@ impl Ring {
             }
             staged.push((idx, w));
         }
+        // Seqlock reader fence: the relaxed slot loads above must not be
+        // reordered past the head re-read (an Acquire *load* only orders
+        // later accesses; on weakly-ordered CPUs a torn slot rewritten
+        // after the check could otherwise pass validation).
+        std::sync::atomic::fence(Ordering::Acquire);
         let h2 = self.head.load(Ordering::Acquire);
         for (idx, w) in staged {
             // The producer may have been writing any index in `h1..=h2`
@@ -347,12 +359,19 @@ pub fn register_thread(label: &str, tid_hint: Option<u16>) {
     });
 }
 
+/// Chrome `tid` base for lazily-registered rings: the upper half of the
+/// `u16` range, unreachable by shard tid hints (shard indices are small).
+/// Allocation saturates at `u16::MAX` rather than wrapping — colliding
+/// tids would merge unrelated threads into one Perfetto row, and a
+/// process with 32k+ traced threads has bigger problems.
+const LAZY_TID_BASE: u16 = 0x8000;
+
 impl Tracer {
     fn new_ring(&self, label: String, tid_hint: Option<u16>) -> Arc<Ring> {
-        // Lazily-registered rings get tids from 100 up so they never
-        // collide with shard indices.
-        let tid = tid_hint
-            .unwrap_or_else(|| 100 + (self.next_tid.fetch_add(1, Ordering::Relaxed) % 900) as u16);
+        let tid = tid_hint.unwrap_or_else(|| {
+            let n = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            LAZY_TID_BASE.saturating_add(n.min(u64::from(u16::MAX - LAZY_TID_BASE)) as u16)
+        });
         let ring = Arc::new(Ring::new(self.capacity, tid, label));
         self.rings
             .lock()
@@ -554,6 +573,42 @@ pub fn collect(window_ns: Option<u64>) -> Vec<SpanEvent> {
     out
 }
 
+/// splitmix64 finalizer: the keyed one-way mix behind [`export_token`].
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-process export key: wall clock, pid, and static-address entropy,
+/// minted once and never exported.
+fn export_key() -> u64 {
+    static KEY: OnceLock<u64> = OnceLock::new();
+    *KEY.get_or_init(|| {
+        let wall = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let aslr = &KEY as *const _ as u64;
+        splitmix64(wall ^ aslr.rotate_left(32) ^ u64::from(std::process::id()).rotate_left(17)) | 1
+    })
+}
+
+/// The session-token value dumps export in place of the raw resume
+/// token. Raw tokens are the sole `RESUME` credential and dumps are
+/// served to any client that can reach the port (`GET /trace`, the
+/// pre-session `TRACE_DUMP` frame), so exports carry a keyed one-way
+/// hash instead: stable within a process — every event of one session
+/// maps to the same value, preserving correlation — but unusable to
+/// hijack a parked session. `0` (no session attached) stays `0`.
+pub fn export_token(token: u64) -> u64 {
+    if token == 0 {
+        return 0;
+    }
+    splitmix64(token ^ export_key())
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -570,6 +625,8 @@ fn json_escape(s: &str) -> String {
 /// Renders the retained events as a Chrome trace-event JSON document
 /// (object form, `traceEvents` array), loadable in `chrome://tracing` and
 /// Perfetto. Always valid JSON, even before [`init`] (empty event list).
+/// Session tokens are exported through [`export_token`] — raw resume
+/// credentials never leave the process.
 pub fn dump_chrome_json(window_ns: Option<u64>) -> String {
     let events = collect(window_ns);
     let s = stats();
@@ -614,7 +671,7 @@ pub fn dump_chrome_json(window_ns: Option<u64>) -> String {
                  \"args\":{{\"trace\":{},\"token\":{},\"span\":{},\"aux\":{},\"shard\":{}}}",
                 ev.tid,
                 ev.trace_id,
-                ev.token,
+                export_token(ev.token),
                 ev.span_id,
                 ev.aux,
                 ev.shard,
@@ -679,6 +736,21 @@ pub fn dump_to_dir(reason: &str) -> Option<PathBuf> {
     }
 }
 
+/// The throttle gate for [`flight_dump`]: claims a dump slot for trace
+/// time `now`, refusing within [`FLIGHT_GAP_NS`] of the last claim.
+/// `LAST_FLIGHT_NS == 0` means "never dumped" — the first fault after
+/// tracer init must dump even though `now` is still near the epoch.
+fn flight_gate(now: u64) -> bool {
+    let last = LAST_FLIGHT_NS.load(Ordering::Relaxed);
+    if last != 0 && now.saturating_sub(last) < FLIGHT_GAP_NS {
+        return false;
+    }
+    // `max(1)` keeps a claim at epoch ns 0 from reading as "never".
+    LAST_FLIGHT_NS
+        .compare_exchange(last, now.max(1), Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
 /// The error-path flight dump: like [`dump_to_dir`] but gated on tracing
 /// being enabled and throttled to one dump per second, so a storm of
 /// protocol errors cannot flood the disk.
@@ -686,15 +758,7 @@ pub fn flight_dump(reason: &str) -> Option<PathBuf> {
     if !enabled() {
         return None;
     }
-    let now = now_ns();
-    let last = LAST_FLIGHT_NS.load(Ordering::Relaxed);
-    if now.saturating_sub(last) < FLIGHT_GAP_NS {
-        return None;
-    }
-    if LAST_FLIGHT_NS
-        .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
-        .is_err()
-    {
+    if !flight_gate(now_ns()) {
         return None;
     }
     dump_to_dir(reason)
@@ -879,6 +943,38 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn dump_redacts_session_tokens() {
+        setup();
+        let id = unique_trace_id();
+        // A recognizable credential: its raw decimal must never appear in
+        // an export, while both events must share one exported value.
+        let token = 0xDEAD_BEEF_CAFE_F00Du64;
+        instant(Stage::ParkSpill, id, token, 0, 1);
+        instant(Stage::ParkLoad, id, token, 0, 2);
+        assert_ne!(export_token(token), token);
+        assert_eq!(export_token(token), export_token(token), "stable per process");
+        assert_eq!(export_token(0), 0, "no-session marker survives");
+        let json = dump_chrome_json(None);
+        assert!(
+            !json.contains(&format!("\"token\":{token}")),
+            "raw resume token leaked into the export"
+        );
+        assert!(
+            json.contains(&format!("\"token\":{}", export_token(token))),
+            "hashed token missing — correlation lost"
+        );
+    }
+
+    #[test]
+    fn flight_gate_permits_the_first_dump_then_throttles() {
+        // Only this test touches the throttle state.
+        LAST_FLIGHT_NS.store(0, Ordering::Relaxed);
+        assert!(flight_gate(10), "first fault right after init must dump");
+        assert!(!flight_gate(20), "second fault inside the gap is throttled");
+        assert!(flight_gate(10 + FLIGHT_GAP_NS), "gap elapsed: dump again");
     }
 
     #[test]

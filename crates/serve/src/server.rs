@@ -1429,13 +1429,19 @@ impl Shard {
         // SIGUSR1 asks for an on-demand flight-recorder dump; the swap
         // in `take_usr1` means exactly one shard services each signal.
         if crate::shutdown::take_usr1() {
-            match trace::dump_to_dir("sigusr1") {
-                Some(path) => {
-                    cira_obs::info!("trace dumped on SIGUSR1", path = path.display());
+            if !trace::is_initialized() {
+                cira_obs::warn!(
+                    "SIGUSR1 trace dump skipped (tracing never initialized; start with --trace)"
+                );
+            } else {
+                match trace::dump_to_dir("sigusr1") {
+                    Some(path) => {
+                        cira_obs::info!("trace dumped on SIGUSR1", path = path.display());
+                    }
+                    None => cira_obs::warn!(
+                        "SIGUSR1 trace dump skipped (CIRA_TRACE_DIR unset or unwritable)"
+                    ),
                 }
-                None => cira_obs::warn!(
-                    "SIGUSR1 trace dump skipped (CIRA_TRACE_DIR unset or unwritable)"
-                ),
             }
         }
         self.shared.maybe_sweep();
@@ -1632,12 +1638,14 @@ pub fn serve(
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = ShutdownToken::new();
     // Flight recorder: enable-only, so a co-resident server with tracing
-    // off never switches off a recorder someone else turned on.
+    // off never switches off a recorder someone else turned on. The
+    // SIGUSR1 dump latch is part of the same opt-in — an untraced server
+    // must not displace a handler its embedding application installed.
     if cfg.trace {
         trace::init(cfg.trace_capacity);
         trace::set_enabled(true);
+        crate::shutdown::install_usr1_handler();
     }
-    crate::shutdown::install_usr1_handler();
 
     // One registry covers the whole process view: server counters,
     // per-shard gauges, session histograms, and the shared worker pool.

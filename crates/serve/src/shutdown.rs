@@ -119,7 +119,10 @@ extern "C" fn on_usr1(_signum: i32) {
 
 /// Installs a SIGUSR1 handler that sets a flag for [`take_usr1`]. The
 /// serve loop polls the flag on its idle tick and dumps the flight
-/// recorder to `CIRA_TRACE_DIR` when it fires. No-op off unix.
+/// recorder to `CIRA_TRACE_DIR` when it fires. `serve()` installs it
+/// only when tracing is configured, so an untraced server never
+/// displaces a SIGUSR1 handler its embedding application registered.
+/// No-op off unix.
 pub fn install_usr1_handler() {
     #[cfg(unix)]
     unsafe {
