@@ -26,8 +26,8 @@
 //! API**: one predictor/mechanism/estimator factory pair per experiment,
 //! fresh tables per benchmark, combined with the paper's
 //! equal-dynamic-branch weighting (§1.2) into a [`SuiteBuckets`].
-//! Experiments call them on [`Engine::global`]; the old
-//! [`crate::suite_run`] free functions survive only as deprecated shims.
+//! Experiments call them on [`Engine::global`] (the free-function shims
+//! that predated this API were removed after a deprecation cycle).
 //!
 //! # Examples
 //!

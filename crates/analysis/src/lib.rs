@@ -12,8 +12,7 @@
 //!    mechanism(s), producing [`BucketStats`] keyed by whatever the
 //!    mechanism reads (CIR pattern, counter value, or static PC).
 //! 2. the [`Engine`] suite methods repeat that per benchmark and combine
-//!    with the paper's equal-dynamic-branch weighting ([`suite_run`] holds
-//!    the deprecated free-function shims).
+//!    with the paper's equal-dynamic-branch weighting.
 //! 3. [`CoverageCurve`] sorts buckets worst-first into the cumulative
 //!    curves of Figs. 2 & 5–11; [`CounterTable`] renders Table 1.
 //! 4. [`export`] writes CSVs and ASCII charts.
@@ -49,7 +48,6 @@ pub mod export;
 pub mod metrics;
 pub mod runner;
 pub mod spec;
-pub mod suite_run;
 pub mod sweep;
 pub mod table;
 

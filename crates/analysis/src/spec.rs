@@ -22,9 +22,10 @@ use std::str::FromStr;
 
 use cira_core::one_level::{MappedKey, OneLevelCir, ResettingConfidence, SaturatingConfidence};
 use cira_core::two_level::TwoLevelCir;
-use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy};
+use cira_core::{ConfidenceMechanism, IndexSpec, InitPolicy, SelfConfidence};
 use cira_predictor::{
-    Agree, Bimodal, BranchPredictor, GSelect, Gshare, LocalTwoLevel, StaticDirection,
+    Agree, Bimodal, BranchPredictor, GSelect, Gshare, LocalTwoLevel, StaticDirection, Tage,
+    TageScLite,
 };
 
 /// Error for unparseable specifications.
@@ -117,6 +118,32 @@ pub enum PredictorSpec {
         /// log2 bias-table entries.
         bias_bits: u32,
     },
+    /// `tage:<base_bits>:<ncomp>:<minlen>:<maxlen>[:tag_bits]`
+    Tage {
+        /// log2 base-bimodal entries (tagged components get 2 fewer bits).
+        base_bits: u32,
+        /// Number of tagged components (2..=12).
+        ncomp: u32,
+        /// Shortest geometric history length.
+        min_len: u32,
+        /// Longest geometric history length (<= 64, the driver BHR width).
+        max_len: u32,
+        /// Partial-tag width (4..=15; defaults to 11 when omitted).
+        tag_bits: u32,
+    },
+    /// `tage-sc-lite:<base_bits>:<ncomp>:<minlen>:<maxlen>[:tag_bits]`
+    TageScLite {
+        /// log2 base-bimodal entries (tagged components get 2 fewer bits).
+        base_bits: u32,
+        /// Number of tagged components (2..=12).
+        ncomp: u32,
+        /// Shortest geometric history length.
+        min_len: u32,
+        /// Longest geometric history length (<= 64, the driver BHR width).
+        max_len: u32,
+        /// Partial-tag width (4..=15; defaults to 11 when omitted).
+        tag_bits: u32,
+    },
     /// `taken`
     Taken,
     /// `not-taken`
@@ -124,7 +151,37 @@ pub enum PredictorSpec {
 }
 
 const PREDICTOR_USAGE: &str = "gshare:T:H, gshare64k, gshare4k, bimodal:B, gselect:T:H, \
-                               local:B:H, agree:T:H:B, taken, not-taken";
+                               local:B:H, agree:T:H:B, tage:B:N:MIN:MAX[:TAG], \
+                               tage-sc-lite:B:N:MIN:MAX[:TAG], tage64k, tage-sc-lite64k, \
+                               taken, not-taken";
+
+/// TAGE defaults and bounds shared by the parser and the builders; the
+/// parser mirrors [`Tage::new`]'s panics as recoverable [`SpecError`]s so
+/// a hostile `HELLO` can never abort a server.
+const TAGE_DEFAULT_TAG_BITS: u32 = 11;
+
+/// Validates the TAGE parameter tuple, returning it on success.
+fn check_tage(
+    input: &str,
+    base_bits: u32,
+    ncomp: u32,
+    min_len: u32,
+    max_len: u32,
+    tag_bits: u32,
+) -> Result<(u32, u32, u32, u32, u32), SpecError> {
+    let ok = (3..=28).contains(&base_bits)
+        && (2..=12).contains(&ncomp)
+        && (4..=15).contains(&tag_bits)
+        && min_len >= 1
+        && min_len < max_len
+        && max_len <= 64
+        && max_len - min_len + 1 >= ncomp;
+    if ok {
+        Ok((base_bits, ncomp, min_len, max_len, tag_bits))
+    } else {
+        Err(err("predictor", input, PREDICTOR_USAGE))
+    }
+}
 
 impl fmt::Display for PredictorSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -147,6 +204,23 @@ impl fmt::Display for PredictorSpec {
                 history_bits,
                 bias_bits,
             } => write!(f, "agree:{table_bits}:{history_bits}:{bias_bits}"),
+            PredictorSpec::Tage {
+                base_bits,
+                ncomp,
+                min_len,
+                max_len,
+                tag_bits,
+            } => write!(f, "tage:{base_bits}:{ncomp}:{min_len}:{max_len}:{tag_bits}"),
+            PredictorSpec::TageScLite {
+                base_bits,
+                ncomp,
+                min_len,
+                max_len,
+                tag_bits,
+            } => write!(
+                f,
+                "tage-sc-lite:{base_bits}:{ncomp}:{min_len}:{max_len}:{tag_bits}"
+            ),
             PredictorSpec::Taken => write!(f, "taken"),
             PredictorSpec::NotTaken => write!(f, "not-taken"),
         }
@@ -205,6 +279,49 @@ impl FromStr for PredictorSpec {
                     bias_bits,
                 })
             }
+            ("tage64k", []) => Ok(PredictorSpec::Tage {
+                base_bits: 14,
+                ncomp: 7,
+                min_len: 4,
+                max_len: 64,
+                tag_bits: 11,
+            }),
+            ("tage-sc-lite64k", []) => Ok(PredictorSpec::TageScLite {
+                base_bits: 14,
+                ncomp: 7,
+                min_len: 4,
+                max_len: 64,
+                tag_bits: 11,
+            }),
+            ("tage" | "tage-sc-lite", [b, n, lo, hi] | [b, n, lo, hi, _]) => {
+                let tag = match rest.as_slice() {
+                    [_, _, _, _, t] => bits(t)?,
+                    _ => TAGE_DEFAULT_TAG_BITS,
+                };
+                let raw = |r: &str| {
+                    r.parse::<u32>()
+                        .map_err(|_| err(kind, input, PREDICTOR_USAGE))
+                };
+                let (base_bits, ncomp, min_len, max_len, tag_bits) =
+                    check_tage(input, bits(b)?, raw(n)?, raw(lo)?, raw(hi)?, tag)?;
+                if head == "tage" {
+                    Ok(PredictorSpec::Tage {
+                        base_bits,
+                        ncomp,
+                        min_len,
+                        max_len,
+                        tag_bits,
+                    })
+                } else {
+                    Ok(PredictorSpec::TageScLite {
+                        base_bits,
+                        ncomp,
+                        min_len,
+                        max_len,
+                        tag_bits,
+                    })
+                }
+            }
             ("taken", []) => Ok(PredictorSpec::Taken),
             ("not-taken", []) => Ok(PredictorSpec::NotTaken),
             _ => Err(err(kind, input, PREDICTOR_USAGE)),
@@ -234,6 +351,20 @@ impl PredictorSpec {
                 history_bits,
                 bias_bits,
             } => Box::new(Agree::new(table_bits, history_bits, bias_bits)),
+            PredictorSpec::Tage {
+                base_bits,
+                ncomp,
+                min_len,
+                max_len,
+                tag_bits,
+            } => Box::new(Tage::new(base_bits, ncomp, min_len, max_len, tag_bits)),
+            PredictorSpec::TageScLite {
+                base_bits,
+                ncomp,
+                min_len,
+                max_len,
+                tag_bits,
+            } => Box::new(TageScLite::new(base_bits, ncomp, min_len, max_len, tag_bits)),
             PredictorSpec::Taken => Box::new(StaticDirection::always_taken()),
             PredictorSpec::NotTaken => Box::new(StaticDirection::always_not_taken()),
         }
@@ -385,10 +516,16 @@ pub enum MechanismSpec {
     Resetting(u32),
     /// `two-level:<variant>` (ignores the session's index/init).
     TwoLevel(TwoLevelVariant),
+    /// `self:<predictor-spec>` — bucket on the predictor's own strength
+    /// via a shadow instance of the named predictor (ignores the
+    /// session's index/init). The inner spec should match the session
+    /// predictor; the CLI defaults it accordingly.
+    SelfConf(PredictorSpec),
 }
 
 const MECHANISM_USAGE: &str = "cir:W, ones-count:W, saturating:MAX, resetting:MAX, \
-                               two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}";
+                               two-level:{pc-cir|pcxorbhr-cir|pcxorbhr-cirxorpcxorbhr}, \
+                               self:PREDICTOR";
 
 impl fmt::Display for MechanismSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -404,6 +541,7 @@ impl fmt::Display for MechanismSpec {
             MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => {
                 write!(f, "two-level:pcxorbhr-cirxorpcxorbhr")
             }
+            MechanismSpec::SelfConf(inner) => write!(f, "self:{inner}"),
         }
     }
 }
@@ -413,6 +551,14 @@ impl FromStr for MechanismSpec {
 
     fn from_str(input: &str) -> Result<Self, SpecError> {
         let kind = "mechanism";
+        // `self:` wraps a whole predictor spec (which contains colons of
+        // its own), so it is handled before the generic head:parts split.
+        if let Some(inner) = input.strip_prefix("self:") {
+            return inner
+                .parse::<PredictorSpec>()
+                .map(MechanismSpec::SelfConf)
+                .map_err(|_| err(kind, input, MECHANISM_USAGE));
+        }
         let (head, rest) = split(input);
         let width = |raw: &str| {
             raw.parse::<u32>()
@@ -467,6 +613,9 @@ impl MechanismSpec {
             }
             MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => {
                 Box::new(TwoLevelCir::variant_pcxorbhr_cirxorpcxorbhr())
+            }
+            MechanismSpec::SelfConf(inner) => {
+                Box::new(SelfConfidence::new(Box::new(move || inner.build())))
             }
         }
     }
@@ -536,6 +685,20 @@ mod tests {
                 history_bits: 12,
                 bias_bits: 10,
             },
+            PredictorSpec::Tage {
+                base_bits: 10,
+                ncomp: 4,
+                min_len: 2,
+                max_len: 32,
+                tag_bits: 9,
+            },
+            PredictorSpec::TageScLite {
+                base_bits: 10,
+                ncomp: 4,
+                min_len: 2,
+                max_len: 32,
+                tag_bits: 9,
+            },
             PredictorSpec::Taken,
             PredictorSpec::NotTaken,
         ];
@@ -546,6 +709,8 @@ mod tests {
                 PredictorSpec::Bimodal { .. } => (),
                 PredictorSpec::Local { .. } => (),
                 PredictorSpec::Agree { .. } => (),
+                PredictorSpec::Tage { .. } => (),
+                PredictorSpec::TageScLite { .. } => (),
                 PredictorSpec::Taken => (),
                 PredictorSpec::NotTaken => (),
             }
@@ -600,6 +765,17 @@ mod tests {
             MechanismSpec::TwoLevel(TwoLevelVariant::PcCir),
             MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir),
             MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr),
+            MechanismSpec::SelfConf(PredictorSpec::Gshare {
+                table_bits: 10,
+                history_bits: 10,
+            }),
+            MechanismSpec::SelfConf(PredictorSpec::Tage {
+                base_bits: 10,
+                ncomp: 4,
+                min_len: 2,
+                max_len: 32,
+                tag_bits: 9,
+            }),
         ];
         for form in &table {
             match form {
@@ -610,6 +786,7 @@ mod tests {
                 MechanismSpec::TwoLevel(TwoLevelVariant::PcCir) => (),
                 MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCir) => (),
                 MechanismSpec::TwoLevel(TwoLevelVariant::PcXorBhrCirXorPcXorBhr) => (),
+                MechanismSpec::SelfConf(_) => (),
             }
         }
         table
@@ -698,6 +875,69 @@ mod tests {
     }
 
     #[test]
+    fn tage_shorthands_and_default_tag_bits() {
+        let spec: PredictorSpec = "tage64k".parse().unwrap();
+        assert_eq!(spec.to_string(), "tage:14:7:4:64:11");
+        let spec: PredictorSpec = "tage-sc-lite64k".parse().unwrap();
+        assert_eq!(spec.to_string(), "tage-sc-lite:14:7:4:64:11");
+        // Omitting the tag width picks the default, and the canonical
+        // rendering always spells all five parameters.
+        let spec: PredictorSpec = "tage:10:4:2:32".parse().unwrap();
+        assert_eq!(spec.to_string(), "tage:10:4:2:32:11");
+        assert_eq!(
+            parse_predictor("tage:10:4:2:32:9").unwrap().describe(),
+            "tage(10,4c,2..32,tag9)"
+        );
+        assert_eq!(
+            parse_predictor("tage-sc-lite:10:4:2:32:9").unwrap().describe(),
+            "tage-sc-lite(10,4c,2..32,tag9)"
+        );
+    }
+
+    /// Reject-path sweep for the TAGE grammar: every parameter bound the
+    /// builder would panic on must come back as a recoverable SpecError
+    /// (these strings can arrive over the wire in a HELLO).
+    #[test]
+    fn tage_spec_reject_paths() {
+        for bad in [
+            // structural
+            "tage",
+            "tage:10",
+            "tage:10:4",
+            "tage:10:4:2",
+            "tage:10:4:2:32:9:9",
+            "tage:10:4:2:32:x",
+            "tage:x:4:2:32",
+            // bad component counts
+            "tage:10:0:2:32",
+            "tage:10:1:2:32",
+            "tage:10:13:2:32",
+            // more components than distinct lengths
+            "tage:10:8:2:8",
+            // minlen >= maxlen, out-of-range lengths
+            "tage:10:4:32:32",
+            "tage:10:4:33:32",
+            "tage:10:4:0:32",
+            "tage:10:4:2:65",
+            // base table too small for tagged components / too large
+            "tage:2:4:2:32",
+            "tage:29:4:2:32",
+            // tag width out of range
+            "tage:10:4:2:32:3",
+            "tage:10:4:2:32:16",
+            // same grammar, sc-lite head
+            "tage-sc-lite:10:1:2:32",
+            "tage-sc-lite:10:4:32:2",
+        ] {
+            let e = match bad.parse::<PredictorSpec>() {
+                Err(e) => e,
+                Ok(p) => panic!("{bad:?} parsed as {p}"),
+            };
+            assert_eq!(e.kind, "predictor");
+        }
+    }
+
+    #[test]
     fn predictor_spec_errors() {
         for bad in [
             "",
@@ -757,6 +997,11 @@ mod tests {
         assert!(m.describe().contains("ones-count"));
         let m = parse_mechanism("two-level:pcxorbhr-cir", idx(), InitPolicy::AllOnes).unwrap();
         assert!(m.describe().contains("two-level"));
+        let m = parse_mechanism("self:tage:10:4:2:32:9", idx(), InitPolicy::AllOnes).unwrap();
+        assert_eq!(m.describe(), "self-confidence(tage(10,4c,2..32,tag9))");
+        assert_eq!(m.key_space(), Some(8));
+        let m = parse_mechanism("self:gshare64k", idx(), InitPolicy::AllOnes).unwrap();
+        assert_eq!(m.describe(), "self-confidence(gshare(16,16))");
     }
 
     #[test]
@@ -770,6 +1015,12 @@ mod tests {
             "resetting:0",
             "two-level:nope",
             "zzz:1",
+            // `self` needs an inner predictor spec (the CLI expands the
+            // bare form before parsing), and the inner spec must be valid.
+            "self",
+            "self:",
+            "self:frobnicate",
+            "self:tage:10:1:2:32",
         ] {
             assert!(
                 parse_mechanism(bad, idx(), InitPolicy::AllOnes).is_err(),

@@ -29,23 +29,30 @@ const CHUNK: usize = 4096;
 /// neither a chunk nor a lane-group multiple.
 const LENGTHS: [usize; 6] = [0, 1, CHUNK - 1, CHUNK, CHUNK + 1, 777];
 
-const PREDICTORS: [&str; 8] = [
+const PREDICTORS: [&str; 10] = [
     "gshare:10:10",
     "gshare:10:6",
     "gselect:10:4",
     "bimodal:10",
     "local:8:6",
     "agree:10:10:8",
+    // TAGE-class: no batch override — runs the trait-default scalar loop
+    // on both sides, so this checks the engine's chunking/BHR plumbing
+    // around a provider-aware predictor (DESIGN.md §11).
+    "tage:10:4:2:32:9",
+    "tage-sc-lite:10:4:2:32:9",
     "taken",
     "not-taken",
 ];
 
-const MECHANISMS: [&str; 5] = [
+const MECHANISMS: [&str; 6] = [
     "cir:8",
     "ones-count:8",
     "saturating:16",
     "resetting:16",
     "two-level:pcxorbhr-cir",
+    // Shadow-predictor mechanism: also scalar on both sides.
+    "self:tage:10:4:2:32:9",
 ];
 
 const INDICES: [&str; 5] = ["pc:10", "bhr:10", "pcxorbhr:10", "pcconcatbhr:10", "gcir:6"];
@@ -184,6 +191,8 @@ fn streaming_random_splits_match_scalar_reference() {
         ("agree:10:10:8", "cir:8"),
         ("bimodal:10", "saturating:16"),
         ("local:8:6", "two-level:pcxorbhr-cir"),
+        ("tage:10:4:2:32:9", "resetting:16"),
+        ("tage-sc-lite:10:4:2:32:9", "self:tage-sc-lite:10:4:2:32:9"),
     ] {
         // Offline scalar reference over the whole trace.
         let mut sc_p = ScalarKernel(parse_predictor(predictor).unwrap());

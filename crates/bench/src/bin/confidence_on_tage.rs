@@ -1,0 +1,99 @@
+//! Does the paper's confidence result survive a predictor that knows its
+//! own confidence?
+//!
+//! The paper's mechanisms (CIR, resetting, saturating counters) were
+//! designed for predictors that emit a bare taken/not-taken bit. TAGE-class
+//! predictors assess themselves: the provider component's counter strength
+//! is a confidence signal that costs no extra table. This experiment runs
+//! the 64 KiB class of each predictor — gshare, TAGE, TAGE-SC-lite — under
+//! the paper's external mechanisms *and* under the `self:` shadow mechanism
+//! that buckets on the predictor's own reported strength, and compares the
+//! coverage-vs-fraction curves.
+//!
+//! Two questions, one grid:
+//!
+//! 1. Do the external mechanisms keep ranking mispredictions well when the
+//!    predictor underneath is TAGE-class? (The paper's result should be
+//!    robust to the predictor.)
+//! 2. Does the free self-assessment beat the dedicated tables?
+
+use cira_analysis::spec::{parse_index, parse_init, parse_mechanism, parse_predictor};
+use cira_analysis::{CoverageCurve, Engine};
+use cira_bench::{banner, report_curves, trace_len};
+use cira_trace::suite::ibs_like_suite;
+
+/// 64 KiB-class configurations, one per predictor family.
+const PREDICTORS: [(&str, &str); 3] = [
+    ("gshare", "gshare64k"),
+    ("tage", "tage64k"),
+    ("tage-sc-lite", "tage-sc-lite64k"),
+];
+
+/// The paper's mechanisms at their reference settings, plus the
+/// shadow-predictor mechanism (`{self}` is replaced per predictor).
+const MECHANISMS: [(&str, &str); 4] = [
+    ("cir", "cir:16"),
+    ("resetting", "resetting:16"),
+    ("saturating", "saturating:16"),
+    ("self", "self:{self}"),
+];
+
+fn main() {
+    let len = trace_len();
+    banner(
+        "Confidence on TAGE",
+        "Paper mechanisms vs predictor self-assessment, 64 KiB class",
+        len,
+    );
+    let suite = ibs_like_suite();
+
+    let mut curves: Vec<(String, CoverageCurve)> = Vec::new();
+    for (pname, pspec) in PREDICTORS {
+        let results = Engine::global().run_suite_mechanisms(
+            &suite,
+            len,
+            || parse_predictor(pspec).unwrap(),
+            || {
+                MECHANISMS
+                    .iter()
+                    .map(|(_, mspec)| {
+                        let mspec = mspec.replace("{self}", pspec);
+                        let index = parse_index("pcxorbhr:16").unwrap();
+                        let init = parse_init("ones").unwrap();
+                        parse_mechanism(&mspec, index, init).unwrap() as _
+                    })
+                    .collect()
+            },
+        );
+        for ((mname, _), result) in MECHANISMS.iter().zip(&results) {
+            curves.push((format!("{pname}/{mname}"), result.curve()));
+        }
+    }
+
+    report_curves("confidence_on_tage", &curves);
+
+    let at20 = |name: &str| {
+        curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.coverage_at(20.0))
+            .unwrap()
+    };
+    println!();
+    println!(
+        "at 20% (paper baseline): gshare/resetting {:.1}%  vs  gshare/cir {:.1}%",
+        at20("gshare/resetting"),
+        at20("gshare/cir"),
+    );
+    println!(
+        "at 20% (mechanisms survive TAGE?): tage/resetting {:.1}%  tage-sc-lite/resetting {:.1}%",
+        at20("tage/resetting"),
+        at20("tage-sc-lite/resetting"),
+    );
+    println!(
+        "at 20% (self-assessment): gshare/self {:.1}%  tage/self {:.1}%  tage-sc-lite/self {:.1}%",
+        at20("gshare/self"),
+        at20("tage/self"),
+        at20("tage-sc-lite/self"),
+    );
+}

@@ -87,9 +87,13 @@ GLOBAL FLAGS
 
 SPECS
   predictor: gshare:T:H | gshare64k | gshare4k | bimodal:B | gselect:T:H
-             | local:B:H | taken | not-taken            (default gshare64k)
+             | local:B:H | agree:T:H:B | taken | not-taken
+             | tage:B:N:MIN:MAX[:TAG] | tage64k
+             | tage-sc-lite:B:N:MIN:MAX[:TAG] | tage-sc-lite64k
+                                                        (default gshare64k)
   mechanism: cir:W | ones-count:W | saturating:MAX | resetting:MAX
-             | two-level:VARIANT                        (default resetting:16)
+             | two-level:VARIANT | self:PREDICTOR       (default resetting:16)
+             (bare `self` shadows the session's --predictor spec)
   index:     pc:B | bhr:B | pcxorbhr:B | pcconcatbhr:B | gcir:B
                                                         (default pcxorbhr:16)
   init:      ones | zeros | lastbit | random:SEED       (default ones)
@@ -270,11 +274,13 @@ fn build_mechanism(
 ) -> Result<Box<dyn cira_core::ConfidenceMechanism>, Box<dyn std::error::Error>> {
     let index = spec::parse_index(args.get("index").unwrap_or("pcxorbhr:16"))?;
     let init = spec::parse_init(args.get("init").unwrap_or("ones"))?;
-    Ok(spec::parse_mechanism(
-        args.get("mechanism").unwrap_or("resetting:16"),
-        index,
-        init,
-    )?)
+    let mechanism = match args.get("mechanism").unwrap_or("resetting:16") {
+        // Bare `self` shadows whatever the session predicts with, so the
+        // mechanism's strength buckets describe the actual predictor.
+        "self" => format!("self:{}", args.get("predictor").unwrap_or("gshare64k")),
+        other => other.to_owned(),
+    };
+    Ok(spec::parse_mechanism(&mechanism, index, init)?)
 }
 
 const CONF_FLAGS: &[&str] = &["predictor", "mechanism", "index", "init"];
@@ -524,9 +530,14 @@ fn cmd_replay(args: &Args) -> CliResult {
     if batch == 0 {
         return Err("--batch must be positive".into());
     }
+    let predictor = args.get("predictor").unwrap_or("gshare64k").to_owned();
     let config = cira_serve::HelloConfig {
-        predictor: args.get("predictor").unwrap_or("gshare64k").to_owned(),
-        mechanism: args.get("mechanism").unwrap_or("resetting:16").to_owned(),
+        mechanism: match args.get("mechanism").unwrap_or("resetting:16") {
+            // Same bare-`self` expansion as the offline commands.
+            "self" => format!("self:{predictor}"),
+            other => other.to_owned(),
+        },
+        predictor,
         index: args.get("index").unwrap_or("pcxorbhr:16").to_owned(),
         init: args.get("init").unwrap_or("ones").to_owned(),
         threshold: args.get_or("threshold", 16u64, "a key threshold")?,

@@ -87,6 +87,44 @@ fn confidence_reports_coverage() {
 }
 
 #[test]
+fn predict_runs_tage_specs() {
+    let out = cira(&[
+        "predict",
+        "--bench",
+        "jpeg",
+        "--len",
+        "20000",
+        "--predictor",
+        "tage:10:4:2:32:9",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("tage(10,4c,2..32,tag9)"));
+}
+
+#[test]
+fn bare_self_mechanism_shadows_the_session_predictor() {
+    let out = cira(&[
+        "confidence",
+        "--bench",
+        "gcc",
+        "--len",
+        "20000",
+        "--predictor",
+        "tage-sc-lite:10:4:2:32:9",
+        "--mechanism",
+        "self",
+        "--threshold",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("self-confidence(tage-sc-lite(10,4c,2..32,tag9))"),
+        "bare `self` must expand to the --predictor spec, got:\n{text}"
+    );
+}
+
+#[test]
 fn curve_writes_csv() {
     let path = temp_path("curve.csv");
     let out = cira(&[
@@ -254,7 +292,32 @@ fn serve_and_replay_verify_bit_identical() {
     assert!(text.contains("streamed 30000 records"), "{text}");
     assert!(text.contains("bit-identical"), "{text}");
 
-    // A bad spec over the wire is a clean client-side failure.
+    // TAGE specs negotiate and verify end-to-end over the same server.
+    let out = cira(&[
+        "replay",
+        "--connect",
+        &format!("127.0.0.1:{port}"),
+        "--bench",
+        "gcc",
+        "--len",
+        "20000",
+        "--batch",
+        "2048",
+        "--predictor",
+        "tage:10:4:2:32:9",
+        "--mechanism",
+        "self",
+        "--threshold",
+        "4",
+        "--verify",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("tage(10,4c,2..32,tag9)"), "{text}");
+    assert!(text.contains("bit-identical"), "{text}");
+
+    // A bad spec over the wire is a clean client-side failure, and the
+    // rejection names the specs this client offered.
     let out = cira(&[
         "replay",
         "--connect",
@@ -267,7 +330,9 @@ fn serve_and_replay_verify_bit_identical() {
         "frobnicate:1",
     ]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("invalid predictor spec"), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("invalid predictor spec"), "{err}");
+    assert!(err.contains("offered predictor=frobnicate:1"), "{err}");
 
     server.kill().expect("stop server");
     let _ = server.wait();

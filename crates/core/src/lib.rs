@@ -22,6 +22,11 @@
 //! | CT initialization §5.4 | [`InitPolicy`] |
 //! | Static profile method §2 | [`StaticConfidence`] |
 //!
+//! Beyond the paper, [`SelfConfidence`] buckets on the *predictor's own*
+//! per-prediction strength (TAGE provider counters, gshare saturation) so
+//! the external mechanisms above can be compared against a predictor
+//! that knows its own confidence.
+//!
 //! ## Mechanisms vs. estimators
 //!
 //! A [`ConfidenceMechanism`] maintains the table state and exposes the raw
@@ -56,6 +61,7 @@ pub mod index;
 pub mod init;
 pub mod multi_level;
 pub mod one_level;
+pub mod self_confidence;
 pub mod static_profile;
 pub mod table;
 pub mod two_level;
@@ -66,6 +72,7 @@ pub use estimator::{Confidence, ConfidenceEstimator, LowRule, ThresholdEstimator
 pub use index::{Combine, IndexInputs, IndexSource, IndexSpec, PcBhrXor};
 pub use init::InitPolicy;
 pub use multi_level::{ClassStats, MultiLevelEstimator};
+pub use self_confidence::SelfConfidence;
 pub use static_profile::StaticConfidence;
 
 /// A confidence table plus its index function: maintains per-entry

@@ -2,7 +2,7 @@
 //! predictor of every experiment in the paper.
 
 use crate::packed::{batch_predict_train, PackedTwoBit};
-use crate::{assert_batch_shape, mask, table_len, BranchPredictor};
+use crate::{assert_batch_shape, mask, table_len, BranchPredictor, Prediction, Provider};
 
 /// Global-history predictor indexing its counter table with
 /// `PC ⊕ BHR`.
@@ -106,6 +106,17 @@ impl BranchPredictor for Gshare {
         // One index computation and one table access for both halves.
         let idx = self.index(pc, bhr);
         self.table.predict_train(idx, taken)
+    }
+
+    fn predict_full(&self, pc: u64, bhr: u64) -> Prediction {
+        // The only self-assessment a two-bit counter offers: saturated
+        // states (0, 3) are strong, transitional states (1, 2) weak.
+        let state = self.table.state(self.index(pc, bhr));
+        Prediction {
+            taken: state >= 2,
+            provider: Provider::Base,
+            strength: if state == 0 || state == 3 { 3 } else { 1 },
+        }
     }
 
     fn predict_train_batch(
@@ -236,6 +247,24 @@ mod tests {
                 scalar.0.counter_state(*pc, *h)
             );
         }
+    }
+
+    #[test]
+    fn predict_full_reports_counter_strength() {
+        let mut p = Gshare::new(8, 8);
+        // Fresh counters are weakly taken: weak strength, same direction
+        // as predict().
+        let full = p.predict_full(0, 0);
+        assert_eq!((full.taken, full.strength), (true, 1));
+        assert_eq!(full.provider, crate::Provider::Base);
+        p.update(0, 0, true); // saturate to strongly taken
+        assert_eq!(p.predict_full(0, 0).strength, 3);
+        for _ in 0..3 {
+            p.update(0, 0, false);
+        }
+        let full = p.predict_full(0, 0);
+        assert_eq!((full.taken, full.strength), (false, 3));
+        assert_eq!(full.taken, p.predict(0, 0));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod local;
 pub mod packed;
 pub mod state;
 pub mod statics;
+pub mod tage;
 
 pub use agree::Agree;
 pub use bimodal::Bimodal;
@@ -62,6 +63,62 @@ pub use hybrid::Hybrid;
 pub use local::LocalTwoLevel;
 pub use packed::PackedTwoBit;
 pub use statics::StaticDirection;
+pub use tage::{Tage, TageScLite};
+
+/// Which structure inside a predictor supplied the final direction.
+///
+/// Single-table predictors (gshare, bimodal, …) always report
+/// [`Provider::Base`]; TAGE-class predictors report which tagged
+/// component matched, or the loop / statistical-corrector side predictor
+/// when one of those overrode the tagged match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provider {
+    /// The predictor's base (default) structure — the whole predictor for
+    /// single-table designs, the bimodal table for TAGE.
+    Base,
+    /// Tagged component `n` (1-based, longer history = higher `n`).
+    Tagged(u8),
+    /// The loop predictor override (TAGE-SC-lite).
+    Loop,
+    /// The statistical-corrector override (TAGE-SC-lite).
+    Corrector,
+}
+
+/// A prediction with its provenance: the direction, which structure
+/// provided it, and how confident that structure is.
+///
+/// `strength` is on a fixed `0..=`[`Prediction::MAX_STRENGTH`] scale so
+/// confidence mechanisms can bucket on it without knowing the predictor:
+/// `0` means "no self-assessment" (the default for predictors predating
+/// this API), higher is more confident. The scale only needs to
+/// *partition* predictions usefully — the coverage analysis orders
+/// buckets by measured misprediction rate, not by the raw value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (`true` = taken). Always equals what
+    /// [`BranchPredictor::predict`] returns for the same `(pc, bhr)`.
+    pub taken: bool,
+    /// The structure that supplied the direction.
+    pub provider: Provider,
+    /// Self-assessed confidence, `0..=`[`Prediction::MAX_STRENGTH`].
+    pub strength: u8,
+}
+
+impl Prediction {
+    /// Largest value [`strength`](Prediction::strength) may take.
+    pub const MAX_STRENGTH: u8 = 7;
+
+    /// A prediction carrying no self-assessment (provider
+    /// [`Provider::Base`], strength 0) — what the default
+    /// [`BranchPredictor::predict_full`] wrapper reports.
+    pub fn unassessed(taken: bool) -> Self {
+        Prediction {
+            taken,
+            provider: Provider::Base,
+            strength: 0,
+        }
+    }
+}
 
 /// A dynamic conditional-branch direction predictor.
 ///
@@ -88,6 +145,30 @@ pub trait BranchPredictor {
         let predicted = self.predict(pc, bhr);
         self.update(pc, bhr, taken);
         predicted
+    }
+
+    /// Predicts with provenance: the direction plus which internal
+    /// structure provided it and that structure's self-assessed
+    /// confidence (see [`Prediction`]).
+    ///
+    /// The returned direction must equal [`predict`](Self::predict) for
+    /// the same `(pc, bhr)` — `predict` is a projection of this call, and
+    /// the replay kernels rely on the two never disagreeing. The default
+    /// wraps `predict` and reports no self-assessment
+    /// ([`Prediction::unassessed`]), which keeps every pre-existing
+    /// predictor semantically untouched.
+    fn predict_full(&self, pc: u64, bhr: u64) -> Prediction {
+        Prediction::unassessed(self.predict(pc, bhr))
+    }
+
+    /// [`predict_full`](Self::predict_full) followed by
+    /// [`update`](Self::update) as one call, returning the full
+    /// prediction. Overrides may share work between the two halves but
+    /// must remain bit-identical to the default.
+    fn predict_train_full(&mut self, pc: u64, bhr: u64, taken: bool) -> Prediction {
+        let prediction = self.predict_full(pc, bhr);
+        self.update(pc, bhr, taken);
+        prediction
     }
 
     /// Predicts and trains a whole batch of resolved branches, writing
@@ -195,6 +276,14 @@ impl<P: BranchPredictor> BranchPredictor for ScalarKernel<P> {
         self.0.predict_train(pc, bhr, taken)
     }
 
+    fn predict_full(&self, pc: u64, bhr: u64) -> Prediction {
+        self.0.predict_full(pc, bhr)
+    }
+
+    fn predict_train_full(&mut self, pc: u64, bhr: u64, taken: bool) -> Prediction {
+        self.0.predict_train_full(pc, bhr, taken)
+    }
+
     // predict_train_batch deliberately NOT forwarded: the default
     // per-record loop over `predict_train` is the scalar reference.
 
@@ -222,6 +311,14 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn predict_train(&mut self, pc: u64, bhr: u64, taken: bool) -> bool {
         (**self).predict_train(pc, bhr, taken)
+    }
+
+    fn predict_full(&self, pc: u64, bhr: u64) -> Prediction {
+        (**self).predict_full(pc, bhr)
+    }
+
+    fn predict_train_full(&mut self, pc: u64, bhr: u64, taken: bool) -> Prediction {
+        (**self).predict_train_full(pc, bhr, taken)
     }
 
     fn predict_train_batch(
@@ -352,5 +449,79 @@ mod tests {
         let mut p = crate::Bimodal::new(4);
         let mut out = [false; 2];
         p.predict_train_batch(&[0, 4, 8], &[0, 0, 0], &[true, true, true], &mut out);
+    }
+
+    /// The doc-promised panic on mismatched batch slices must hold for
+    /// *every* predictor — the default scalar loop, every vectorized
+    /// override, and dyn dispatch — not just whichever override happens
+    /// to check. One ragged call per implementation.
+    #[test]
+    fn batch_shape_contract_is_uniform() {
+        let predictors: Vec<Box<dyn BranchPredictor>> = vec![
+            Box::new(crate::Gshare::new(4, 4)),
+            Box::new(crate::GSelect::new(4, 2)),
+            Box::new(crate::Bimodal::new(4)),
+            Box::new(crate::Agree::new(4, 4, 4)),
+            Box::new(crate::LocalTwoLevel::new(4, 4)),
+            Box::new(crate::Hybrid::new(
+                crate::Gshare::new(4, 4),
+                crate::Bimodal::new(4),
+                4,
+            )),
+            Box::new(crate::StaticDirection::always_taken()),
+            Box::new(crate::Tage::new(6, 4, 2, 16, 7)),
+            Box::new(crate::TageScLite::new(6, 4, 2, 16, 7)),
+            Box::new(ScalarKernel(crate::Gshare::new(4, 4))),
+        ];
+        for mut p in predictors {
+            let name = p.describe();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut out = [false; 2];
+                p.predict_train_batch(&[0, 4, 8], &[0, 0, 0], &[true, true, true], &mut out);
+            }));
+            assert!(result.is_err(), "{name} accepted ragged batch slices");
+        }
+    }
+
+    #[test]
+    fn default_predict_full_wraps_predict() {
+        let mut p = crate::Bimodal::new(4);
+        for _ in 0..4 {
+            p.update(0x40, 0, true);
+        }
+        let full = p.predict_full(0x40, 0);
+        assert_eq!(full, Prediction::unassessed(true));
+        assert_eq!(full.taken, p.predict(0x40, 0));
+        assert_eq!(full.provider, Provider::Base);
+        assert_eq!(full.strength, 0);
+    }
+
+    #[test]
+    fn predict_train_full_matches_predict_full_then_update() {
+        let mut a = crate::Gshare::new(6, 6);
+        let mut b = crate::Gshare::new(6, 6);
+        let mut x = 3u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let (pc, bhr, taken) = (x & 0xfff, x >> 20, x >> 63 == 1);
+            let via_split = a.predict_full(pc, bhr);
+            a.update(pc, bhr, taken);
+            let via_fused = b.predict_train_full(pc, bhr, taken);
+            assert_eq!(via_split, via_fused);
+        }
+    }
+
+    #[test]
+    fn full_prediction_forwards_through_box_and_scalar_kernel() {
+        // A provider-aware predictor keeps its provenance through both
+        // wrappers — Box<dyn> and ScalarKernel must not flatten it back
+        // to the unassessed default.
+        let tage = crate::Tage::new(6, 4, 2, 16, 7);
+        let boxed: Box<dyn BranchPredictor> = Box::new(tage.clone());
+        let scalar = ScalarKernel(tage.clone());
+        for pc in [0u64, 0x40, 0x84] {
+            assert_eq!(tage.predict_full(pc, 0xa5), boxed.predict_full(pc, 0xa5));
+            assert_eq!(tage.predict_full(pc, 0xa5), scalar.predict_full(pc, 0xa5));
+        }
     }
 }

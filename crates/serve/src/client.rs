@@ -542,7 +542,21 @@ impl ClientBuilder {
                 retry_after_ms,
                 message,
             }),
-            ServerFrame::Error { code, message } => Err(ClientError::Server { code, message }),
+            // A HELLO rejection names the specs this client offered:
+            // "bad spec" from a server that predates part of the grammar
+            // (say, `tage:…` or `self:…`) is otherwise undiagnosable from
+            // the bare typed ERROR.
+            ServerFrame::Error { code, message } => Err(ClientError::Server {
+                code,
+                message: if code == code::BAD_SPEC || code == code::UNSUPPORTED_VERSION {
+                    format!(
+                        "{message} (offered predictor={} mechanism={} index={} init={})",
+                        config.predictor, config.mechanism, config.index, config.init
+                    )
+                } else {
+                    message
+                },
+            }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

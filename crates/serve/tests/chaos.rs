@@ -305,13 +305,28 @@ fn idle_evicted_body(shards: usize) {
 #[test]
 fn server_death_restart_resume_is_bit_identical() {
     for shards in SHARD_COUNTS {
-        restart_resume_body(shards);
+        restart_resume_body(shards, "default", HelloConfig::default());
     }
 }
 
-fn restart_resume_body(shards: usize) {
+/// The same death/restart/resume scenario, but the session carries TAGE
+/// tagged-component state and a shadow-predictor mechanism through the
+/// park checkpoint — the richest state blobs the spec grammar can name.
+#[test]
+fn server_death_restart_resume_is_bit_identical_for_tage() {
+    let config = HelloConfig {
+        predictor: "tage-sc-lite:10:4:2:32:9".into(),
+        mechanism: "self:tage-sc-lite:10:4:2:32:9".into(),
+        index: "pcxorbhr:10".into(),
+        init: "ones".into(),
+        threshold: 8,
+    };
+    restart_resume_body(2, "tage", config);
+}
+
+fn restart_resume_body(shards: usize, tag: &str, config: HelloConfig) {
     let dir = std::env::temp_dir().join(format!(
-        "cira-chaos-restart-{}-s{shards}",
+        "cira-chaos-restart-{}-s{shards}-{tag}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -323,7 +338,6 @@ fn restart_resume_body(shards: usize) {
     let trace = bench_trace(2, 24_000);
     let head: PackedTrace = (0..16_000).map(|i| trace.get(i).unwrap()).collect();
     let tail: PackedTrace = (16_000..24_000).map(|i| trace.get(i).unwrap()).collect();
-    let config = HelloConfig::default();
     let expected = local_reference(&config, &trace);
 
     // Incarnation one: stream the head, PARK, die. PARKED_ACK is a

@@ -23,23 +23,30 @@ use cira_store::Checkpoint;
 use cira_trace::codec::PackedTrace;
 use cira_trace::BranchRecord;
 
-const PREDICTORS: [&str; 8] = [
+const PREDICTORS: [&str; 10] = [
     "gshare:10:10",
     "gshare:10:6",
     "gselect:10:4",
     "bimodal:10",
     "local:8:6",
     "agree:10:10:8",
+    // TAGE-class predictors checkpoint their tagged components, policy
+    // counters, and (sc-lite) loop/corrector tables through the same
+    // CIRD blob discipline.
+    "tage:10:4:2:32:9",
+    "tage-sc-lite:10:4:2:32:9",
     "taken",
     "not-taken",
 ];
 
-const MECHANISMS: [&str; 5] = [
+const MECHANISMS: [&str; 6] = [
     "cir:8",
     "ones-count:8",
     "saturating:16",
     "resetting:16",
     "two-level:pcxorbhr-cir",
+    // The shadow-predictor mechanism checkpoints its shadow's state.
+    "self:tage:10:4:2:32:9",
 ];
 
 const INDICES: [&str; 5] = ["pc:10", "bhr:10", "pcxorbhr:10", "pcconcatbhr:10", "gcir:6"];

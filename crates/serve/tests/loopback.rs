@@ -238,6 +238,26 @@ fn hostile_clients_body(shards: usize) {
     });
     assert_eq!(error_code(raw_exchange(&addr, &[bad_spec])), code::BAD_SPEC);
 
+    // Through the typed client, a HELLO rejection names the specs the
+    // client offered — grammar skew (a server that predates `tage:…` or
+    // `self:…`) must be diagnosable from the error alone.
+    let skewed = HelloConfig {
+        predictor: "frobnicate:1".into(),
+        mechanism: "self:tage64k".into(),
+        ..HelloConfig::default()
+    };
+    match Client::connect(&addr, skewed) {
+        Err(ClientError::Server { code: c, message }) => {
+            assert_eq!(c, code::BAD_SPEC);
+            assert!(
+                message.contains("predictor=frobnicate:1")
+                    && message.contains("mechanism=self:tage64k"),
+                "rejection must echo the offered specs, got: {message}"
+            );
+        }
+        other => panic!("expected BAD_SPEC with offered specs, got {other:?}"),
+    }
+
     // An oversized length prefix — body never sent.
     {
         let mut stream = TcpStream::connect(&addr).unwrap();
